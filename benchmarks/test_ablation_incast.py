@@ -1,0 +1,48 @@
+"""Ablation (Section 4.8.4) -- TCP incast and the min-RTO fix.
+
+Not a numbered figure, but a design choice the paper motivates at length:
+at large p, synchronized sub-query replies overflow the front-end's switch
+buffer and standard TCP stalls for min-RTO (200 ms) per loss round; cutting
+the min RTO to a few ms makes the problem vanish.  We sweep p through the
+incast threshold for both settings.
+"""
+
+from repro.sim.transport import IncastModel, TransportConfig
+
+from conftest import print_series, run_once
+
+P_VALUES = (8, 32, 128, 512, 1000)
+
+
+def run_experiment():
+    standard = IncastModel(TransportConfig(min_rto=0.200))
+    reduced = IncastModel(TransportConfig(min_rto=0.002))
+    rows = []
+    data = {}
+    for p in P_VALUES:
+        t_std = standard.mean_collection_time(p)
+        t_red = reduced.mean_collection_time(p)
+        losses = standard.collect(p).packets_lost
+        rows.append((p, t_std * 1000, t_red * 1000, losses))
+        data[p] = (t_std, t_red)
+    return rows, data, standard.incast_threshold()
+
+
+def test_ablation_incast_min_rto(benchmark):
+    rows, data, threshold = run_once(benchmark, run_experiment)
+    print_series(
+        "Incast ablation: reply collection time vs p",
+        ("p", "200ms min-RTO (ms)", "2ms min-RTO (ms)", "packets lost"),
+        rows,
+    )
+    print(f"incast threshold (largest loss-free p): {threshold}")
+
+    # Below the threshold both settings are equivalent and fast.
+    small = P_VALUES[0]
+    assert data[small][0] == data[small][1]
+    assert data[small][0] < 0.01
+    # Beyond it, standard TCP pays hundreds of ms; the fix stays in ms.
+    big = P_VALUES[-1]
+    assert big > threshold
+    assert data[big][0] > 0.2
+    assert data[big][1] < data[big][0] / 5

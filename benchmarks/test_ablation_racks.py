@@ -1,0 +1,66 @@
+"""Ablation (Section 4.9.2) -- cross-sectional bandwidth of update traffic.
+
+The paper: PTN can confine each update to l rack crossings by packing a
+cluster into l racks; ROAR matches it to within one crossing (l+1) by
+assigning ring-consecutive servers to the same rack and forwarding updates
+peer-to-peer around the ring.  We measure cross-rack bytes per update for
+ring-forwarding under aligned vs scattered placement and against the
+backend-push strategy.
+"""
+
+import random
+
+from repro.core import Ring, generate_objects
+from repro.core.updates import RackLayout, propagate_many
+
+from conftest import print_series, run_once
+
+N, P, RACK = 32, 8, 4
+N_UPDATES = 400
+
+
+def run_experiment():
+    ring = Ring.uniform(N)
+    rng = random.Random(6)
+    objects = generate_objects(N_UPDATES, rng, size=1000)
+    aligned = RackLayout(ring, rack_size=RACK, aligned=True)
+    striped = RackLayout(ring, rack_size=RACK, aligned=False)
+
+    rows = []
+    results = {}
+    for label, layout, strategy in (
+        ("aligned ring-forward", aligned, "ring-forward"),
+        ("striped ring-forward", striped, "ring-forward"),
+        ("aligned backend-push", aligned, "backend-push"),
+        ("aligned shared-fs", aligned, "shared-fs"),
+    ):
+        report = propagate_many(ring, layout, objects, P, strategy)
+        per_update_cross = report.cross_rack_bytes / N_UPDATES / 1000
+        rows.append(
+            (
+                label,
+                report.replicas_written / N_UPDATES,
+                per_update_cross,
+                report.total_bytes / N_UPDATES / 1000,
+            )
+        )
+        results[label] = per_update_cross
+    return rows, results
+
+
+def test_ablation_rack_placement(benchmark):
+    rows, results = run_once(benchmark, run_experiment)
+    print_series(
+        "Rack ablation: update propagation traffic (KB-copies per update)",
+        ("strategy", "replicas/update", "cross-rack copies", "total copies"),
+        rows,
+    )
+
+    # The replication arc (1/p over n/rack-size racks) spans l ~ r/RACK + 1
+    # racks; aligned forwarding crosses ~l times, backend-push crosses once
+    # per replica (r ~ 5), shared-fs once more.
+    assert results["aligned ring-forward"] < results["striped ring-forward"]
+    assert results["aligned ring-forward"] < results["aligned backend-push"]
+    assert results["aligned backend-push"] < results["aligned shared-fs"]
+    # The headline: aligned ROAR forwarding stays within l+1 ~ 3 crossings.
+    assert results["aligned ring-forward"] <= 3.0

@@ -1,0 +1,104 @@
+"""Ablation (Section 5.5.2) -- Bloom vs Dictionary keyword matching costs.
+
+The two keyword schemes offer the same security with opposite cost profiles:
+
+* Bloom (Goh): metadata ~130 B regardless of dictionary size, but matching
+  costs up to 17 PRF applications (about 2-3 on average for non-matches);
+  small false-positive rate.
+* Dictionary (Chang): matching is a single PRF application and exact, but
+  the metadata is as big as the dictionary (32 kB for full English) and the
+  dictionary is frozen at setup.
+
+We measure real sizes, real matching wall-clock and real PRF counts.
+"""
+
+import random
+import time
+
+from repro.pps.crypto import keygen_deterministic
+from repro.pps.schemes import BloomKeywordScheme, DictionaryKeywordScheme
+
+from conftest import print_series, run_once
+
+N_ITEMS = 600
+DICT_SIZES = (64, 512, 2048)
+WORDS_PER_DOC = 8
+
+
+def build_dictionary(size):
+    return [f"word{i}" for i in range(size)]
+
+
+def measure(scheme, vocabulary, rng):
+    metas = []
+    for _ in range(N_ITEMS):
+        metas.append(scheme.encrypt_metadata(rng.sample(vocabulary, WORDS_PER_DOC)))
+    query = scheme.encrypt_query(vocabulary[0])
+    scheme.hash_invocations = 0
+    t0 = time.perf_counter()
+    hits = sum(1 for m in metas if scheme.match(m, query))
+    elapsed = time.perf_counter() - t0
+    return {
+        "meta_bytes": metas[0].size_bytes,
+        "match_us": elapsed / N_ITEMS * 1e6,
+        "prfs_per_item": scheme.hash_invocations / N_ITEMS,
+        "hits": hits,
+    }
+
+
+def run_experiment():
+    key = keygen_deterministic("ablation-schemes")
+    rng = random.Random(4)
+    rows = []
+    data = {}
+    for dict_size in DICT_SIZES:
+        vocab = build_dictionary(dict_size)
+        bloom = BloomKeywordScheme(key, max_words=WORDS_PER_DOC, pad_filters=False)
+        dico = DictionaryKeywordScheme(key, vocab)
+        b = measure(bloom, vocab, random.Random(1))
+        d = measure(dico, vocab, random.Random(1))
+        rows.append(
+            (
+                dict_size,
+                b["meta_bytes"],
+                d["meta_bytes"],
+                b["prfs_per_item"],
+                d["prfs_per_item"],
+                b["match_us"],
+                d["match_us"],
+            )
+        )
+        data[dict_size] = (b, d)
+    return rows, data
+
+
+def test_ablation_bloom_vs_dictionary(benchmark):
+    rows, data = run_once(benchmark, run_experiment)
+    print_series(
+        "Scheme ablation: Bloom vs Dictionary keyword matching",
+        (
+            "dict size",
+            "bloom meta B",
+            "dict meta B",
+            "bloom PRFs",
+            "dict PRFs",
+            "bloom us",
+            "dict us",
+        ),
+        rows,
+    )
+
+    for dict_size in DICT_SIZES:
+        b, d = data[dict_size]
+        # Bloom metadata size is dictionary-independent; Dictionary's grows.
+        assert b["meta_bytes"] == data[DICT_SIZES[0]][0]["meta_bytes"]
+        assert d["meta_bytes"] >= dict_size // 8
+        # Dictionary matches with exactly one PRF; Bloom needs a few.
+        assert d["prfs_per_item"] == 1.0
+        assert b["prfs_per_item"] > 1.0
+        # Same true matches; Bloom may add the odd false positive (its
+        # design trade-off), never miss one.
+        assert d["hits"] <= b["hits"] <= d["hits"] + 3
+    # At large dictionaries the metadata gap is decisive.
+    big_b, big_d = data[DICT_SIZES[-1]]
+    assert big_d["meta_bytes"] > 5 * big_b["meta_bytes"]

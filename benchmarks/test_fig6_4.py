@@ -1,0 +1,55 @@
+"""Fig 6.4 -- Variation of query delay with server heterogeneity.
+
+Paper: with identical servers all algorithms coincide; as speed variance
+grows, SW degrades sharply (it cannot pick fast servers -- only r rotation
+choices) while PTN and ROAR exploit the fast servers and stay near the
+optimum.  The gap between SW and the rest *widens* with heterogeneity.
+"""
+
+import random
+
+from repro.cluster import ComparisonConfig, heterogeneous_speeds, run_comparison
+
+from conftest import print_series, run_once
+
+HETEROGENEITY = (0.0, 0.3, 0.6, 0.9)
+BASE = dict(n_servers=90, p=9, dataset_size=1e6, query_rate=12.0, n_queries=500)
+
+
+def run_experiment():
+    rows = []
+    means = {}
+    for h in HETEROGENEITY:
+        speeds = heterogeneous_speeds(90, h, random.Random(23), mean=500_000.0)
+        row = [h]
+        for algo in ("opt", "ptn", "roar", "sw"):
+            res = run_comparison(
+                ComparisonConfig(algorithm=algo, speeds=speeds, seed=23, **BASE)
+            )
+            row.append(res.raw_mean_delay * 1000)
+            means[(algo, h)] = res.raw_mean_delay
+        rows.append(tuple(row))
+    return rows, means
+
+
+def test_fig6_4_delay_vs_heterogeneity(benchmark):
+    rows, means = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 6.4: mean query delay (ms) vs heterogeneity",
+        ("h", "optimal", "PTN", "ROAR", "SW"),
+        rows,
+    )
+
+    # Identical servers: everybody within a few percent of the optimum.
+    h0 = HETEROGENEITY[0]
+    for algo in ("ptn", "roar", "sw"):
+        assert means[(algo, h0)] <= means[("opt", h0)] * 1.15
+
+    # The SW-to-PTN gap widens with heterogeneity.
+    gap = lambda h: means[("sw", h)] / means[("ptn", h)]
+    assert gap(HETEROGENEITY[-1]) > gap(HETEROGENEITY[0]) * 1.1
+
+    # ROAR stays between PTN and SW at high heterogeneity.
+    h_hi = HETEROGENEITY[-1]
+    assert means[("ptn", h_hi)] <= means[("roar", h_hi)] * 1.1
+    assert means[("roar", h_hi)] <= means[("sw", h_hi)] * 1.1

@@ -1,0 +1,49 @@
+"""Fig 6.5 -- Algorithm performance with server-speed estimation errors.
+
+Paper: the schedulers rely on processing-speed estimates; injecting
+estimation error degrades delay only gracefully (the EWMA feedback loop and
+queue-aware estimates absorb moderate error), with PTN and ROAR affected
+similarly.
+"""
+
+from repro.cluster import ComparisonConfig, run_comparison
+
+from conftest import print_series, run_once
+
+ERRORS = (0.0, 0.25, 0.5, 1.0)
+BASE = dict(n_servers=90, p=9, dataset_size=1e6, query_rate=12.0, n_queries=500, seed=29)
+
+
+def run_experiment():
+    rows = []
+    means = {}
+    for err in ERRORS:
+        row = [err]
+        for algo in ("ptn", "roar"):
+            res = run_comparison(
+                ComparisonConfig(algorithm=algo, speed_error=err, **BASE)
+            )
+            row.append(res.raw_mean_delay * 1000)
+            means[(algo, err)] = res.raw_mean_delay
+        rows.append(tuple(row))
+    return rows, means
+
+
+def test_fig6_5_estimation_error(benchmark):
+    rows, means = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 6.5: mean query delay (ms) vs relative speed-estimation error",
+        ("error", "PTN", "ROAR"),
+        rows,
+    )
+
+    for algo in ("ptn", "roar"):
+        perfect = means[(algo, 0.0)]
+        worst = means[(algo, 1.0)]
+        # Error hurts...
+        assert worst >= perfect * 0.95
+        # ...but degradation is graceful: under 2.5x even at 100% error.
+        assert worst <= perfect * 2.5, (
+            f"{algo}: estimation error should degrade gracefully "
+            f"({perfect*1000:.1f} -> {worst*1000:.1f} ms)"
+        )

@@ -1,0 +1,55 @@
+"""Fig 6.7 -- Effects of ROAR's mechanisms on performance (ablation).
+
+Paper: each mechanism contributes -- the deterministic rotation sweep beats
+random starting points; range adjustment shaves the slowest sub-query
+(most effective at low replication); splitting the slowest sub-query
+captures most of the remaining gap; a second ring multiplies scheduling
+choices.  Together they carry basic ROAR most of the way to PTN.
+"""
+
+from repro.cluster import ComparisonConfig, run_comparison
+
+from conftest import print_series, run_once
+
+BASE = dict(
+    n_servers=90, p=9, dataset_size=1e6, query_rate=12.0, n_queries=500, seed=37
+)
+
+VARIANTS = [
+    ("random-3 starts", dict(algorithm="roar", scheduler="random", random_starts=3)),
+    ("basic sweep", dict(algorithm="roar")),
+    ("+range adjust", dict(algorithm="roar", adjust=True)),
+    ("+1 split", dict(algorithm="roar", splits=1)),
+    ("+adjust+split", dict(algorithm="roar", adjust=True, splits=1)),
+    ("2 rings +both", dict(algorithm="roar2", adjust=True, splits=1)),
+    ("PTN (reference)", dict(algorithm="ptn")),
+]
+
+
+def run_experiment():
+    rows = []
+    means = {}
+    for label, kw in VARIANTS:
+        res = run_comparison(ComparisonConfig(**BASE, **kw))
+        rows.append((label, res.raw_mean_delay * 1000, res.p99_delay * 1000))
+        means[label] = res.raw_mean_delay
+    return rows, means
+
+
+def test_fig6_7_mechanism_ablation(benchmark):
+    rows, means = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 6.7: ROAR mechanism ablation (mean / p99 delay, ms)",
+        ("variant", "mean", "p99"),
+        rows,
+    )
+
+    # The deterministic sweep beats a few random starts.
+    assert means["basic sweep"] <= means["random-3 starts"] * 1.02
+    # Each optimisation helps (or at worst is neutral).
+    assert means["+range adjust"] <= means["basic sweep"] * 1.02
+    assert means["+1 split"] <= means["basic sweep"] * 1.02
+    assert means["+adjust+split"] <= means["+range adjust"] * 1.02
+    # The full stack approaches PTN: within 2x (paper: close).
+    assert means["2 rings +both"] <= means["basic sweep"]
+    assert means["2 rings +both"] <= 2.0 * means["PTN (reference)"]

@@ -1,0 +1,58 @@
+"""Fig 6.8 -- Unavailability comparison for strict operations.
+
+Paper: for queries that must visit *every* object, basic SW is
+catastrophically less available (it needs a fully-alive rotation); ROAR with
+its failure fall-back matches PTN's availability (an object is lost only
+when a full replica group / run dies); multiple rings help further.
+"""
+
+from repro.analysis import (
+    multiring_unavailability_mc,
+    ptn_unavailability,
+    roar_unavailability_mc,
+    sw_unavailability,
+)
+
+from conftest import print_series, run_once
+
+R, P = 4, 8
+N = R * P
+FAILURE_PROBS = (0.01, 0.05, 0.1, 0.2)
+
+
+def run_experiment():
+    rows = []
+    data = {}
+    for f in FAILURE_PROBS:
+        ptn = ptn_unavailability(f, R, P)
+        sw = sw_unavailability(f, R, P)
+        roar = roar_unavailability_mc(f, R, N, trials=30_000, seed=41)
+        multi = multiring_unavailability_mc(
+            f, R, N, k_rings=2, trials=15_000, seed=41
+        )
+        rows.append((f, ptn, sw, roar, multi))
+        data[f] = (ptn, sw, roar, multi)
+    return rows, data
+
+
+def test_fig6_8_strict_unavailability(benchmark):
+    rows, data = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 6.8: strict-operation unavailability vs per-server failure prob",
+        ("f", "PTN", "SW (no fallback)", "ROAR (fallback)", "ROAR 2 rings"),
+        rows,
+    )
+
+    for f in FAILURE_PROBS:
+        ptn, sw, roar, multi = data[f]
+        # SW is far worse than everything else.
+        assert sw > 10 * max(ptn, 1e-12)
+        assert sw > 10 * max(roar, 1e-12)
+        # ROAR's fall-back keeps it in PTN's league (within an order of
+        # magnitude; both are tiny at low f).
+        assert roar <= max(10 * ptn, 5e-3)
+        # Extra ring never hurts.
+        assert multi <= roar + 0.01
+    # Unavailability increases with failure probability.
+    sw_series = [data[f][1] for f in FAILURE_PROBS]
+    assert sw_series == sorted(sw_series)

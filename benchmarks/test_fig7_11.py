@@ -1,0 +1,53 @@
+"""Fig 7.11 -- Delay breakdown as seen at the front-end server.
+
+Paper: end-to-end query delay decomposes into scheduling (sub-millisecond),
+network (sub-millisecond in-datacentre), queueing behind earlier sub-queries,
+and the dominant component -- local query execution on the slowest server.
+"""
+
+from repro.cluster import Deployment, DeploymentConfig, hen_testbed
+from repro.sim import PoissonArrivals
+
+from conftest import print_series, run_once
+
+
+def run_experiment():
+    dep = Deployment(
+        DeploymentConfig(
+            models=hen_testbed(24), p=4, dataset_size=5e6, seed=27,
+            fixed_overhead=0.004,
+        )
+    )
+    arrivals = PoissonArrivals(6.0, seed=13).times(200)
+    dep.run_queries(arrivals, pq_fn=4)
+    n = len(dep.breakdowns)
+    comp = {
+        "scheduling": sum(b.scheduling for b in dep.breakdowns) / n,
+        "network": sum(b.network for b in dep.breakdowns) / n,
+        "queueing": sum(b.queueing for b in dep.breakdowns) / n,
+        "service": sum(b.service for b in dep.breakdowns) / n,
+        "total": sum(b.total for b in dep.breakdowns) / n,
+    }
+    return comp
+
+
+def test_fig7_11_delay_breakdown(benchmark):
+    comp = run_once(benchmark, run_experiment)
+    rows = [(k, v * 1000, 100 * v / comp["total"]) for k, v in comp.items()]
+    print_series(
+        "Fig 7.11: mean delay breakdown at the front-end",
+        ("component", "mean (ms)", "% of total"),
+        rows,
+    )
+
+    # Service time dominates.
+    assert comp["service"] > 0.5 * comp["total"]
+    # Scheduling is sub-millisecond (real wall-clock of Algorithm 1).
+    assert comp["scheduling"] < 0.005
+    # Network is sub-millisecond in a data centre.
+    assert comp["network"] < 0.002
+    # The parts are consistent with the whole (queueing + service bound it).
+    assert comp["total"] >= comp["service"]
+    assert comp["total"] <= comp["scheduling"] + comp["network"] + comp[
+        "queueing"
+    ] + comp["service"] + 0.010

@@ -1,0 +1,84 @@
+"""Figs 7.1 / 7.2 -- Effect of p on system performance (PPS_LM and PPS_LC).
+
+Paper: raising the query partitioning level cuts query delay (more servers
+work in parallel) but raises the per-query fixed overheads, so the maximum
+sustainable throughput *falls* with p.  The LM build (higher fixed cost per
+sub-query) loses throughput faster than the LC build -- same shape, steeper.
+
+We sweep pq on a 47-node deployment: delay is measured at light load,
+saturated throughput by driving the system far past capacity and measuring
+the completion rate.
+"""
+
+from repro.cluster import Deployment, DeploymentConfig, hen_testbed
+from repro.sim import PoissonArrivals
+
+from conftest import print_series, run_once
+
+P_VALUES = (5, 10, 20, 47)
+N = 47
+DATASET = 5e6
+#: per-sub-query fixed overheads for the two builds: LM pays the forced GC.
+FIXED = {"LC": 0.004, "LM": 0.012}
+
+
+def _config(fixed):
+    from repro.core.frontend import FrontEndConfig
+
+    # As deployed: range adjustment and one split enabled (Section 4.8.2).
+    return DeploymentConfig(
+        models=hen_testbed(N), p=5, dataset_size=DATASET, seed=3,
+        fixed_overhead=fixed,
+        frontend=FrontEndConfig(adjust_ranges=True, max_splits=1),
+    )
+
+
+def delay_at_light_load(pq, fixed):
+    dep = Deployment(_config(fixed))
+    arrivals = PoissonArrivals(2.0, seed=1).times(60)
+    dep.run_queries(arrivals, pq_fn=pq)
+    return dep.log.raw_mean_delay()
+
+
+def saturated_throughput(pq, fixed):
+    dep = Deployment(_config(fixed))
+    arrivals = PoissonArrivals(200.0, seed=2).times(250)  # far past capacity
+    dep.run_queries(arrivals, pq_fn=pq)
+    last_finish = max(r.finish for r in dep.log.records)
+    return len(dep.log.records) / last_finish
+
+
+def run_experiment():
+    rows = []
+    data = {}
+    for pq in P_VALUES:
+        row = [pq]
+        for build in ("LM", "LC"):
+            d = delay_at_light_load(pq, FIXED[build])
+            tput = saturated_throughput(pq, FIXED[build])
+            row.extend([d * 1000, tput])
+            data[(build, pq, "delay")] = d
+            data[(build, pq, "tput")] = tput
+        rows.append(tuple(row))
+    return rows, data
+
+
+def test_fig7_1_2_p_tradeoff(benchmark):
+    rows, data = run_once(benchmark, run_experiment)
+    print_series(
+        "Figs 7.1/7.2: delay and saturated throughput vs pq",
+        ("pq", "LM delay(ms)", "LM tput(q/s)", "LC delay(ms)", "LC tput(q/s)"),
+        rows,
+    )
+
+    for build in ("LM", "LC"):
+        delays = [data[(build, pq, "delay")] for pq in P_VALUES]
+        tputs = [data[(build, pq, "tput")] for pq in P_VALUES]
+        # Delay falls with p (Section 7.3.1)...
+        assert delays[-1] < delays[0]
+        # ...throughput falls with p (Section 7.3.2).
+        assert tputs[-1] < tputs[0]
+    # The high-fixed-cost build loses proportionally more throughput.
+    lm_loss = data[("LM", 5, "tput")] / data[("LM", 47, "tput")]
+    lc_loss = data[("LC", 5, "tput")] / data[("LC", 47, "tput")]
+    assert lm_loss > lc_loss

@@ -1,0 +1,51 @@
+"""Fig 7.3 -- Average CPU load per node as a function of p.
+
+Paper: at a fixed offered query load, running with a higher partitioning
+level makes every node busier -- the fixed per-sub-query overheads are paid
+p times per query, which is pure waste (it feeds Table 7.2's energy story).
+"""
+
+from repro.cluster import Deployment, DeploymentConfig, hen_testbed
+from repro.sim import PoissonArrivals
+
+from conftest import print_series, run_once
+
+P_VALUES = (5, 10, 20, 47)
+RATE = 4.0
+N_QUERIES = 120
+
+
+def run_experiment():
+    rows = []
+    loads = {}
+    for pq in P_VALUES:
+        dep = Deployment(
+            DeploymentConfig(
+                models=hen_testbed(47), p=5, dataset_size=5e6, seed=9,
+                fixed_overhead=0.010,
+            )
+        )
+        arrivals = PoissonArrivals(RATE, seed=4).times(N_QUERIES)
+        dep.run_queries(arrivals, pq_fn=pq)
+        elapsed = max(r.finish for r in dep.log.records)
+        mean_load = dep.mean_cpu_load(elapsed)
+        per_node = sorted(dep.per_node_load(elapsed).values())
+        loads[pq] = mean_load
+        rows.append(
+            (pq, mean_load, per_node[0], per_node[len(per_node) // 2], per_node[-1])
+        )
+    return rows, loads
+
+
+def test_fig7_3_cpu_load_vs_p(benchmark):
+    rows, loads = run_once(benchmark, run_experiment)
+    print_series(
+        f"Fig 7.3: per-node CPU load at {RATE} queries/s vs pq",
+        ("pq", "mean load", "min node", "median node", "max node"),
+        rows,
+    )
+
+    series = [loads[pq] for pq in P_VALUES]
+    # Same offered work, strictly more total CPU burned as p grows.
+    assert series == sorted(series)
+    assert series[-1] > series[0] * 1.1

@@ -1,0 +1,74 @@
+"""Fig 7.4 -- Effect of updates on server throughput.
+
+Paper: object updates consume server capacity on every replica holder, so
+raising the update rate proportionally cuts the query throughput the system
+can sustain; the cost scales with r (more replicas = more copies to apply).
+"""
+
+from repro.cluster import Deployment, DeploymentConfig, hen_testbed
+from repro.sim import PoissonArrivals
+
+from conftest import print_series, run_once
+
+UPDATE_RATES = (0.0, 50.0, 150.0, 300.0)
+N = 24
+
+
+def saturated_throughput(update_rate, p):
+    """Query completion rate with queries arriving *continuously* at just
+    above capacity while updates compete for the same servers."""
+    dep = Deployment(
+        DeploymentConfig(
+            models=hen_testbed(N), p=p, dataset_size=5e6, seed=15,
+            fixed_overhead=0.006, update_cost=0.012,
+        )
+    )
+    horizon = 12.0
+    queries = [
+        t for t in PoissonArrivals(16.0, seed=6).times(400) if t <= horizon
+    ]
+    updates = (
+        [t for t in PoissonArrivals(update_rate, seed=7).times(8000) if t <= horizon]
+        if update_rate > 0
+        else []
+    )
+    events = sorted([(t, "q") for t in queries] + [(t, "u") for t in updates])
+    for t, kind in events:
+        if kind == "q":
+            dep.run_query(t, p)
+        else:
+            dep.apply_update(t)
+    last = max(r.finish for r in dep.log.records)
+    return len(dep.log.records) / last
+
+
+def run_experiment():
+    rows = []
+    tput = {}
+    for rate in UPDATE_RATES:
+        low_r = saturated_throughput(rate, p=12)  # r = 2
+        high_r = saturated_throughput(rate, p=4)  # r = 6
+        tput[(rate, "low_r")] = low_r
+        tput[(rate, "high_r")] = high_r
+        rows.append((rate, low_r, high_r))
+    return rows, tput
+
+
+def test_fig7_4_update_overhead(benchmark):
+    rows, tput = run_once(benchmark, run_experiment)
+    print_series(
+        "Fig 7.4: saturated query throughput vs update rate",
+        ("updates/s", "tput @ r=2 (q/s)", "tput @ r=6 (q/s)"),
+        rows,
+    )
+
+    # Updates eat throughput monotonically for both replication levels.
+    low_series = [tput[(r, "low_r")] for r in UPDATE_RATES]
+    high_series = [tput[(r, "high_r")] for r in UPDATE_RATES]
+    assert low_series[-1] < low_series[0]
+    assert high_series[-1] < high_series[0]
+    # Higher replication loses proportionally more to the same update rate
+    # (each update hits r servers).
+    low_loss = 1.0 - low_series[-1] / low_series[0]
+    high_loss = 1.0 - high_series[-1] / high_series[0]
+    assert high_loss > low_loss

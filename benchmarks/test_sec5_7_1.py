@@ -1,0 +1,84 @@
+"""Section 5.7.1 -- Dynamic predicate ordering.
+
+Paper: querying "the xyz" (a wildcard-ish term plus a selective one, AND)
+without ordering costs 10s (every item pays the expensive full-match of
+"the"); with dynamic ordering the selective predicate runs first and delay
+drops to ~1.25s, independent of predicate order in the query.
+
+We reproduce with the Bloom keyword scheme: a term stored in every metadata
+("the") and a term stored in none ("xyz"), counting PRF invocations -- the
+exact cost the paper profiles (17 hashes for a full match vs ~2 for a
+reject).
+"""
+
+import random
+
+from repro.pps import MultiPredicateQuery
+from repro.pps.crypto import keygen_deterministic
+from repro.pps.schemes import BloomKeywordScheme
+
+from conftest import print_series, run_once
+
+N_ITEMS = 3_000
+
+
+def build():
+    scheme = BloomKeywordScheme(
+        keygen_deterministic("sec5.7.1"), max_words=6, pad_filters=False
+    )
+    rng = random.Random(0)
+    metas = []
+    for i in range(N_ITEMS):
+        words = ["the", f"filler{rng.randrange(50)}"]
+        metas.append(scheme.encrypt_metadata(words))
+    return scheme, metas
+
+
+def run_variant(scheme, metas, order, dynamic):
+    q = MultiPredicateQuery(
+        [(scheme, scheme.encrypt_query(w)) for w in order],
+        op="and",
+        dynamic_ordering=dynamic,
+        sample_size=225,
+    )
+    scheme.hash_invocations = 0
+    for m in metas:
+        q.matches(m)
+    return scheme.hash_invocations, q
+
+
+def run_experiment():
+    scheme, metas = build()
+    rows = []
+    # (label, predicate order, dynamic?)
+    variants = [
+        ("'the xyz' ordered", ["the", "xyz"], True),
+        ("'xyz the' static", ["xyz", "the"], False),
+        ("'the xyz' static", ["the", "xyz"], False),
+    ]
+    results = {}
+    for label, order, dynamic in variants:
+        cost, q = run_variant(scheme, metas, order, dynamic)
+        rows.append((label, cost, cost / N_ITEMS))
+        results[label] = cost
+    return rows, results
+
+
+def test_sec5_7_1_dynamic_ordering(benchmark):
+    rows, results = run_once(benchmark, run_experiment)
+    print_series(
+        "Sec 5.7.1: predicate-evaluation cost (PRF invocations)",
+        ("variant", "total PRFs", "PRFs/item"),
+        rows,
+    )
+
+    ordered = results["'the xyz' ordered"]
+    good_static = results["'xyz the' static"]
+    bad_static = results["'the xyz' static"]
+
+    # The user-unfriendly order without reordering is several times costlier
+    # (the paper sees 10s vs 1.25s = 8x).
+    assert bad_static > 3.0 * good_static
+    # Dynamic ordering rescues the bad order to within ~25% of the good one
+    # (it pays the 225-sample learning phase).
+    assert ordered < 1.25 * good_static + 225 * 40

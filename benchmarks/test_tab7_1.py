@@ -1,0 +1,50 @@
+"""Table 7.1 -- Server models used in the experimental evaluation.
+
+Prints the hardware catalogue (calibrated to the paper's own Section 5.7
+throughput measurements) and checks the relative speed ordering that the
+heterogeneity experiments depend on.
+"""
+
+from repro.cluster import MODEL_CATALOGUE, hen_testbed
+
+from conftest import print_series, run_once
+
+
+def collect():
+    rows = []
+    for name, model in MODEL_CATALOGUE.items():
+        rows.append(
+            (
+                name,
+                model.cores,
+                model.match_rate,
+                model.disk_rate,
+                model.fixed_overhead * 1000,
+                model.power.idle_watts,
+                model.power.busy_watts,
+            )
+        )
+    pool = hen_testbed(47)
+    counts = {}
+    for m in pool:
+        counts[m.name] = counts.get(m.name, 0) + 1
+    return rows, counts
+
+
+def test_tab7_1_server_models(benchmark):
+    rows, counts = run_once(benchmark, collect)
+    print_series(
+        "Table 7.1: server model catalogue",
+        ("model", "cores", "match/s/thread", "disk items/s", "fixed (ms)", "idle W", "busy W"),
+        rows,
+    )
+    print(f"Hen-style 47-node pool composition: {counts}")
+
+    speeds = {name: m.speed(True) for name, m in MODEL_CATALOGUE.items()}
+    assert speeds["dell-2950"] > speeds["dell-1950"] > speeds["dell-1850"] > speeds["sun-x4100"]
+    # The pool is genuinely mixed and totals 47.
+    assert sum(counts.values()) == 47
+    assert len(counts) >= 3
+    # Speed spread is the several-fold gap the paper's Fig 7.13 shows.
+    ratio = speeds["dell-2950"] / speeds["sun-x4100"]
+    assert 2.0 < ratio < 12.0

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Privacy Preserving Search end-to-end: encrypted queries over encrypted
+metadata, distributed over a ROAR ring.
+
+The server-side code never sees a plaintext keyword, filename, size or
+date -- it matches encrypted trapdoors against encrypted Bloom metadata and
+returns opaque identifiers.  This script plays both roles:
+
+* the *user* builds a file corpus, encrypts metadata, and issues encrypted
+  single- and multi-predicate queries;
+* the *servers* (a 6-node ROAR ring) each hold the replicas their range
+  requires and match sub-queries against their local stores.
+
+Run:  python examples/pps_search.py
+"""
+
+import random
+
+from repro.core import Ring
+from repro.core.ids import Arc, frac
+from repro.core.node import SubQuery, dedup_matches
+from repro.core.scheduler import schedule_heap
+from repro.pps import (
+    CorpusConfig,
+    MetadataCodec,
+    MetadataStore,
+    MultiPredicateQuery,
+    Predicate,
+    StoredItem,
+    generate_corpus,
+    keygen,
+)
+
+P = 3  # partitioning level
+
+
+def main() -> None:
+    rng = random.Random(99)
+
+    # --- User side: encrypt the home directory ---------------------------
+    key = keygen()  # stays on the user's devices
+    codec = MetadataCodec(key, max_content_keywords=10)
+    files = generate_corpus(CorpusConfig(n_files=400, keywords_per_file=6, seed=5))
+    items = [StoredItem(rng.random(), codec.encrypt_file(f)) for f in files]
+    plain = {it.item_id: f for it, f in zip(items, files)}
+    print(f"Encrypted {len(files)} file descriptions "
+          f"({codec.metadata_size_bytes()} B each); uploading to servers...")
+
+    # --- Server side: a ROAR ring of metadata stores ---------------------
+    ring = Ring.proportional([rng.uniform(0.5, 2.0) for _ in range(6)])
+    server_stores = {}
+    for node in ring:
+        node_range = ring.range_of(node)
+        mine = [it for it in items
+                if Arc(it.item_id, 1.0 / P).intersects(node_range)]
+        server_stores[node.name] = MetadataStore(mine, chunk_size=64)
+        print(f"  {node.name}: {len(mine)} replicas")
+
+    def run_distributed(match_fn):
+        """Front-end logic: split, dispatch, merge."""
+        est = lambda node, fr: fr / node.speed
+        schedule = schedule_heap(ring, P, est)
+        results = []
+        for i in range(P):
+            dest = frac(schedule.start_id + i / P)
+            sub = SubQuery.normal(1, dest, P, index=i)
+            store = server_stores[ring.node_in_charge(dest).name]
+            window = Arc(frac(sub.dedup_origin - sub.dedup_width), sub.dedup_width)
+            for item in store.load_range(window):
+                if dedup_matches(item.item_id, sub) and match_fn(item.metadata):
+                    results.append(item.item_id)
+        return results
+
+    # --- Query 1: a single keyword ---------------------------------------
+    target_kw = files[0].keywords[0]
+    enc_q = codec.encrypt_predicate(Predicate("keyword", "=", target_kw))
+    hits = run_distributed(lambda m: codec.match(m, enc_q))
+    truth = [it.item_id for it, f in zip(items, files) if target_kw in f.keywords]
+    print(f"\nkeyword == {target_kw!r}: {len(hits)} matches "
+          f"(ground truth {len(truth)})")
+    for item_id in hits[:3]:
+        print(f"  decrypted locally by the user -> {plain[item_id].path}")
+
+    # --- Query 2: size range via inequality encoding ---------------------
+    enc_q = codec.encrypt_predicate(Predicate("size", ">", 1_000_000))
+    hits = run_distributed(lambda m: codec.match(m, enc_q))
+    print(f"\nsize > 1MB: {len(hits)} matches")
+
+    # --- Query 3: AND of two predicates with dynamic ordering ------------
+    preds = [
+        (codec.scheme, codec.encrypt_predicate(Predicate("keyword", "=", target_kw))),
+        (codec.scheme, codec.encrypt_predicate(Predicate("size", ">", 1024))),
+    ]
+    query = MultiPredicateQuery(preds, op="and", sample_size=100)
+    hits = run_distributed(query.matches)
+    print(f"\nkeyword == {target_kw!r} AND size > 1KB: {len(hits)} matches; "
+          f"predicate order learned: {query.current_order()}")
+
+    # --- What the server learned ------------------------------------------
+    print("\nWhat the servers saw: opaque nonces, Bloom bits and trapdoors.")
+    example = items[0].metadata
+    print(f"  e.g. metadata payload[:16] = {example.payload[1][:16].hex()}...")
+    print("They can count matches per query, but never read a keyword.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Closed-form analytical models from Chapters 2, 5 and 6."""
+
+from ..pps.index_based import (
+    IndexModelParams,
+    bandwidth_ratio,
+    index_bandwidth,
+    optimal_delta_max,
+    pps_bandwidth,
+)
+from .availability import (
+    multiring_unavailability_mc,
+    ptn_unavailability,
+    roar_run_unavailability,
+    roar_unavailability_mc,
+    sw_unavailability,
+)
+from .bandwidth import (
+    MessageCosts,
+    bandwidth_penalty,
+    message_costs,
+    optimal_r,
+    total_bandwidth,
+)
+from .delay import best_p_for_target, equal_split_bound, fluid_bound, loaded_delay
+from .planner import ConfigOption, Recommendation, WorkloadSpec, recommend_configuration
+
+__all__ = [
+    "IndexModelParams",
+    "ConfigOption",
+    "MessageCosts",
+    "Recommendation",
+    "WorkloadSpec",
+    "recommend_configuration",
+    "bandwidth_penalty",
+    "bandwidth_ratio",
+    "best_p_for_target",
+    "equal_split_bound",
+    "fluid_bound",
+    "index_bandwidth",
+    "loaded_delay",
+    "message_costs",
+    "multiring_unavailability_mc",
+    "optimal_delta_max",
+    "optimal_r",
+    "pps_bandwidth",
+    "ptn_unavailability",
+    "roar_run_unavailability",
+    "roar_unavailability_mc",
+    "sw_unavailability",
+    "total_bandwidth",
+]

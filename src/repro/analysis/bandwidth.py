@@ -1,0 +1,107 @@
+"""Bandwidth models (Sections 2.3.2, 6.3, Table 6.2).
+
+Two families of results:
+
+* the system-level decomposition ``B = r*B_data + p*B_query + B_results``
+  and the optimal replication level ``r_opt = sqrt(n * B_query / B_data)``
+  that minimises it;
+* per-operation message counts for each algorithm (Table 6.2), including
+  the reconfiguration costs that separate ROAR/SW from PTN.
+
+Counts are in *messages per operation*, with D = number of objects,
+n = servers, and p/r the partitioning/replication levels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "total_bandwidth",
+    "optimal_r",
+    "bandwidth_penalty",
+    "MessageCosts",
+    "message_costs",
+]
+
+
+def total_bandwidth(
+    n: int, r: float, b_data: float, b_query: float, b_results: float = 0.0
+) -> float:
+    """System bandwidth at replication r: r*B_data + (n/r)*B_query + B_results."""
+    if r <= 0:
+        raise ValueError("r must be positive")
+    p = n / r
+    return r * b_data + p * b_query + b_results
+
+
+def optimal_r(n: int, b_data: float, b_query: float) -> float:
+    """The bandwidth-minimising replication level: sqrt(n * Bq / Bd)."""
+    if b_data <= 0 or b_query <= 0:
+        raise ValueError("bandwidth rates must be positive")
+    return math.sqrt(n * b_query / b_data)
+
+
+def bandwidth_penalty(
+    n: int, r: float, b_data: float, b_query: float
+) -> float:
+    """How much more bandwidth level *r* uses than the optimum (ratio >= 1).
+
+    At the extremes (r = 1 or r = n) the penalty is O(sqrt(n)), the
+    Section 2.3.2 observation.
+    """
+    best = total_bandwidth(n, optimal_r(n, b_data, b_query), b_data, b_query)
+    return total_bandwidth(n, r, b_data, b_query) / best
+
+
+@dataclass(frozen=True)
+class MessageCosts:
+    """Messages per operation for one algorithm (a Table 6.2 row)."""
+
+    algorithm: str
+    store_object: float  # messages to store/update one object
+    run_query: float  # messages to run one query (sub-queries sent)
+    increase_r: float  # messages to raise the replication level by one
+    decrease_r: float  # messages to lower it by one
+
+
+def message_costs(
+    algorithm: str, n: int, p: int, d: int, c: float = 2.0
+) -> MessageCosts:
+    """Closed-form Table 6.2 entries.
+
+    * storing: r messages (one per replica); RAND pays c*r.
+    * querying: p messages; RAND pays c*p.
+    * ROAR/SW increase r by one: every object gains exactly one replica --
+      D messages, each node copying ~D/n objects.  Decrease: replicas are
+      dropped in place, 0 transfer messages (control only).
+    * PTN decrease p (increase r): a destroyed cluster's D/p objects are
+      copied to all ~n/p servers of a surviving cluster, and each of the
+      ~n/p freed servers downloads a full D/p partition:
+      D/p * n/p + n/p * D/p = 2*D*n/p^2 messages.  Increase p: a new
+      cluster of ~n/p servers each downloads its D/p share: D*n/p^2.
+    """
+    if p <= 0 or n <= 0:
+        raise ValueError("n and p must be positive")
+    r = n / p
+    if algorithm in ("roar", "sw"):
+        return MessageCosts(algorithm, store_object=r, run_query=p,
+                            increase_r=float(d), decrease_r=0.0)
+    if algorithm == "ptn":
+        return MessageCosts(
+            algorithm,
+            store_object=r,
+            run_query=p,
+            increase_r=2.0 * d * n / (p * p),
+            decrease_r=d * n / (p * p),
+        )
+    if algorithm == "rand":
+        return MessageCosts(
+            algorithm,
+            store_object=c * r,
+            run_query=c * p,
+            increase_r=float(d),  # one more replica per object, walk extension
+            decrease_r=0.0,
+        )
+    raise ValueError(f"unknown algorithm {algorithm!r}")

@@ -1,0 +1,80 @@
+"""Optimal query-delay bounds (Section 6.1.1).
+
+For a query over ``D`` objects on servers with speeds ``s_1 >= s_2 >= ...``:
+
+* **fluid bound** -- if work could be split arbitrarily across *all*
+  servers proportionally to speed, delay = ``D / sum(s_i)``.  No algorithm
+  with any placement constraint beats this.
+* **equal-split bound** -- DR algorithms send fixed-size sub-queries of
+  ``D/p``; with free server choice the best is the ``p`` fastest servers,
+  and delay is governed by the slowest chosen: ``(D/p) / s_p``.
+* **loaded bound** -- at utilisation rho, server capacity is effectively
+  scaled by ``(1 - rho)`` on average (M/D/1 waiting grows as
+  ``rho/(1-rho)``); both bounds scale accordingly.
+
+These are the "optimal" curves in Figs 6.1-6.6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "fluid_bound",
+    "equal_split_bound",
+    "loaded_delay",
+    "best_p_for_target",
+]
+
+
+def fluid_bound(dataset: float, speeds: Sequence[float]) -> float:
+    """D / total capacity: the unconstrained parallel matching time."""
+    total = sum(speeds)
+    if total <= 0:
+        raise ValueError("total speed must be positive")
+    return dataset / total
+
+
+def equal_split_bound(
+    dataset: float, speeds: Sequence[float], p: int, fixed_overhead: float = 0.0
+) -> float:
+    """Best possible delay with p equal sub-queries: (D/p)/s_(p) + overhead.
+
+    Chooses the p fastest servers; the p-th fastest is the bottleneck.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    ranked = sorted(speeds, reverse=True)
+    if p > len(ranked):
+        raise ValueError(f"p={p} exceeds server count {len(ranked)}")
+    return fixed_overhead + (dataset / p) / ranked[p - 1]
+
+
+def loaded_delay(base_delay: float, rho: float) -> float:
+    """Scale an idle-system delay by M/D/1 queueing at utilisation rho.
+
+    sojourn ~= service * (1 + rho / (2*(1 - rho))); saturates to inf.
+    """
+    if rho < 0:
+        raise ValueError("rho must be >= 0")
+    if rho >= 1.0:
+        return math.inf
+    return base_delay * (1.0 + rho / (2.0 * (1.0 - rho)))
+
+
+def best_p_for_target(
+    dataset: float,
+    speeds: Sequence[float],
+    target_delay: float,
+    fixed_overhead: float = 0.0,
+) -> int | None:
+    """Smallest p whose equal-split bound meets the target (idle system).
+
+    The "sensible strategy" of Chapter 1: the smallest cluster count that
+    satisfies the latency target maximises throughput.
+    """
+    for p in range(1, len(speeds) + 1):
+        if equal_split_bound(dataset, speeds, p, fixed_overhead) <= target_delay:
+            return p
+    return None

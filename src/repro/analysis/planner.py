@@ -1,0 +1,138 @@
+"""Configuration advisor: choosing p and r for a workload (Chapter 2).
+
+The paper frames provisioning as: given ``n`` servers, a dataset, query and
+update rates, and a delay target, pick the partitioning level.  The sensible
+strategy (Chapter 1) is *the smallest p that meets the latency target* --
+any more partitioning only pays extra fixed overheads; and within feasible
+configurations, bandwidth is minimised near ``r_opt = sqrt(n*Bq/Bd)``
+(Section 2.3.2).
+
+:func:`recommend_configuration` combines the pieces implemented elsewhere in
+:mod:`repro.analysis` / :mod:`repro.sim` into one answer, with the full
+feasibility table so callers can see the trade-off they are buying.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.queueing import md1_delay
+from .delay import equal_split_bound
+
+__all__ = ["WorkloadSpec", "ConfigOption", "Recommendation", "recommend_configuration"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything the advisor needs to know about the deployment."""
+
+    dataset_size: float  # objects
+    query_rate: float  # queries/second offered
+    update_rate: float  # object updates/second
+    target_delay: float  # seconds, mean query delay target
+    speeds: Sequence[float]  # per-server objects matched per second
+    fixed_overhead: float = 0.0  # per-sub-query fixed cost, seconds
+    query_bytes: float = 500.0
+    update_bytes: float = 500.0
+
+
+@dataclass(frozen=True)
+class ConfigOption:
+    """One feasible (or infeasible) operating point."""
+
+    p: int
+    r: float
+    predicted_delay: float  # loaded mean delay (M/D/1 per sub-query server)
+    utilisation: float
+    bandwidth: float  # replica+query bytes/second (Section 2.3.2 model)
+    feasible: bool
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    chosen: ConfigOption | None
+    options: list[ConfigOption]
+    reason: str
+
+
+def _predict_delay(spec: WorkloadSpec, p: int) -> tuple[float, float]:
+    """(mean delay, utilisation) at partitioning level p.
+
+    Each query spawns p sub-queries of D/p objects; each server receives
+    ``query_rate * p / n`` sub-queries per second plus its share of update
+    work.  Delay is the idle equal-split bound inflated by M/D/1 queueing
+    at the mean server.
+    """
+    n = len(spec.speeds)
+    mean_speed = sum(spec.speeds) / n
+    service = spec.fixed_overhead + (spec.dataset_size / p) / mean_speed
+    per_server_rate = spec.query_rate * p / n
+    rho = per_server_rate * service
+    idle = equal_split_bound(
+        spec.dataset_size, spec.speeds, p, spec.fixed_overhead
+    )
+    queueing = md1_delay(per_server_rate, service)
+    if math.isinf(queueing):
+        return math.inf, min(rho, 1.0)
+    # Queueing wait on top of the heterogeneity-aware idle bound.
+    wait = queueing - service
+    return idle + wait, min(rho, 1.0)
+
+
+def recommend_configuration(spec: WorkloadSpec) -> Recommendation:
+    """Pick the smallest feasible p; break ties toward bandwidth optimum.
+
+    Returns the whole option table so callers can inspect the frontier.
+    """
+    n = len(spec.speeds)
+    if n == 0:
+        raise ValueError("need at least one server")
+    if spec.target_delay <= 0:
+        raise ValueError("target delay must be positive")
+    options: list[ConfigOption] = []
+    for p in range(1, n + 1):
+        delay, rho = _predict_delay(spec, p)
+        r = n / p
+        # Section 2.3.2's decomposition: r*B_data + p*B_query (+ constant
+        # result traffic, which cannot influence the choice).
+        bandwidth = (
+            r * spec.update_rate * spec.update_bytes
+            + p * spec.query_rate * spec.query_bytes
+        )
+        options.append(
+            ConfigOption(
+                p=p,
+                r=r,
+                predicted_delay=delay,
+                utilisation=rho,
+                bandwidth=bandwidth,
+                feasible=delay <= spec.target_delay and rho < 1.0,
+            )
+        )
+
+    feasible = [o for o in options if o.feasible]
+    if not feasible:
+        return Recommendation(
+            chosen=None,
+            options=options,
+            reason=(
+                "no partitioning level meets the target; add servers, relax "
+                "the target, or shrink the dataset"
+            ),
+        )
+    smallest = feasible[0]
+    # Among feasible points within 10% of the smallest p's bandwidth-relevant
+    # range, prefer lower bandwidth (they are ordered by p already; higher p
+    # always costs more query bandwidth, so smallest p wins unless update
+    # traffic dominates).
+    best = min(feasible, key=lambda o: (o.bandwidth, o.p))
+    chosen = smallest if smallest.bandwidth <= best.bandwidth * 1.10 else best
+    reason = (
+        f"smallest feasible p={chosen.p} (predicted delay "
+        f"{chosen.predicted_delay * 1000:.0f} ms <= target "
+        f"{spec.target_delay * 1000:.0f} ms at utilisation "
+        f"{chosen.utilisation:.0%})"
+    )
+    return Recommendation(chosen=chosen, options=options, reason=reason)

@@ -1,0 +1,203 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage (after installation)::
+
+    python -m repro compare --algorithm roar --n 90 -p 9 --rate 12
+    python -m repro deploy --nodes 24 -p 4 --queries 100
+    python -m repro plan --servers 24 --dataset 5e6 --target-delay 0.4
+    python -m repro pps-demo --files 200
+
+Each sub-command is a thin veneer over the library; scripts and notebooks
+should import :mod:`repro` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ROAR (SIGCOMM 2009) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    comp = sub.add_parser("compare", help="Chapter 6 algorithm comparison")
+    comp.add_argument("--algorithm", default="roar",
+                      choices=["roar", "roar2", "ptn", "sw", "opt"])
+    comp.add_argument("--n", type=int, default=90, help="server count")
+    comp.add_argument("-p", type=int, default=9, help="partitioning level")
+    comp.add_argument("--pq", type=int, default=None,
+                      help="query partitioning level (ROAR; default p)")
+    comp.add_argument("--rate", type=float, default=12.0, help="queries/s")
+    comp.add_argument("--queries", type=int, default=500)
+    comp.add_argument("--dataset", type=float, default=1e6)
+    comp.add_argument("--adjust", action="store_true",
+                      help="enable range adjustment")
+    comp.add_argument("--splits", type=int, default=0,
+                      help="max sub-query splits")
+    comp.add_argument("--seed", type=int, default=1)
+
+    dep = sub.add_parser("deploy", help="Chapter 7 deployment run")
+    dep.add_argument("--nodes", type=int, default=24)
+    dep.add_argument("-p", type=int, default=4)
+    dep.add_argument("--pq", type=int, default=None)
+    dep.add_argument("--rate", type=float, default=5.0)
+    dep.add_argument("--queries", type=int, default=100)
+    dep.add_argument("--dataset", type=float, default=5e6)
+    dep.add_argument("--fail", type=int, default=0,
+                     help="nodes to fail mid-run")
+    dep.add_argument("--seed", type=int, default=1)
+
+    plan = sub.add_parser("plan", help="recommend a (p, r) configuration")
+    plan.add_argument("--servers", type=int, default=24)
+    plan.add_argument("--speed", type=float, default=700_000.0,
+                      help="objects matched per second per server")
+    plan.add_argument("--dataset", type=float, default=1e6)
+    plan.add_argument("--rate", type=float, default=5.0, help="queries/s")
+    plan.add_argument("--updates", type=float, default=10.0, help="updates/s")
+    plan.add_argument("--target-delay", type=float, default=0.5)
+    plan.add_argument("--fixed-overhead", type=float, default=0.005)
+
+    demo = sub.add_parser("pps-demo", help="encrypted search demo")
+    demo.add_argument("--files", type=int, default=200)
+    demo.add_argument("--keyword", default=None,
+                      help="keyword to search (default: pick one)")
+    demo.add_argument("--seed", type=int, default=5)
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .cluster import ComparisonConfig, run_comparison
+
+    cfg = ComparisonConfig(
+        algorithm=args.algorithm,
+        n_servers=args.n,
+        p=args.p,
+        pq=args.pq,
+        dataset_size=args.dataset,
+        query_rate=args.rate,
+        n_queries=args.queries,
+        adjust=args.adjust,
+        splits=args.splits,
+        seed=args.seed,
+    )
+    res = run_comparison(cfg)
+    mean = res.mean_delay
+    mean_txt = "SATURATED" if math.isinf(mean) else f"{mean * 1000:.1f} ms"
+    print(f"algorithm     : {args.algorithm}")
+    print(f"n / p / pq    : {args.n} / {args.p} / {args.pq or args.p}")
+    print(f"mean delay    : {mean_txt}")
+    print(f"p99 delay     : {res.p99_delay * 1000:.1f} ms")
+    print(f"utilisation   : {res.server_utilisation:.1%}")
+    print(f"exploding     : {res.exploding}")
+    return 0
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    import random
+
+    from .cluster import Deployment, DeploymentConfig, hen_testbed
+    from .sim import PoissonArrivals
+
+    dep = Deployment(
+        DeploymentConfig(
+            models=hen_testbed(args.nodes),
+            p=args.p,
+            dataset_size=args.dataset,
+            seed=args.seed,
+        )
+    )
+    arrivals = PoissonArrivals(args.rate, seed=args.seed).times(args.queries)
+    fail_at = arrivals[len(arrivals) // 2] if args.fail else None
+    rng = random.Random(args.seed)
+    failed = False
+    for t in arrivals:
+        if fail_at is not None and not failed and t >= fail_at:
+            for name in rng.sample(sorted(dep.servers), args.fail):
+                dep.fail_node(name, t)
+            failed = True
+        dep.run_query(t, args.pq or args.p)
+    delays = dep.log.delays()
+    elapsed = max(r.finish for r in dep.log.records)
+    print(f"nodes / p / pq : {args.nodes} / {args.p} / {args.pq or args.p}")
+    print(f"queries        : {len(delays)} completed (yield 100%)")
+    print(f"mean delay     : {1000 * sum(delays) / len(delays):.1f} ms")
+    print(f"p99 delay      : {dep.log.percentile_delay(99) * 1000:.1f} ms")
+    print(f"mean CPU load  : {dep.mean_cpu_load(elapsed):.1%}")
+    if args.fail:
+        print(f"failed nodes   : {args.fail} (mid-run)")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .analysis.planner import WorkloadSpec, recommend_configuration
+
+    spec = WorkloadSpec(
+        dataset_size=args.dataset,
+        query_rate=args.rate,
+        update_rate=args.updates,
+        target_delay=args.target_delay,
+        speeds=[args.speed] * args.servers,
+        fixed_overhead=args.fixed_overhead,
+    )
+    rec = recommend_configuration(spec)
+    print(rec.reason)
+    if rec.chosen is None:
+        return 1
+    print(f"recommended    : p = {rec.chosen.p}, r = {rec.chosen.r:g}")
+    print(f"pred. delay    : {rec.chosen.predicted_delay * 1000:.0f} ms")
+    print(f"utilisation    : {rec.chosen.utilisation:.0%}")
+    print(f"bandwidth      : {rec.chosen.bandwidth / 1000:.1f} kB/s")
+    feasible = sum(1 for o in rec.options if o.feasible)
+    print(f"feasible p's   : {feasible} of {len(rec.options)}")
+    return 0
+
+
+def _cmd_pps_demo(args: argparse.Namespace) -> int:
+    import random
+
+    from .pps import (
+        CorpusConfig,
+        MetadataCodec,
+        Predicate,
+        generate_corpus,
+        keygen_deterministic,
+    )
+
+    key = keygen_deterministic(f"cli-demo-{args.seed}")
+    codec = MetadataCodec(key, max_content_keywords=10)
+    files = generate_corpus(CorpusConfig(n_files=args.files, seed=args.seed))
+    encrypted = [codec.encrypt_file(f) for f in files]
+    keyword = args.keyword or files[0].keywords[0]
+    query = codec.encrypt_predicate(Predicate("keyword", "=", keyword))
+    hits = [f for f, e in zip(files, encrypted) if codec.match(e, query)]
+    truth = [f for f in files if keyword in f.keywords]
+    print(f"files          : {len(files)} "
+          f"({codec.metadata_size_bytes()} B encrypted metadata each)")
+    print(f"query keyword  : {keyword!r} (server never sees it)")
+    print(f"matches        : {len(hits)} (plaintext ground truth {len(truth)})")
+    for f in hits[:5]:
+        print(f"  {f.path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "compare": _cmd_compare,
+        "deploy": _cmd_deploy,
+        "plan": _cmd_plan,
+        "pps-demo": _cmd_pps_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

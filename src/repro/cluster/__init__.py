@@ -1,0 +1,38 @@
+"""Full simulated deployments: the Chapter 7 experimental rig."""
+
+from .compare import (
+    ComparisonConfig,
+    ComparisonResult,
+    heterogeneous_speeds,
+    run_comparison,
+)
+from .deployment import (
+    Deployment,
+    DeploymentConfig,
+    DynamicPController,
+    QueryBreakdown,
+)
+from .multifrontend import MultiFrontEndDeployment
+from .models import (
+    MODEL_CATALOGUE,
+    ServerModel,
+    ec2_fleet,
+    hen_testbed,
+    make_sim_server,
+)
+
+__all__ = [
+    "ComparisonConfig",
+    "ComparisonResult",
+    "Deployment",
+    "DeploymentConfig",
+    "DynamicPController",
+    "MODEL_CATALOGUE",
+    "MultiFrontEndDeployment",
+    "QueryBreakdown",
+    "ServerModel",
+    "ec2_fleet",
+    "hen_testbed",
+    "heterogeneous_speeds",
+    "make_sim_server",
+]

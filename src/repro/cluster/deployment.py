@@ -1,0 +1,339 @@
+"""A full simulated PPS-on-ROAR deployment (the Chapter 7 rig).
+
+Couples the core front-end (real scheduling code, real wall-clock cost) with
+simulated storage servers (the Definition 8 computation model), the
+membership server, the reconfigurator, and failure/update injection.  Every
+Chapter 7 experiment drives one of these:
+
+* p sweeps measuring delay / throughput / per-node CPU load (Figs 7.1-7.3);
+* update load vs query throughput (Fig 7.4);
+* dynamic p changes tracking load under a delay target (Fig 7.5);
+* sudden node failures and the sub-query splitting fall-back (Fig 7.6);
+* query-time load balancing with pq > p (Figs 7.7/7.8);
+* range load balancing (Figs 7.9/7.10);
+* per-query delay breakdown at the front-end (Fig 7.11);
+* large-scale runs (Table 7.3).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..core.frontend import FrontEnd, FrontEndConfig
+from ..core.membership import MembershipServer
+from ..core.node import RoarNode, SubQuery
+from ..core.objects import DataObject, generate_objects
+from ..core.reconfig import ReconfigPhase, Reconfigurator
+from ..core.ring import Ring, RingNode
+from ..sim.energy import EnergyReport, measure_energy
+from ..sim.network import NetworkModel, TrafficLedger
+from ..sim.server import SimServer
+from ..sim.tracing import DelayLog, QueryRecord
+from .models import MODEL_CATALOGUE, ServerModel, hen_testbed, make_sim_server
+
+__all__ = ["DeploymentConfig", "QueryBreakdown", "Deployment", "DynamicPController"]
+
+
+@dataclass
+class DeploymentConfig:
+    """Parameters of a simulated deployment."""
+
+    models: Sequence[ServerModel] = field(default_factory=hen_testbed)
+    p: int = 5
+    n_rings: int = 1
+    dataset_size: float = 5_000_000.0  # metadata items across the system
+    in_memory: bool = True
+    seed: int = 1
+    frontend: FrontEndConfig = field(default_factory=FrontEndConfig)
+    network: NetworkModel | None = None
+    #: detection latency for sudden failures (front-end timers, Section 4.8).
+    failure_timeout: float = 0.25
+    #: average per-sub-query fixed overhead if not taken from the model.
+    fixed_overhead: float | None = None
+    #: keep real object replicas on nodes (needed for harvest verification;
+    #: costs memory, so large-scale runs leave it off).
+    store_objects: bool = False
+    n_objects_stored: int = 2000
+    #: object update cost in seconds of server time per replica.
+    update_cost: float = 0.002
+
+
+@dataclass
+class QueryBreakdown:
+    """Fig 7.11's delay decomposition for one query."""
+
+    scheduling: float  # real wall-clock spent in the scheduler
+    network: float  # rtt components
+    queueing: float  # max sub-query wait behind prior work
+    service: float  # max sub-query execution time
+    total: float
+
+
+class Deployment:
+    """One running system: rings + servers + front-end + coordinator."""
+
+    def __init__(self, config: DeploymentConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        models = list(config.models)
+        speeds = [m.speed(config.in_memory) for m in models]
+        self.membership = MembershipServer.build_balanced(
+            speeds, n_rings=config.n_rings, rng=self.rng
+        )
+        self.rings = self.membership.rings
+        self.model_of: dict[str, str] = {}
+        self.servers: dict[str, SimServer] = {}
+        fixed = config.fixed_overhead
+        for ring in self.rings:
+            for node in ring:
+                idx = int(node.name.split("-")[-1])
+                model = models[idx]
+                server = make_sim_server(node.name, model, config.in_memory)
+                if fixed is not None:
+                    server.fixed_overhead = fixed
+                self.servers[node.name] = server
+                self.model_of[node.name] = model.name
+
+        fe_config = config.frontend
+        if fixed is not None:
+            fe_config.fixed_overhead = fixed
+        else:
+            fe_config.fixed_overhead = sum(m.fixed_overhead for m in models) / len(models)
+        self.frontend = FrontEnd(
+            self.rings, config.dataset_size, fe_config, rng=self.rng
+        )
+        self.network = config.network or NetworkModel.data_center(config.seed)
+        self.ledger = TrafficLedger()
+        self.log = DelayLog()
+        self.breakdowns: list[QueryBreakdown] = []
+        self.scheduling_wallclock = 0.0
+
+        # Optional real object stores (harvest verification).
+        self.stores: dict[str, RoarNode] = {}
+        self.reconfig: Reconfigurator | None = None
+        if config.store_objects:
+            objects = generate_objects(
+                config.n_objects_stored, random.Random(config.seed + 7)
+            )
+            primary = self.rings[0]
+            self.stores = {n.name: RoarNode(n) for n in primary}
+            self.reconfig = Reconfigurator(primary, self.stores, objects, config.p)
+            self.reconfig.initial_load()
+
+        #: known-dead bookkeeping: name -> time the front-end learned of it.
+        self._known_dead: dict[str, float] = {}
+
+    # -- basic facts ------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return sum(len(r) for r in self.rings)
+
+    @property
+    def p_store(self) -> float:
+        if self.reconfig is not None:
+            return self.reconfig.p_store
+        return float(self.config.p)
+
+    def total_speed(self) -> float:
+        return sum(s.speed for s in self.servers.values() if not s.failed)
+
+    # -- failure injection --------------------------------------------------------
+    def fail_node(self, name: str, now: float) -> None:
+        """Sudden fail-stop at *now*; detected after ``failure_timeout``."""
+        self.servers[name].fail()
+        self._known_dead[name] = now + self.config.failure_timeout
+        for ring in self.rings:
+            try:
+                node = ring.get(name)
+            except KeyError:
+                continue
+            node.alive = False  # routing layer flag; scheduler still sweeps it
+
+    def _is_known_dead(self, name: str, now: float) -> bool:
+        t = self._known_dead.get(name)
+        return t is not None and now >= t
+
+    # -- queries -------------------------------------------------------------------
+    def run_query(self, now: float, pq: int | None = None) -> QueryRecord:
+        """Execute one query end-to-end; returns its timing record."""
+        pq = pq or self.config.p
+        p_store = self.p_store
+        if pq < p_store - 1e-9:
+            raise ValueError(
+                f"pq={pq} below stored partitioning level {p_store}; "
+                "reconfigure first (Section 4.5)"
+            )
+        # Sync the front-end's outstanding-work view with reality before
+        # scheduling (its per-node busy_until predictions are what the
+        # estimator consumes).
+        for ring in self.rings:
+            for node in ring:
+                self.frontend.stats_for(node).busy_until = self.servers[
+                    node.name
+                ].busy_until
+
+        sched_start = time.perf_counter()
+        qid, plan, _ = self.frontend.schedule_query(now, pq, p_store)
+        sched_wall = time.perf_counter() - sched_start
+        self.scheduling_wallclock += sched_wall
+        self.frontend.reserve(plan, now)
+
+        subs = plan.to_subqueries(qid)
+        self.ledger.record_query(len(subs))
+        finish = now
+        max_wait = 0.0
+        max_service = 0.0
+        rtt = self.network.sample_rtt()
+        pieces: list[tuple[SubQuery, RingNode, float]] = []  # (sub, node, submit time)
+        for sub, planned in zip(subs, plan.subs):
+            pieces.append((sub, planned.node, now))
+
+        while pieces:
+            sub, node, submit_at = pieces.pop()
+            server = self.servers[node.name]
+            if server.failed:
+                detect_at = max(submit_at, self._known_dead.get(node.name, submit_at))
+                replacements = self.frontend.resolve_failures([sub], p_store)
+                self.ledger.record_query(len(replacements))
+                for rep_sub, rep_node in replacements:
+                    pieces.append((rep_sub, rep_node, detect_at))
+                continue
+            work = sub.work_fraction() * self.config.dataset_size
+            wait = server.queue_backlog(submit_at)
+            f = server.submit(submit_at + rtt / 2.0, work, query_id=qid)
+            service = server.service_time(work)
+            self.frontend.observe_completion(node, work, service, f)
+            max_wait = max(max_wait, wait)
+            max_service = max(max_service, service)
+            finish = max(finish, f + rtt / 2.0)
+            self.ledger.record_result(1)
+
+        total = finish - now + sched_wall
+        record = QueryRecord(
+            query_id=qid,
+            arrival=now,
+            finish=now + total,
+            pq=pq,
+            subqueries=len(subs),
+            scheduling_delay=sched_wall,
+        )
+        self.log.add(record)
+        self.breakdowns.append(
+            QueryBreakdown(
+                scheduling=sched_wall,
+                network=rtt,
+                queueing=max_wait,
+                service=max_service,
+                total=total,
+            )
+        )
+        return record
+
+    def run_queries(
+        self,
+        arrival_times: Sequence[float],
+        pq_fn: Callable[[float], int] | int | None = None,
+    ) -> DelayLog:
+        """Run a whole arrival trace; *pq_fn* may vary pq over time."""
+        for t in arrival_times:
+            if callable(pq_fn):
+                pq = pq_fn(t)
+            else:
+                pq = pq_fn
+            self.run_query(t, pq)
+        return self.log
+
+    # -- updates (Fig 7.4) ------------------------------------------------------------
+    def apply_update(self, now: float) -> None:
+        """One object update: every replica holder pays the update cost.
+
+        With replication level ``r = n/p`` an update lands on ~r servers; we
+        model it as r fixed-cost tasks on the nodes covering a random
+        replication arc.
+        """
+        r = max(1, round(self.n / self.p_store))
+        primary = self.rings[0]
+        start = self.rng.random()
+        nodes = primary.alive_nodes()
+        if not nodes:
+            return
+        # the r nodes clockwise from the random point
+        ordered = sorted(nodes, key=lambda nd: (nd.start - start) % 1.0)
+        cost_items = self.config.update_cost  # seconds of server time
+        for node in ordered[:r]:
+            server = self.servers[node.name]
+            if not server.failed:
+                server.submit(now, cost_items * server.speed)
+        self.ledger.record_update(r)
+
+    # -- reporting ------------------------------------------------------------------
+    def mean_cpu_load(self, elapsed: float) -> float:
+        loads = [s.utilisation(elapsed) for s in self.servers.values()]
+        return sum(loads) / len(loads)
+
+    def per_node_load(self, elapsed: float) -> dict[str, float]:
+        return {name: s.utilisation(elapsed) for name, s in self.servers.items()}
+
+    def energy(self, elapsed: float) -> EnergyReport:
+        return measure_energy(
+            self.servers.values(), elapsed, model_of=self.model_of
+        )
+
+    def reset_measurements(self) -> None:
+        for server in self.servers.values():
+            server.reset()
+        self.log = DelayLog()
+        self.breakdowns = []
+        self.ledger = TrafficLedger()
+        self.scheduling_wallclock = 0.0
+
+
+class DynamicPController:
+    """Tracks a delay target by adjusting pq (and p via reconfiguration).
+
+    The Fig 7.5 behaviour: when the rolling mean delay exceeds the target,
+    raise pq (more parallelism, immediately safe); when delay is comfortably
+    below target, lower pq toward the stored level -- and if the floor is
+    the binding constraint, ask the reconfigurator to *decrease* p (grow
+    replicas) so a lower pq becomes safe once downloads finish.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        target_delay: float,
+        window: int = 25,
+        headroom: float = 0.6,
+        pq_min: int = 2,
+        pq_max: int | None = None,
+    ) -> None:
+        self.deployment = deployment
+        self.target = target_delay
+        self.window = window
+        self.headroom = headroom
+        self.pq_min = pq_min
+        self.pq_max = pq_max or deployment.n
+        self.pq = max(int(math.ceil(deployment.p_store)), pq_min)
+        self.history: list[tuple[float, int, float]] = []  # (time, pq, mean delay)
+
+    def rolling_mean_delay(self) -> float:
+        records = self.deployment.log.records[-self.window :]
+        if not records:
+            return 0.0
+        return sum(r.delay for r in records) / len(records)
+
+    def step(self, now: float) -> int:
+        """Re-evaluate pq after recent queries; returns the pq to use."""
+        mean = self.rolling_mean_delay()
+        floor = int(math.ceil(self.deployment.p_store - 1e-9))
+        if mean > self.target and self.pq < self.pq_max:
+            self.pq = min(self.pq_max, max(self.pq + 1, int(self.pq * 1.25)))
+        elif mean < self.headroom * self.target and self.pq > max(floor, self.pq_min):
+            self.pq = max(floor, self.pq_min, self.pq - 1)
+        self.pq = max(self.pq, floor)
+        self.history.append((now, self.pq, mean))
+        return self.pq

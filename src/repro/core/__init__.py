@@ -1,0 +1,74 @@
+"""ROAR core: the paper's primary contribution.
+
+Public surface of the ring algorithm: ID-space arithmetic, the ring and its
+nodes, query scheduling, failure handling, reconfiguration, load balancing,
+and membership management.
+"""
+
+from .adjust import PlannedSub, QueryPlan, adjust_ranges, plan_from_schedule, split_slowest
+from .balance import BalanceConfig, LoadBalancer, load_imbalance
+from .failures import FailureCoverageError, replacement_subqueries, split_failed
+from .frontend import FrontEnd, FrontEndConfig, NodeStats
+from .ids import Arc, ccw_distance, cw_distance, frac, in_arc
+from .membership import MembershipServer
+from .multiring import choices_multiring, choices_ptn, choices_sw, store_on_rings
+from .node import RoarNode, SubQuery, dedup_matches
+from .objects import DataObject, ObjectCollection, generate_objects, replication_range
+from .reconfig import ReconfigPhase, ReconfigStatus, Reconfigurator
+from .ring import Ring, RingNode
+from .updates import PropagationReport, RackLayout, propagate_many, propagate_update
+from .scheduler import (
+    ScheduleResult,
+    assignment_at,
+    schedule_heap,
+    schedule_naive,
+    schedule_random,
+)
+
+__all__ = [
+    "Arc",
+    "BalanceConfig",
+    "DataObject",
+    "FailureCoverageError",
+    "FrontEnd",
+    "FrontEndConfig",
+    "LoadBalancer",
+    "MembershipServer",
+    "NodeStats",
+    "ObjectCollection",
+    "PlannedSub",
+    "PropagationReport",
+    "QueryPlan",
+    "RackLayout",
+    "propagate_many",
+    "propagate_update",
+    "ReconfigPhase",
+    "ReconfigStatus",
+    "Reconfigurator",
+    "Ring",
+    "RingNode",
+    "RoarNode",
+    "ScheduleResult",
+    "SubQuery",
+    "adjust_ranges",
+    "assignment_at",
+    "ccw_distance",
+    "choices_multiring",
+    "choices_ptn",
+    "choices_sw",
+    "cw_distance",
+    "dedup_matches",
+    "frac",
+    "generate_objects",
+    "in_arc",
+    "load_imbalance",
+    "plan_from_schedule",
+    "replacement_subqueries",
+    "replication_range",
+    "schedule_heap",
+    "schedule_naive",
+    "schedule_random",
+    "split_failed",
+    "split_slowest",
+    "store_on_rings",
+]

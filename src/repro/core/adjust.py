@@ -1,0 +1,298 @@
+"""Scheduling optimisations: range adjustment and sub-query splitting.
+
+Section 4.8.2 describes two ways the front-end can shave the makespan after
+the basic rotation sweep has chosen a starting point:
+
+* **Range adjustment** -- because ROAR over-replicates slightly (object
+  replication arcs overhang node boundaries), the matching window boundary
+  between two consecutive sub-queries can be slid a little in either
+  direction without losing coverage.  The front-end takes work away from the
+  sub-query predicted to finish last and gives it to its neighbours, aiming
+  to equalise finish times.  Constraints (Fig 4.6):
+
+  - moving a boundary *left* (growing sub-query i at the expense of i-1)
+    requires the new boundary ``B`` to satisfy ``B + 1/p_store`` inside node
+    i's range, so the extra objects are actually stored there;
+  - moving it *right* (growing sub-query i-1) requires ``B`` to stay within
+    node i-1's range end, for the same reason.
+
+* **Sub-query splitting** -- the slowest sub-query's window is cut in two
+  and the pieces re-placed on the fastest servers able to serve them (any
+  server whose range intersects ``[window_end, window_start + 1/p_store)``
+  stores the whole piece).  Splitting adds per-sub-query fixed overheads, so
+  the paper recommends at most one or two splits; the ablation benches
+  measure exactly that.
+
+Both optimisations operate on a :class:`QueryPlan`, an explicit list of
+matching windows that tile the circle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from .ids import EPS, Arc, cw_distance, frac
+from .node import SubQuery
+from .ring import Ring, RingNode
+from .scheduler import Estimator, ScheduleResult
+
+__all__ = ["PlannedSub", "QueryPlan", "plan_from_schedule", "adjust_ranges", "split_slowest"]
+
+
+@dataclass
+class PlannedSub:
+    """One sub-query of a plan: a matching window plus its assigned node.
+
+    The window is the half-open-from-the-left interval
+    ``(window_start, window_end]``; ``dest`` is the ring point the sub-query
+    is addressed to (the assigned node must own it).
+    """
+
+    node: RingNode
+    dest: float
+    window_start: float
+    window_end: float
+    finish: float = 0.0
+
+    @property
+    def width(self) -> float:
+        return cw_distance(self.window_start, self.window_end)
+
+    def to_subquery(self, query_id: int, index: int) -> SubQuery:
+        return SubQuery(
+            query_id=query_id,
+            dest=self.dest,
+            dedup_origin=self.window_end,
+            dedup_width=self.width,
+            local_width=max(self.width, cw_distance(self.window_start, self.dest)),
+            index=index,
+        )
+
+
+@dataclass
+class QueryPlan:
+    """A complete query: sub-query windows tiling the circle."""
+
+    subs: list[PlannedSub]
+    start_id: float = 0.0
+
+    @property
+    def makespan(self) -> float:
+        return max(s.finish for s in self.subs) if self.subs else 0.0
+
+    def total_width(self) -> float:
+        return sum(s.width for s in self.subs)
+
+    def to_subqueries(self, query_id: int) -> list[SubQuery]:
+        return [s.to_subquery(query_id, i) for i, s in enumerate(self.subs)]
+
+
+def plan_from_schedule(result: ScheduleResult, estimator: Estimator) -> QueryPlan:
+    """Convert a scheduler result into an explicit window plan.
+
+    Sub-query ``i`` at point ``q_i = start + i/p`` matches
+    ``(q_{i-1}, q_i]``.
+    """
+    p = result.p
+    subs = []
+    for i in range(p):
+        q_i = frac(result.start_id + i / p)
+        q_prev = frac(result.start_id + (i - 1) / p)
+        subs.append(
+            PlannedSub(
+                node=result.assignment[i],
+                dest=q_i,
+                window_start=q_prev,
+                window_end=q_i,
+                finish=result.finishes[i],
+            )
+        )
+    return QueryPlan(subs=subs, start_id=result.start_id)
+
+
+def _ring_of(rings: "Ring | Sequence[Ring]", node: RingNode) -> Ring:
+    """The ring a node belongs to (multi-ring plans mix nodes)."""
+    if isinstance(rings, Ring):
+        return rings
+    ring_list = list(rings)
+    if 0 <= node.ring_id < len(ring_list):
+        return ring_list[node.ring_id]
+    return ring_list[0]
+
+
+def _range_end(rings: "Ring | Sequence[Ring]", node: RingNode) -> float:
+    return _ring_of(rings, node).range_of(node).end
+
+
+def adjust_ranges(
+    plan: QueryPlan,
+    ring: "Ring | Sequence[Ring]",
+    estimator: Estimator,
+    p_store: float,
+    rounds: int = 2,
+) -> QueryPlan:
+    """Slide window boundaries to take work away from the slowest sub-query.
+
+    Runs a few cheap passes: each pass finds the sub-query with the largest
+    predicted finish and moves each of its two boundaries toward the point
+    that equalises its finish with the adjacent sub-query, clipped to the
+    coverage constraints.  Near-constant time per pass (the paper's claim),
+    most effective at low replication levels where node ranges are
+    comparable to sub-query sizes.
+    """
+    if len(plan.subs) < 2:
+        return plan
+    repl_width = 1.0 / float(p_store)
+
+    for _ in range(rounds):
+        slow_i = max(range(len(plan.subs)), key=lambda i: plan.subs[i].finish)
+        slow = plan.subs[slow_i]
+        prev_i = (slow_i - 1) % len(plan.subs)
+        next_i = (slow_i + 1) % len(plan.subs)
+        moved = False
+
+        # --- shed the *early* part of the window to the previous sub-query:
+        # move slow's window_start (their shared boundary) clockwise.
+        prev = plan.subs[prev_i]
+        if prev is not slow and prev.finish < slow.finish:
+            # Equalise: prev gains dx of window, slow loses dx.
+            dx = _equalising_shift(prev, slow, estimator)
+            # Constraint: boundary must stay within prev node's range end so
+            # the shifted objects are stored on prev's node.
+            limit_node = cw_distance(slow.window_start, _range_end(ring, prev.node))
+            limit_win = slow.width - EPS
+            dx = max(0.0, min(dx, limit_node, limit_win))
+            if dx > EPS:
+                boundary = frac(slow.window_start + dx)
+                plan.subs[prev_i] = _with_window(prev, prev.window_start, boundary, estimator)
+                plan.subs[slow_i] = _with_window(slow, boundary, slow.window_end, estimator)
+                slow = plan.subs[slow_i]
+                moved = True
+
+        # --- shed the *late* part to the next sub-query: move slow's
+        # window_end counter-clockwise (next's window_start moves back).
+        nxt = plan.subs[next_i]
+        if nxt is not slow and nxt.finish < slow.finish and next_i != prev_i:
+            dx = _equalising_shift(nxt, slow, estimator)
+            # Constraint: new boundary B must satisfy B + 1/p_store beyond
+            # next node's range start, i.e. B within 1/p_store behind it.
+            next_start = plan.subs[next_i].node.start
+            reach_back = repl_width - cw_distance(
+                frac(slow.window_end), next_start
+            )
+            limit_node = max(0.0, reach_back)
+            limit_win = slow.width - EPS
+            dx = max(0.0, min(dx, limit_node, limit_win))
+            if dx > EPS:
+                boundary = frac(slow.window_end - dx)
+                plan.subs[slow_i] = _with_window(slow, slow.window_start, boundary, estimator)
+                plan.subs[next_i] = _with_window(nxt, boundary, nxt.window_end, estimator)
+                moved = True
+
+        if not moved:
+            break
+    return plan
+
+
+def _with_window(
+    sub: PlannedSub, start: float, end: float, estimator: Estimator
+) -> PlannedSub:
+    new = replace(sub, window_start=frac(start), window_end=frac(end))
+    new.finish = estimator(new.node, new.width)
+    return new
+
+
+def _equalising_shift(
+    fast: PlannedSub, slow: PlannedSub, estimator: Estimator
+) -> float:
+    """Window width to move from *slow* to *fast* to equalise finishes.
+
+    Uses two probe evaluations to linearise each node's finish-vs-width
+    curve, then solves for the balancing shift.
+    """
+    probe = max(slow.width * 0.125, 1e-6)
+    slope_slow = (
+        estimator(slow.node, slow.width) - estimator(slow.node, max(slow.width - probe, 0.0))
+    ) / probe
+    slope_fast = (
+        estimator(fast.node, fast.width + probe) - estimator(fast.node, fast.width)
+    ) / probe
+    gap = slow.finish - fast.finish
+    denom = slope_slow + slope_fast
+    if denom <= 0:
+        return 0.0
+    return gap / denom
+
+
+def split_slowest(
+    plan: QueryPlan,
+    ring: "Ring | Sequence[Ring]",
+    estimator: Estimator,
+    p_store: float,
+    max_splits: int = 1,
+    min_gain: float = 0.0,
+) -> QueryPlan:
+    """Split the slowest sub-query's window and re-place the upper half.
+
+    Repeats up to *max_splits* times, always targeting the currently slowest
+    sub-query.  A split is kept only if it improves the predicted makespan
+    by more than *min_gain* (fixed per-sub-query overheads are already baked
+    into the estimator, so the trade-off is visible to this test).
+    """
+    repl_width = 1.0 / float(p_store)
+    ring_list = [ring] if isinstance(ring, Ring) else list(ring)
+    for _ in range(max_splits):
+        slow_i = max(range(len(plan.subs)), key=lambda i: plan.subs[i].finish)
+        slow = plan.subs[slow_i]
+        if slow.width <= EPS:
+            break
+        mid = frac(slow.window_start + slow.width / 2.0)
+        # Candidate delivery points for the upper half (mid, window_end]:
+        # any node owning a point of [window_end, mid + 1/p_store) stores it.
+        candidate_arc = Arc(
+            slow.window_end,
+            max(0.0, repl_width - cw_distance(mid, slow.window_end)),
+        )
+        best_node = None
+        best_finish = float("inf")
+        half_width = slow.width / 2.0
+        for candidate_ring in ring_list:
+            for node in candidate_ring.nodes_covering(candidate_arc):
+                if not node.alive:
+                    continue
+                fin = estimator(node, half_width)
+                if fin < best_finish:
+                    best_finish = fin
+                    best_node = node
+        if best_node is None:
+            break
+        lower = _with_window(slow, slow.window_start, mid, estimator)
+        dest = slow.window_end if best_node is slow.node else _dest_in(
+            _ring_of(ring_list, best_node), best_node, candidate_arc
+        )
+        upper = PlannedSub(
+            node=best_node,
+            dest=dest,
+            window_start=mid,
+            window_end=slow.window_end,
+            finish=best_finish,
+        )
+        old_makespan = plan.makespan
+        trial = QueryPlan(
+            subs=plan.subs[:slow_i] + [lower, upper] + plan.subs[slow_i + 1 :],
+            start_id=plan.start_id,
+        )
+        if trial.makespan < old_makespan - min_gain:
+            plan = trial
+        else:
+            break
+    return plan
+
+
+def _dest_in(ring: Ring, node: RingNode, arc: Arc) -> float:
+    """A ring point inside *arc* owned by *node* (its range ∩ arc)."""
+    node_range = ring.range_of(node)
+    if arc.contains(node_range.start):
+        return node_range.start
+    return arc.start

@@ -1,0 +1,133 @@
+"""Load balancing with proportional ranges (Section 4.6, Fig 7.9/7.10).
+
+A node's mean query load is proportional to the fraction of the ring it is
+responsible for, so ROAR balances *utilisation* (not range size) by letting
+each node slowly grow its range into that of a more-loaded neighbour.  The
+goal state is ranges proportional to processing power.
+
+The implementation mirrors the deployed behaviour:
+
+* load proxy: the membership layer uses ``range / speed`` (range per unit of
+  processing power) rather than instantaneous measurements, which are skewed
+  by the front-end's preference for fast servers (Section 4.9);
+* hysteresis: pairs stop balancing when their loads differ by less than a
+  threshold (10% in the paper's implementation) to avoid object churn;
+* per-round step limit: boundaries move a bounded fraction of the smaller
+  range per round -- the "slow background process".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .ids import cw_distance, frac
+from .ring import Ring, RingNode
+
+__all__ = ["BalanceConfig", "LoadBalancer", "load_imbalance"]
+
+
+def load_imbalance(loads: list[float]) -> float:
+    """Definition 3: max load over mean load (1 = perfect, n = worst)."""
+    if not loads:
+        return 1.0
+    mean = sum(loads) / len(loads)
+    if mean <= 0:
+        return 1.0
+    return max(loads) / mean
+
+
+@dataclass
+class BalanceConfig:
+    #: relative load difference below which a pair stops balancing.
+    threshold: float = 0.10
+    #: max fraction of the smaller involved range a boundary moves per round.
+    max_step: float = 0.25
+
+
+class LoadBalancer:
+    """Background pairwise range balancing over one ring."""
+
+    def __init__(
+        self,
+        ring: Ring,
+        config: BalanceConfig | None = None,
+        load_fn: Callable[[RingNode, float], float] | None = None,
+    ) -> None:
+        self.ring = ring
+        self.config = config or BalanceConfig()
+        #: load proxy: default range/speed (membership-server style); tests
+        #: may supply measured loads instead.
+        self._load_fn = load_fn or (lambda node, rng_len: rng_len / node.speed)
+        #: nodes with administratively fixed ranges (membership "Fixed" flag).
+        self.fixed: set[str] = set()
+
+    def load_of(self, node: RingNode) -> float:
+        return self._load_fn(node, self.ring.range_of(node).length)
+
+    def step(self) -> int:
+        """One balancing round over all adjacent pairs.
+
+        Each pair (node, successor) compares loads; the less-loaded node
+        grows its range into the more-loaded one by moving the shared
+        boundary.  Returns the number of boundaries moved.
+        """
+        nodes = self.ring.alive_nodes()
+        if len(nodes) < 2:
+            return 0
+        moved = 0
+        for node in list(nodes):
+            if not node.alive:
+                continue
+            succ = self.ring.successor(node)
+            if succ is node or not succ.alive:
+                continue
+            if node.name in self.fixed or succ.name in self.fixed:
+                continue
+            if self._balance_pair(node, succ):
+                moved += 1
+        return moved
+
+    def _balance_pair(self, node: RingNode, succ: RingNode) -> bool:
+        """Move the boundary between *node* and *succ* if loads warrant it.
+
+        The shared boundary is ``succ.start``: moving it clockwise grows
+        *node*'s range (sheds load from succ... onto node); moving it
+        counter-clockwise grows *succ*'s range.
+        """
+        load_a = self.load_of(node)
+        load_b = self.load_of(succ)
+        hi = max(load_a, load_b)
+        if hi <= 0:
+            return False
+        if abs(load_a - load_b) / hi < self.config.threshold:
+            return False
+
+        range_a = self.ring.range_of(node)
+        range_b = self.ring.range_of(succ)
+        # Damped step proportional to the load gap: the more loaded side
+        # sheds range.  Works for any load proxy (range/speed by default,
+        # measured loads when supplied).
+        gap = (load_b - load_a) / (load_a + load_b)
+        limit = self.config.max_step * min(range_a.length, range_b.length)
+        delta = gap * limit  # positive: grow node's range into succ's
+        if abs(delta) < 1e-12:
+            return False
+        new_boundary = frac(node.start + range_a.length + delta)
+        try:
+            self.ring.move_start(succ, new_boundary)
+        except ValueError:
+            return False
+        return True
+
+    def run_until_stable(self, max_rounds: int = 1000) -> int:
+        """Iterate rounds until no boundary moves; returns rounds used."""
+        for round_no in range(1, max_rounds + 1):
+            if self.step() == 0:
+                return round_no
+        return max_rounds
+
+    def imbalance(self) -> float:
+        """Current utilisation imbalance across alive nodes."""
+        nodes = self.ring.alive_nodes()
+        return load_imbalance([self.load_of(n) for n in nodes])

@@ -1,0 +1,164 @@
+"""Failure fall-back: re-covering a failed node's sub-query (Section 4.4).
+
+When a sub-query's target node has failed, ROAR does *not* shift the query's
+starting point (that would concentrate load); instead it splits the failed
+sub-query in two and sends the halves to nodes before and after the failed
+range:
+
+1. ``fail_lo`` / ``fail_hi`` bound the failed node's range.
+2. Pick ``idq1`` uniformly in ``(fail_hi - (1/p - delta), fail_lo)``.
+3. Set ``idq2 = idq1 + (1/p - delta)``.
+4. The original matching window ``(w_start, w_end]`` is split at ``idq1``:
+   the piece ``(w_start, idq1]`` is delivered at ``idq1`` and the piece
+   ``(idq1, w_end]`` at ``idq2``.  The pieces are explicit disjoint windows,
+   so they produce no duplicates -- with each other, or with the query's
+   other sub-queries -- and each stays within ``1/p`` behind its delivery
+   point, so the receiving nodes are guaranteed to store it.
+
+Because each piece again satisfies the *window within 1/p of delivery point*
+invariant, the construction recurses cleanly when a replacement itself lands
+on a dead node (possible under mass failures); ``split_failed`` performs
+that recursion with a depth limit.
+
+``delta`` captures uncertainty in ``1/p`` during reconfigurations: it is
+chosen so ``1/p - delta < 1/p_old`` for all recently used storage levels.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .ids import EPS, cw_distance, frac
+from .node import SubQuery
+from .ring import Ring, RingNode
+
+__all__ = ["FailureCoverageError", "replacement_subqueries", "split_failed"]
+
+#: maximum recursive splits per sub-query before giving up (mass failure).
+MAX_DEPTH = 12
+
+
+class FailureCoverageError(RuntimeError):
+    """Raised when no valid replacement placement exists.
+
+    This happens when the failed node's range is wider than ``1/p - delta``
+    (effectively a single replica per object in that region) or when
+    recursive splitting exhausts its depth limit under mass failures -- the
+    data is genuinely unavailable until re-replication.
+    """
+
+
+def replacement_subqueries(
+    ring: Ring,
+    failed: RingNode,
+    original: SubQuery,
+    p_store: float,
+    delta: float = 0.0,
+    rng: random.Random | None = None,
+    max_attempts: int = 32,
+) -> list[SubQuery]:
+    """Build the replacement sub-queries for *original* sent to *failed*.
+
+    *p_store* is the partitioning level objects are currently replicated at
+    (replication arcs of length ``1/p_store``).  Returns one or two windowed
+    sub-queries that exactly partition the original matching window; when
+    the split point falls before the window there is nothing for the first
+    piece to do and a single replacement is returned.
+
+    Placements whose owners are alive are preferred (retrying, as the paper
+    specifies); if none are found within *max_attempts* the last candidate
+    is returned anyway and the caller recurses on the dead pieces.
+    """
+    rng = rng or random.Random()
+    width = 1.0 / float(p_store) - delta
+    fail_range = ring.range_of(failed)
+    fail_lo = fail_range.start
+    fail_hi = fail_range.end  # exclusive upper bound of the failed range
+
+    # Valid placements for idq1: (fail_hi - width, fail_lo).
+    span = width - fail_range.length
+    if span <= EPS:
+        raise FailureCoverageError(
+            f"failed range {fail_range.length:.4f} exceeds replacement "
+            f"width {width:.4f}; objects unavailable until re-replication"
+        )
+
+    lower = frac(fail_hi - width)
+    idq1 = idq2 = None
+    for _ in range(max_attempts):
+        idq1 = frac(lower + EPS + rng.random() * (span - 2 * EPS))
+        idq2 = frac(idq1 + width)
+        if ring.node_in_charge(idq1).alive and ring.node_in_charge(idq2).alive:
+            break
+    assert idq1 is not None and idq2 is not None
+
+    w_end = original.dedup_origin
+    w_width = original.dedup_width
+    w_start = frac(w_end - w_width)
+
+    # Split the window at idq1.  If idq1 precedes the window entirely the
+    # first piece is empty and one replacement carries the whole window.
+    first_width = cw_distance(w_start, idq1)
+    pieces: list[SubQuery] = []
+    if EPS < first_width < w_width - EPS:
+        pieces.append(
+            SubQuery(
+                query_id=original.query_id,
+                dest=idq1,
+                dedup_origin=idq1,
+                dedup_width=first_width,
+                local_width=width,
+                index=original.index,
+            )
+        )
+        second_width = cw_distance(idq1, w_end)
+    else:
+        second_width = w_width
+    pieces.append(
+        SubQuery(
+            query_id=original.query_id,
+            dest=idq2,
+            dedup_origin=w_end,
+            dedup_width=second_width,
+            local_width=width,
+            index=original.index,
+        )
+    )
+    return pieces
+
+
+def split_failed(
+    ring: Ring,
+    subqueries: list[SubQuery],
+    p_store: float,
+    delta: float = 0.0,
+    rng: random.Random | None = None,
+) -> list[tuple[SubQuery, RingNode]]:
+    """Resolve a sub-query list against the ring, replacing failed targets.
+
+    Returns ``(sub_query, target_node)`` pairs where every target is alive.
+    Sub-queries whose owner is alive pass through unchanged; ones addressed
+    to failed nodes are split via :func:`replacement_subqueries`, recursing
+    (depth-limited) when replacements also land on dead nodes.
+    """
+    rng = rng or random.Random()
+    out: list[tuple[SubQuery, RingNode]] = []
+
+    def resolve(sub: SubQuery, depth: int) -> None:
+        owner = ring.node_in_charge(sub.dest)
+        if owner.alive:
+            out.append((sub, owner))
+            return
+        if depth >= MAX_DEPTH:
+            raise FailureCoverageError(
+                f"could not re-cover sub-query at {sub.dest:.4f} within "
+                f"{MAX_DEPTH} recursive splits; too many failures"
+            )
+        for piece in replacement_subqueries(
+            ring, owner, sub, p_store, delta=delta, rng=rng
+        ):
+            resolve(piece, depth + 1)
+
+    for sub in subqueries:
+        resolve(sub, 0)
+    return out

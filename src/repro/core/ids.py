@@ -1,0 +1,196 @@
+"""Circular identifier-space arithmetic for the ROAR ring.
+
+ROAR (Chapter 4) places servers and objects on a *continuous* circular ID
+space.  Throughout this package the space is the half-open unit interval
+``[0, 1)`` with all arithmetic performed modulo 1.  This module provides the
+primitive operations every other core module builds on:
+
+* :func:`frac` -- canonicalise a point onto the circle,
+* :func:`cw_distance` -- clockwise distance between two points,
+* :class:`Arc` -- a half-open clockwise interval ``[start, start+length)``.
+
+Two conventions matter and are used consistently everywhere:
+
+1. Arcs are *half-open*: an arc of length ``L`` starting at ``s`` contains
+   ``s`` but not ``s + L``.  This makes node ranges an exact partition of the
+   circle and makes object/sub-query coverage proofs exact.
+2. An arc of length ``1`` (or more) is the whole circle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "EPS",
+    "frac",
+    "cw_distance",
+    "ccw_distance",
+    "in_arc",
+    "arcs_intersect",
+    "Arc",
+]
+
+#: Tolerance used when comparing ring positions derived from floating point
+#: arithmetic.  Positions are random in [0,1) so collisions at this scale are
+#: astronomically unlikely for realistic ring sizes.
+EPS = 1e-12
+
+
+def frac(x: float) -> float:
+    """Map *x* onto the canonical circle ``[0, 1)``.
+
+    >>> frac(1.25)
+    0.25
+    >>> frac(-0.25)
+    0.75
+    """
+    out = math.fmod(x, 1.0)
+    if out < 0.0:
+        out += 1.0
+    # fmod of values like -1e-18 can produce exactly 1.0 after the
+    # correction; fold it back onto 0.
+    if out >= 1.0:
+        out -= 1.0
+    return out
+
+
+def cw_distance(start: float, end: float) -> float:
+    """Clockwise (increasing-ID) distance travelling from *start* to *end*.
+
+    The result is in ``[0, 1)``; the distance from a point to itself is 0.
+
+    >>> cw_distance(0.9, 0.1)
+    0.2
+    """
+    return frac(end - start)
+
+
+def ccw_distance(start: float, end: float) -> float:
+    """Counter-clockwise distance from *start* to *end* (in ``[0, 1)``)."""
+    return frac(start - end)
+
+
+def in_arc(point: float, start: float, length: float) -> bool:
+    """Return True if *point* lies in the half-open arc ``[start, start+length)``.
+
+    A length >= 1 covers the whole circle.
+    """
+    if length <= 0.0:
+        return False
+    if length >= 1.0:
+        return True
+    return cw_distance(start, point) < length
+
+
+def arcs_intersect(start_a: float, len_a: float, start_b: float, len_b: float) -> bool:
+    """Return True if two half-open arcs share at least one point."""
+    if len_a <= 0.0 or len_b <= 0.0:
+        return False
+    if len_a >= 1.0 or len_b >= 1.0:
+        return True
+    # They intersect unless each one starts strictly after the other ends.
+    return (
+        cw_distance(start_a, start_b) < len_a
+        or cw_distance(start_b, start_a) < len_b
+    )
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A half-open clockwise interval ``[start, start + length)`` on the circle.
+
+    ``start`` is always stored canonicalised into ``[0, 1)``; ``length`` is
+    clamped to ``[0, 1]``.  A length of exactly 1 represents the full circle.
+    """
+
+    start: float
+    length: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", frac(self.start))
+        object.__setattr__(self, "length", min(max(self.length, 0.0), 1.0))
+
+    # -- basic geometry ---------------------------------------------------
+    @property
+    def end(self) -> float:
+        """The (exclusive) end point of the arc, canonicalised."""
+        if self.length >= 1.0:
+            return self.start
+        return frac(self.start + self.length)
+
+    @property
+    def is_full_circle(self) -> bool:
+        return self.length >= 1.0
+
+    @property
+    def is_empty(self) -> bool:
+        return self.length <= 0.0
+
+    def contains(self, point: float) -> bool:
+        """Half-open containment test."""
+        return in_arc(point, self.start, self.length)
+
+    def intersects(self, other: "Arc") -> bool:
+        return arcs_intersect(self.start, self.length, other.start, other.length)
+
+    def contains_arc(self, other: "Arc") -> bool:
+        """Return True if *other* is entirely inside this arc."""
+        if other.is_empty:
+            return True
+        if self.is_full_circle:
+            return True
+        if other.is_full_circle:
+            return False
+        offset = cw_distance(self.start, other.start)
+        return offset + other.length <= self.length + EPS
+
+    def intersection_length(self, other: "Arc") -> float:
+        """Length of the overlap between the two arcs.
+
+        For arcs shorter than the full circle the overlap is a single arc
+        (possibly empty); when one operand is the full circle the overlap is
+        the other arc.
+        """
+        if self.is_empty or other.is_empty:
+            return 0.0
+        if self.is_full_circle:
+            return other.length
+        if other.is_full_circle:
+            return self.length
+        total = 0.0
+        # Overlap may wrap and in degenerate cases consist of two pieces
+        # (when combined lengths approach 1); handle both candidate pieces.
+        for a, b in ((self, other), (other, self)):
+            off = cw_distance(a.start, b.start)
+            if off < a.length:
+                total += min(a.length - off, b.length)
+        # Cap at the shorter arc (guards double counting in the wrap case).
+        return min(total, self.length, other.length)
+
+    def expand(self, extra: float) -> "Arc":
+        """Return a copy grown clockwise by *extra* (same start)."""
+        return Arc(self.start, self.length + extra)
+
+    def shrink(self, less: float) -> "Arc":
+        """Return a copy shrunk clockwise by *less* (same start)."""
+        return Arc(self.start, max(self.length - less, 0.0))
+
+    def midpoint(self) -> float:
+        return frac(self.start + self.length / 2.0)
+
+    def split(self, at: float) -> tuple["Arc", "Arc"]:
+        """Split this arc at ring point *at* into two consecutive arcs.
+
+        *at* must lie inside the arc (or at its start, yielding an empty
+        first piece).
+        """
+        offset = cw_distance(self.start, at)
+        if offset > self.length + EPS:
+            raise ValueError(f"split point {at!r} outside arc {self!r}")
+        offset = min(offset, self.length)
+        return Arc(self.start, offset), Arc(at, self.length - offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Arc[{self.start:.6f} +{self.length:.6f})"

@@ -1,0 +1,110 @@
+"""Data objects stored in a distributed-rendezvous system.
+
+Definition 4 of the paper: an object is a collection of bytes with an
+identifier drawn uniformly at random from the object identifier space.  In
+ROAR the identifier space is the ring ``[0, 1)`` and each object is replicated
+over the arc ``[oid, oid + 1/p)`` (its *replication range*, Section 4.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from .ids import Arc, frac
+
+__all__ = ["DataObject", "replication_range", "generate_objects", "ObjectCollection"]
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """An object stored by the rendezvous layer.
+
+    Attributes:
+        oid: ring identifier in ``[0, 1)``, uniform at random.
+        key: application-level identifier (e.g. a filename); opaque here.
+        payload: application data matched by queries; opaque to ROAR.
+        size: nominal size in bytes, used by bandwidth accounting.
+    """
+
+    oid: float
+    key: str = ""
+    payload: Any = None
+    size: int = 500
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "oid", frac(self.oid))
+
+
+def replication_range(obj: DataObject, p: int | float) -> Arc:
+    """The arc over which *obj* must be replicated at partitioning level *p*.
+
+    Section 4.1: objects are stored on all servers whose range intersects the
+    arc of length ``1/p`` starting at the object's ID.
+    """
+    if p <= 0:
+        raise ValueError(f"partitioning level must be positive, got {p}")
+    return Arc(obj.oid, 1.0 / float(p))
+
+
+def generate_objects(
+    count: int,
+    rng: random.Random | None = None,
+    key_prefix: str = "obj",
+    size: int = 500,
+) -> list[DataObject]:
+    """Generate *count* objects with uniformly random ring IDs.
+
+    A seeded ``random.Random`` should be passed for reproducible experiments.
+    """
+    rng = rng or random.Random()
+    return [
+        DataObject(oid=rng.random(), key=f"{key_prefix}-{i}", size=size)
+        for i in range(count)
+    ]
+
+
+class ObjectCollection:
+    """A collection of objects ordered by ring ID.
+
+    Keeps objects sorted so that range scans (``objects whose replication
+    range intersects an arc``) are cheap; this mirrors the on-disk layout the
+    PPS implementation uses (Section 5.6.2).
+    """
+
+    def __init__(self, objects: Iterable[DataObject] = ()) -> None:
+        self._objects: list[DataObject] = sorted(objects, key=lambda o: o.oid)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[DataObject]:
+        return iter(self._objects)
+
+    def add(self, obj: DataObject) -> None:
+        """Insert keeping ID order (O(n); bulk loads should use extend)."""
+        import bisect
+
+        idx = bisect.bisect_left([o.oid for o in self._objects], obj.oid)
+        self._objects.insert(idx, obj)
+
+    def extend(self, objects: Iterable[DataObject]) -> None:
+        self._objects.extend(objects)
+        self._objects.sort(key=lambda o: o.oid)
+
+    def remove(self, obj: DataObject) -> None:
+        self._objects.remove(obj)
+
+    def in_arc(self, arc: Arc) -> list[DataObject]:
+        """All objects whose *ID* lies inside *arc*."""
+        return [o for o in self._objects if arc.contains(o.oid)]
+
+    def intersecting(self, arc: Arc, p: int | float) -> list[DataObject]:
+        """All objects whose replication range (at level *p*) intersects *arc*."""
+        return [
+            o for o in self._objects if replication_range(o, p).intersects(arc)
+        ]
+
+    def all(self) -> list[DataObject]:
+        return list(self._objects)

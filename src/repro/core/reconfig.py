@@ -1,0 +1,191 @@
+"""Online reconfiguration: changing the p/r trade-off (Section 4.5).
+
+ROAR's headline feature: the partitioning level can be changed while the
+system keeps serving queries, with the minimum possible data movement.
+
+* **Increasing p (decreasing r)** -- replication arcs shrink from ``1/p`` to
+  ``1/p'``.  Front-ends may switch to the new ``pq = p'`` *immediately* (it
+  is always safe to run queries with larger pq), and nodes drop surplus
+  replicas lazily in the background.
+* **Decreasing p (increasing r)** -- arcs grow; every node must download the
+  objects whose extended arc now reaches it.  For correctness, front-ends
+  keep partitioning queries ``p`` ways until *every* node confirms its
+  download is complete; only then do they switch to ``p'``.
+
+:class:`Reconfigurator` drives this state machine over a ring of
+:class:`~repro.core.node.RoarNode` stores and reports the bytes moved, which
+feeds the Table 6.2 / Fig 7.5 comparisons (SW/ROAR move the minimum:
+``D * (1/p' - 1/p)`` object-fractions; PTN moves far more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+from .ids import Arc
+from .node import RoarNode
+from .objects import DataObject, replication_range
+from .ring import Ring
+
+__all__ = ["ReconfigPhase", "ReconfigStatus", "Reconfigurator"]
+
+
+class ReconfigPhase(Enum):
+    STABLE = "stable"
+    GROWING_REPLICAS = "growing"  # p decreasing, waiting on downloads
+    SHRINKING_REPLICAS = "shrinking"  # p increasing, background drops
+
+
+@dataclass
+class ReconfigStatus:
+    phase: ReconfigPhase
+    p_store: float  # level replicas are guaranteed complete at
+    p_target: float
+    safe_pq: float  # minimum pq front-ends may use right now
+    pending_nodes: int
+    bytes_moved: int
+
+
+class Reconfigurator:
+    """Coordinates replication-level changes across a ring of stores."""
+
+    def __init__(
+        self,
+        ring: Ring,
+        stores: dict[str, RoarNode],
+        objects: Iterable[DataObject],
+        p_initial: float,
+    ) -> None:
+        self.ring = ring
+        self.stores = stores
+        self.objects = list(objects)
+        if p_initial <= 0:
+            raise ValueError("p must be positive")
+        #: level every node is guaranteed to have complete replicas for.
+        self.p_store = float(p_initial)
+        self.p_target = float(p_initial)
+        self.phase = ReconfigPhase.STABLE
+        self._pending: set[str] = set()
+        self.bytes_moved = 0
+        self.reconfigurations = 0
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def safe_pq(self) -> float:
+        """Minimum partitioning level front-ends may use right now.
+
+        While growing replicas (p decreasing) queries must still use the old
+        (larger) p; once stable or while shrinking, the target level is safe.
+        """
+        if self.phase == ReconfigPhase.GROWING_REPLICAS:
+            return self.p_store
+        return self.p_target
+
+    def status(self) -> ReconfigStatus:
+        return ReconfigStatus(
+            phase=self.phase,
+            p_store=self.p_store,
+            p_target=self.p_target,
+            safe_pq=self.safe_pq,
+            pending_nodes=len(self._pending),
+            bytes_moved=self.bytes_moved,
+        )
+
+    # -- initial load ---------------------------------------------------------
+    def initial_load(self) -> None:
+        """Load every store with its replicas at the current level."""
+        for node in self.ring:
+            store = self.stores[node.name]
+            node_range = self.ring.range_of(node)
+            self.bytes_moved += sum(
+                o.size
+                for o in self.objects
+                if store.should_store(o, self.p_store, node_range)
+            )
+            store.load_objects(self.objects, self.p_store, node_range)
+
+    # -- level changes ------------------------------------------------------------
+    def request_p(self, p_new: float) -> ReconfigStatus:
+        """Begin moving the system to partitioning level *p_new*."""
+        if p_new <= 0:
+            raise ValueError("p must be positive")
+        if self.phase != ReconfigPhase.STABLE:
+            raise RuntimeError(
+                f"reconfiguration already in progress ({self.phase.value})"
+            )
+        if p_new == self.p_target:
+            return self.status()
+        self.reconfigurations += 1
+        self.p_target = float(p_new)
+        if p_new > self.p_store:
+            # Arcs shrink: immediately safe, drops happen in background.
+            self.phase = ReconfigPhase.SHRINKING_REPLICAS
+            self._pending = {n.name for n in self.ring}
+        else:
+            # Arcs grow: all nodes must download before pq can drop.
+            self.phase = ReconfigPhase.GROWING_REPLICAS
+            self._pending = {n.name for n in self.ring}
+        return self.status()
+
+    def node_step(self, node_name: str) -> int:
+        """Perform one node's share of the in-flight reconfiguration.
+
+        Returns bytes transferred (downloads) or freed (drops) by this node.
+        In a real deployment this runs as a background task per node; the
+        simulation calls it per node with appropriate timing.
+        """
+        if node_name not in self._pending:
+            return 0
+        node = self.ring.get(node_name)
+        store = self.stores[node_name]
+        node_range = self.ring.range_of(node)
+        moved = 0
+        if self.phase == ReconfigPhase.GROWING_REPLICAS:
+            before = store.bytes_downloaded
+            store.load_objects(self.objects, self.p_target, node_range)
+            moved = store.bytes_downloaded - before
+            self.bytes_moved += moved
+        elif self.phase == ReconfigPhase.SHRINKING_REPLICAS:
+            before = store.bytes_dropped
+            store.drop_outside(self.p_target, node_range)
+            moved = store.bytes_dropped - before
+        self._pending.discard(node_name)
+        if not self._pending:
+            self._complete()
+        return moved
+
+    def run_all_steps(self) -> int:
+        """Drive the reconfiguration to completion synchronously."""
+        total = 0
+        for name in list(self._pending):
+            total += self.node_step(name)
+        return total
+
+    def _complete(self) -> None:
+        self.p_store = self.p_target
+        self.phase = ReconfigPhase.STABLE
+
+    # -- membership-driven reloads ----------------------------------------------
+    def load_node_range(self, node_name: str, new_range: Arc) -> int:
+        """Download the objects a (new or grown) node needs for *new_range*."""
+        store = self.stores[node_name]
+        before = store.bytes_downloaded
+        store.load_objects(self.objects, self.p_store, new_range)
+        moved = store.bytes_downloaded - before
+        self.bytes_moved += moved
+        return moved
+
+    def expected_transfer(self, p_new: float) -> int:
+        """Bytes ROAR must move for a stable p -> p_new change (lower bound).
+
+        Growing arcs by ``1/p_new - 1/p`` replicates each object over that
+        much more of the ring; shrinking moves nothing.
+        """
+        if p_new >= self.p_store:
+            return 0
+        extra = 1.0 / p_new - 1.0 / self.p_store
+        # Each object gains, on average, extra * n replicas.
+        n = len(self.ring)
+        return int(sum(o.size for o in self.objects) * extra * n)

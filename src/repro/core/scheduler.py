@@ -1,0 +1,300 @@
+"""Front-end query scheduling for ROAR (Section 4.8.1, Algorithm 1).
+
+For a ``p``-way query, ROAR must pick the *starting point* ``id`` on the ring
+that minimises the query's completion time; the other ``p - 1`` sub-query
+points are implied (equally spaced at ``1/p``).  Sweeping ``id`` over
+``[0, 1/p)`` visits every distinct server combination.
+
+Three schedulers are provided:
+
+* :func:`schedule_heap` -- the paper's Algorithm 1.  A sweep over rotation
+  events driven by a binary heap of "next boundary crossing" distances; each
+  of the ``n`` node boundaries is crossed exactly once, giving
+  ``O(n log p)`` total work.  Supports multiple rings (Section 4.8.1,
+  "Scheduling for Multiple Rings") by overlaying their boundaries and using
+  the fastest per-point candidate.
+* :func:`schedule_naive` -- the straw-man deterministic sweep that
+  recomputes all ``p`` finish estimates at every rotation event: ``O(n p)``.
+  Used to validate the heap sweep and for the Fig 7.12 cost comparison.
+* :func:`schedule_random` -- evaluate ``k`` random starting points and keep
+  the best; the "simplest algorithm" mentioned in the text.
+
+An *estimator* maps ``(node, work_fraction) -> predicted finish delay`` for a
+sub-query of the given size; schedulers treat it as a black box, so the same
+code drives both the analytic simulator and unit tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from .ids import EPS, cw_distance, frac
+from .ring import Ring, RingNode
+
+__all__ = [
+    "Estimator",
+    "ScheduleResult",
+    "schedule_heap",
+    "schedule_naive",
+    "schedule_random",
+    "assignment_at",
+]
+
+Estimator = Callable[[RingNode, float], float]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a scheduling decision.
+
+    Attributes:
+        start_id: chosen query starting point in ``[0, 1/p)``.
+        assignment: the node chosen for each of the ``p`` query points.
+        finishes: predicted finish delay for each sub-query.
+        makespan: predicted query delay (max of finishes).
+        iterations: rotation events examined (for complexity experiments).
+        estimates: number of estimator invocations.
+    """
+
+    start_id: float
+    assignment: list[RingNode]
+    finishes: list[float]
+    makespan: float
+    iterations: int = 0
+    estimates: int = 0
+
+    @property
+    def p(self) -> int:
+        return len(self.assignment)
+
+
+class _RingOwners:
+    """Owner-of-point lookups over one ring's nodes, in start order.
+
+    Includes dead nodes deliberately: Section 4.4 has the front-end ignore
+    failures when choosing the starting point and instead split sub-queries
+    addressed to failed nodes.  Collapsing a dead node's range into its
+    predecessor here would silently break object coverage.
+    """
+
+    def __init__(self, ring: Ring) -> None:
+        self.nodes = ring.nodes()
+        if not self.nodes:
+            raise LookupError("ring is empty")
+        self.starts = [n.start for n in self.nodes]
+
+    def owner_index(self, point: float) -> int:
+        import bisect
+
+        point = frac(point)
+        idx = bisect.bisect_right(self.starts, point) - 1
+        if idx < 0:
+            idx = len(self.nodes) - 1
+        return idx
+
+    def owner(self, point: float) -> RingNode:
+        return self.nodes[self.owner_index(point)]
+
+    def successor_index(self, idx: int) -> int:
+        return (idx + 1) % len(self.nodes)
+
+
+def assignment_at(
+    rings: Sequence[Ring],
+    p: int,
+    start_id: float,
+    estimator: Estimator,
+) -> tuple[list[RingNode], list[float]]:
+    """The per-point best (fastest-finishing) nodes for a given start id."""
+    owners = [_RingOwners(r) for r in rings]
+    assignment: list[RingNode] = []
+    finishes: list[float] = []
+    work = 1.0 / p
+    for i in range(p):
+        point = frac(start_id + i / p)
+        best_node = None
+        best_finish = float("inf")
+        for view in owners:
+            node = view.owner(point)
+            fin = estimator(node, work)
+            if fin < best_finish:
+                best_finish = fin
+                best_node = node
+        assignment.append(best_node)  # type: ignore[arg-type]
+        finishes.append(best_finish)
+    return assignment, finishes
+
+
+def schedule_heap(
+    rings: Ring | Sequence[Ring],
+    p: int,
+    estimator: Estimator,
+) -> ScheduleResult:
+    """Algorithm 1: O(n log p) rotation sweep using a binary heap.
+
+    The heap holds, for every (query point, ring) pair, the sweep offset at
+    which that query point crosses into the ring's next node.  Popping events
+    in increasing offset order enumerates every distinct server combination;
+    after each crossing only the affected point's finish estimate changes,
+    and the current makespan is maintained incrementally (recomputing the max
+    only when the previous maximum was replaced by a faster estimate).
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    ring_list = [rings] if isinstance(rings, Ring) else list(rings)
+    views = [_RingOwners(r) for r in ring_list]
+    work = 1.0 / p
+    estimates = 0
+
+    # Per query point: the owner index in each ring, that owner's finish
+    # estimate, and the current winning (minimum) finish across rings.
+    owner_idx: list[list[int]] = []
+    ring_finish: list[list[float]] = []
+    finish: list[float] = []
+    heap: list[tuple[float, int, int]] = []  # (crossing offset, point, ring)
+
+    for i in range(p):
+        point = i / p
+        idxs = []
+        fins = []
+        for r_i, view in enumerate(views):
+            idx = view.owner_index(point)
+            idxs.append(idx)
+            fin = estimator(view.nodes[idx], work)
+            estimates += 1
+            fins.append(fin)
+            succ = view.successor_index(idx)
+            crossing = cw_distance(point, view.nodes[succ].start)
+            if len(view.nodes) > 1:
+                heapq.heappush(heap, (crossing, i, r_i))
+        owner_idx.append(idxs)
+        ring_finish.append(fins)
+        finish.append(min(fins))
+
+    makespan = max(finish)
+    best_makespan = makespan
+    best_id = 0.0
+    iterations = 0
+
+    while heap:
+        crossing, point_i, ring_i = heapq.heappop(heap)
+        if crossing >= work - EPS:
+            # Sweeping past 1/p revisits the initial configuration.
+            break
+        iterations += 1
+        view = views[ring_i]
+        new_idx = view.successor_index(owner_idx[point_i][ring_i])
+        owner_idx[point_i][ring_i] = new_idx
+        new_fin = estimator(view.nodes[new_idx], work)
+        estimates += 1
+        ring_finish[point_i][ring_i] = new_fin
+
+        was_max = finish[point_i] >= makespan - EPS
+        finish[point_i] = min(ring_finish[point_i])
+        if was_max and finish[point_i] < makespan:
+            makespan = max(finish)  # O(p); amortised over the n iterations
+        elif finish[point_i] > makespan:
+            makespan = finish[point_i]
+
+        succ = view.successor_index(new_idx)
+        next_crossing = cw_distance(point_i / p, view.nodes[succ].start)
+        if next_crossing > crossing + EPS:
+            heapq.heappush(heap, (next_crossing, point_i, ring_i))
+
+        # Several points can cross boundaries at the same sweep offset
+        # (e.g. uniformly spaced nodes).  Only evaluate the configuration
+        # once the whole tie group has been applied, otherwise a stale
+        # owner can masquerade as a fast one.
+        if heap and heap[0][0] <= crossing + EPS:
+            continue
+
+        if makespan < best_makespan:
+            best_makespan = makespan
+            best_id = crossing + EPS  # just past the boundary
+
+    assignment, finishes = assignment_at(ring_list, p, best_id, estimator)
+    estimates += p * len(ring_list)
+    return ScheduleResult(
+        start_id=frac(best_id),
+        assignment=assignment,
+        finishes=finishes,
+        makespan=max(finishes),
+        iterations=iterations,
+        estimates=estimates,
+    )
+
+
+def _rotation_offsets(views: Sequence[_RingOwners], p: int) -> list[float]:
+    """All sweep offsets in [0, 1/p) at which some point changes owner."""
+    work = 1.0 / p
+    offsets = {0.0}
+    for view in views:
+        for node in view.nodes:
+            for i in range(p):
+                off = cw_distance(i / p, node.start)
+                if off < work - EPS:
+                    offsets.add(off + EPS)
+    return sorted(offsets)
+
+
+def schedule_naive(
+    rings: Ring | Sequence[Ring],
+    p: int,
+    estimator: Estimator,
+) -> ScheduleResult:
+    """The O(n p) straw man: recompute all p estimates at each rotation."""
+    ring_list = [rings] if isinstance(rings, Ring) else list(rings)
+    views = [_RingOwners(r) for r in ring_list]
+    best: Optional[ScheduleResult] = None
+    estimates = 0
+    offsets = _rotation_offsets(views, p)
+    for off in offsets:
+        assignment, finishes = assignment_at(ring_list, p, off, estimator)
+        estimates += p * len(ring_list)
+        makespan = max(finishes)
+        if best is None or makespan < best.makespan:
+            best = ScheduleResult(
+                start_id=frac(off),
+                assignment=assignment,
+                finishes=finishes,
+                makespan=makespan,
+            )
+    assert best is not None
+    best.iterations = len(offsets)
+    best.estimates = estimates
+    return best
+
+
+def schedule_random(
+    rings: Ring | Sequence[Ring],
+    p: int,
+    estimator: Estimator,
+    k: int = 3,
+    rng: random.Random | None = None,
+) -> ScheduleResult:
+    """Evaluate *k* random starting points and keep the best."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    ring_list = [rings] if isinstance(rings, Ring) else list(rings)
+    rng = rng or random.Random()
+    best: Optional[ScheduleResult] = None
+    estimates = 0
+    for _ in range(k):
+        off = rng.random() / p
+        assignment, finishes = assignment_at(ring_list, p, off, estimator)
+        estimates += p * len(ring_list)
+        makespan = max(finishes)
+        if best is None or makespan < best.makespan:
+            best = ScheduleResult(
+                start_id=frac(off),
+                assignment=assignment,
+                finishes=finishes,
+                makespan=makespan,
+            )
+    assert best is not None
+    best.iterations = k
+    best.estimates = estimates
+    return best

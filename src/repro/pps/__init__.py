@@ -1,0 +1,81 @@
+"""Privacy Preserving Search (Chapter 5): encrypted matching on untrusted
+servers, the application driving the ROAR evaluation."""
+
+from .bloom import BloomFilter, optimal_parameters
+from .corpus import CorpusConfig, Vocabulary, corpus_vocabulary, generate_corpus
+from .crypto import FeistelPermutation, keygen, keygen_deterministic, prf
+from .index_based import (
+    IndexModelParams,
+    bandwidth_ratio,
+    index_bandwidth,
+    optimal_delta_max,
+    pps_bandwidth,
+)
+from .matcher import MatchEngine, MatchResult, TracePoint
+from .metadata import FileMetadata, MetadataCodec, Predicate
+from .pubsub import Notification, StandingQueryIndex, Subscription
+from .query import MultiPredicateQuery, sample_size_for_accuracy
+from .results import ScoredMatch, bucket_scorer, local_top_k, merge_top_k
+from .schemes import (
+    BloomKeywordScheme,
+    DictionaryKeywordScheme,
+    EncryptedMetadata,
+    EncryptedQuery,
+    EqualityScheme,
+    InequalityScheme,
+    Partition,
+    PPSScheme,
+    RangeScheme,
+    RankedScheme,
+    dyadic_partitions,
+    exponential_reference_points,
+)
+from .store import MetadataStore, StoredItem, UserStoreCache
+
+__all__ = [
+    "BloomFilter",
+    "BloomKeywordScheme",
+    "CorpusConfig",
+    "DictionaryKeywordScheme",
+    "EncryptedMetadata",
+    "EncryptedQuery",
+    "EqualityScheme",
+    "FeistelPermutation",
+    "FileMetadata",
+    "IndexModelParams",
+    "InequalityScheme",
+    "MatchEngine",
+    "MatchResult",
+    "MetadataCodec",
+    "MetadataStore",
+    "MultiPredicateQuery",
+    "Notification",
+    "StandingQueryIndex",
+    "Subscription",
+    "PPSScheme",
+    "Partition",
+    "Predicate",
+    "RangeScheme",
+    "RankedScheme",
+    "ScoredMatch",
+    "bucket_scorer",
+    "local_top_k",
+    "merge_top_k",
+    "StoredItem",
+    "TracePoint",
+    "UserStoreCache",
+    "Vocabulary",
+    "bandwidth_ratio",
+    "corpus_vocabulary",
+    "dyadic_partitions",
+    "exponential_reference_points",
+    "generate_corpus",
+    "index_bandwidth",
+    "keygen",
+    "keygen_deterministic",
+    "optimal_delta_max",
+    "optimal_parameters",
+    "pps_bandwidth",
+    "prf",
+    "sample_size_for_accuracy",
+]

@@ -1,0 +1,95 @@
+"""Bloom filters for the Goh keyword-matching scheme (Section 5.5.2).
+
+The paper targets a false-positive rate of 1 in 100,000, which gives 17 hash
+functions and ~25 bits per stored element; :func:`optimal_parameters`
+computes those numbers for any target rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["BloomFilter", "optimal_parameters"]
+
+
+def optimal_parameters(n_items: int, fp_rate: float) -> tuple[int, int]:
+    """Optimal (size_bits, n_hashes) for *n_items* at *fp_rate*.
+
+    m = -n ln(fp) / (ln 2)^2,  k = (m/n) ln 2.  For fp = 1e-5 this yields
+    k = 17 and ~24 bits/element, matching the paper's figures.
+    """
+    if n_items < 1:
+        raise ValueError("n_items must be >= 1")
+    if not 0.0 < fp_rate < 1.0:
+        raise ValueError("fp_rate must be in (0, 1)")
+    m = math.ceil(-n_items * math.log(fp_rate) / (math.log(2.0) ** 2))
+    k = max(1, round((m / n_items) * math.log(2.0)))
+    return m, k
+
+
+class BloomFilter:
+    """A plain bit-array Bloom filter with externally supplied positions.
+
+    The PPS schemes compute bit positions themselves (they are outputs of a
+    keyed PRF, never of an in-filter hash), so this class only manages the
+    bit array; it does not hash.
+    """
+
+    __slots__ = ("size", "bits")
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.bits = bytearray((size + 7) // 8)
+
+    def set(self, position: int) -> None:
+        position %= self.size
+        self.bits[position >> 3] |= 1 << (position & 7)
+
+    def test(self, position: int) -> bool:
+        position %= self.size
+        return bool(self.bits[position >> 3] & (1 << (position & 7)))
+
+    def set_all(self, positions: Iterable[int]) -> None:
+        for pos in positions:
+            self.set(pos)
+
+    def test_all(self, positions: Iterable[int]) -> bool:
+        return all(self.test(pos) for pos in positions)
+
+    def count_set(self) -> int:
+        return sum(bin(b).count("1") for b in self.bits)
+
+    def fill_to(self, target_set_bits: int, rng) -> None:
+        """Pad with random bits so all filters have the same population.
+
+        Goh's defence against counting attacks: without padding, the number
+        of set bits reveals the number of stored words (Section 5.5.2).
+        """
+        current = self.count_set()
+        guard = 0
+        while current < target_set_bits and guard < self.size * 4:
+            pos = rng.randrange(self.size)
+            if not self.test(pos):
+                self.set(pos)
+                current += 1
+            guard += 1
+
+    def to_bytes(self) -> bytes:
+        return bytes(self.bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, size: int) -> "BloomFilter":
+        bf = cls(size)
+        bf.bits = bytearray(data[: len(bf.bits)].ljust(len(bf.bits), b"\x00"))
+        return bf
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomFilter):
+            return NotImplemented
+        return self.size == other.size and self.bits == other.bits
+
+    def __len__(self) -> int:
+        return self.size

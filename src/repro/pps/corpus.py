@@ -1,0 +1,118 @@
+"""Synthetic file corpus generation.
+
+The paper's evaluation uses metadata generated from the author's home
+directory -- which we obviously don't have.  This module builds a
+deterministic synthetic equivalent: file paths drawn from a directory tree,
+content keywords drawn Zipf-style from a vocabulary, lognormal-ish sizes and
+uniform modification dates.  The substitution preserves what the experiments
+exercise: metadata counts, keyword selectivities (frequent words match
+nearly everything, rare words almost nothing), and path depth distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .metadata import FileMetadata
+
+__all__ = ["Vocabulary", "CorpusConfig", "generate_corpus", "zipf_weights"]
+
+#: base word stems used to synthesise a vocabulary of arbitrary size.
+_STEMS = (
+    "report paper draft notes thesis photo video song album budget invoice "
+    "meeting project design sketch model data results analysis summary plan "
+    "holiday family travel receipt contract letter resume code patch backup "
+    "archive lecture slides exam homework recipe garden music movie book"
+).split()
+
+_DIRS = (
+    "home docs work personal research teaching archive media photos music "
+    "projects src papers drafts old new shared tmp"
+).split()
+
+_EXTENSIONS = ("txt", "pdf", "doc", "tex", "jpg", "png", "mp3", "py", "c", "md")
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> list[float]:
+    """Zipf-like popularity weights for a vocabulary of *n* words."""
+    return [1.0 / (i + 1) ** exponent for i in range(n)]
+
+
+@dataclass
+class Vocabulary:
+    """A ranked vocabulary with Zipf sampling."""
+
+    words: list[str]
+    exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.weights = zipf_weights(len(self.words), self.exponent)
+
+    @classmethod
+    def synthetic(cls, size: int = 2000, exponent: float = 1.0) -> "Vocabulary":
+        words = []
+        i = 0
+        while len(words) < size:
+            stem = _STEMS[i % len(_STEMS)]
+            suffix = i // len(_STEMS)
+            words.append(stem if suffix == 0 else f"{stem}{suffix}")
+            i += 1
+        return cls(words=words, exponent=exponent)
+
+    def sample(self, rng: random.Random, count: int) -> list[str]:
+        """*count* distinct words, popularity-weighted."""
+        chosen: list[str] = []
+        seen: set[str] = set()
+        guard = 0
+        while len(chosen) < count and guard < count * 50:
+            word = rng.choices(self.words, weights=self.weights, k=1)[0]
+            if word not in seen:
+                seen.add(word)
+                chosen.append(word)
+            guard += 1
+        return chosen
+
+    def frequency_rank(self, word: str) -> int:
+        return self.words.index(word)
+
+
+@dataclass
+class CorpusConfig:
+    n_files: int = 10_000
+    keywords_per_file: int = 12
+    max_path_depth: int = 6
+    vocabulary_size: int = 2000
+    zipf_exponent: float = 1.0
+    seed: int = 7
+    mtime_lo: float = 1.0e9
+    mtime_hi: float = 1.0e9 + 208 * 7 * 86400.0
+
+
+def generate_corpus(config: CorpusConfig | None = None) -> list[FileMetadata]:
+    """Generate a deterministic synthetic file collection."""
+    config = config or CorpusConfig()
+    rng = random.Random(config.seed)
+    vocab = Vocabulary.synthetic(config.vocabulary_size, config.zipf_exponent)
+    files = []
+    for i in range(config.n_files):
+        depth = rng.randint(2, config.max_path_depth)
+        parts = [rng.choice(_DIRS) for _ in range(depth - 1)]
+        stem = rng.choice(vocab.words)
+        ext = rng.choice(_EXTENSIONS)
+        path = "/" + "/".join(parts + [f"{stem}-{i}.{ext}"])
+        keywords = tuple(vocab.sample(rng, config.keywords_per_file))
+        # Lognormal-ish size: most files small, a heavy tail of big ones.
+        size = int(min(2**30, 2 ** rng.uniform(8, 26)))
+        mtime = rng.uniform(config.mtime_lo, config.mtime_hi)
+        files.append(
+            FileMetadata(path=path, keywords=keywords, size=size, mtime=mtime)
+        )
+    return files
+
+
+def corpus_vocabulary(config: CorpusConfig | None = None) -> Vocabulary:
+    """The vocabulary a corpus was generated from (for query generation)."""
+    config = config or CorpusConfig()
+    return Vocabulary.synthetic(config.vocabulary_size, config.zipf_exponent)

@@ -1,0 +1,144 @@
+"""Cryptographic primitives for Privacy Preserving Search.
+
+The paper's implementation (Section 5.6) uses SHA-1/HMAC as a pseudorandom
+function and AES as a pseudorandom permutation.  We use HMAC-SHA1 from the
+standard library for the PRF and build a small-domain pseudorandom
+permutation from a Feistel network with cycle walking (the standard
+construction for format-preserving permutations), keyed by the same PRF --
+no third-party crypto dependency needed.
+
+All keys are raw byte strings produced by :func:`keygen`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+
+__all__ = [
+    "keygen",
+    "prf",
+    "prf_int",
+    "prf_bit",
+    "derive_key",
+    "random_nonce",
+    "FeistelPermutation",
+]
+
+#: default security parameter in bytes (160-bit keys, matching SHA-1 output).
+KEY_BYTES = 20
+
+
+def keygen(nbytes: int = KEY_BYTES, rng: "os.urandom.__class__ | None" = None) -> bytes:
+    """Generate a fresh uniformly random key."""
+    return os.urandom(nbytes)
+
+
+def keygen_deterministic(seed: bytes | str, nbytes: int = KEY_BYTES) -> bytes:
+    """Derive a key from a seed -- for reproducible tests and benchmarks."""
+    if isinstance(seed, str):
+        seed = seed.encode("utf-8")
+    out = b""
+    counter = 0
+    while len(out) < nbytes:
+        out += hashlib.sha1(seed + struct.pack(">I", counter)).digest()
+        counter += 1
+    return out[:nbytes]
+
+
+def prf(key: bytes, message: bytes | str) -> bytes:
+    """The pseudorandom function F_key(message): HMAC-SHA1, 20 bytes out."""
+    if isinstance(message, str):
+        message = message.encode("utf-8")
+    return hmac.new(key, message, hashlib.sha1).digest()
+
+
+def prf_int(key: bytes, message: bytes | str, modulus: int) -> int:
+    """F_key(message) reduced to an integer in ``[0, modulus)``.
+
+    Uses 8 output bytes before reduction; the bias is negligible for the
+    Bloom-filter-sized moduli used here.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    digest = prf(key, message)
+    return int.from_bytes(digest[:8], "big") % modulus
+
+
+def prf_bit(key: bytes, message: bytes | str) -> int:
+    """A single pseudorandom bit (used to blind dictionary bits)."""
+    return prf(key, message)[0] & 1
+
+
+def derive_key(master: bytes, label: str) -> bytes:
+    """Derive an independent sub-key from a master key."""
+    return prf(master, "derive|" + label)
+
+
+def random_nonce(nbytes: int = 8) -> bytes:
+    return os.urandom(nbytes)
+
+
+class FeistelPermutation:
+    """A keyed pseudorandom permutation on ``[0, domain)``.
+
+    A 4-round balanced Feistel network over ``2w`` bits (``w`` = half the
+    bits needed for the domain), using the PRF as round function, with cycle
+    walking to stay inside the domain.  This is the standard construction
+    for small-domain PRPs (cf. Black & Rogaway, "Ciphers with Arbitrary
+    Finite Domains"); 4 rounds of a PRF round function give a strong PRP by
+    the Luby-Rackoff theorem.
+    """
+
+    ROUNDS = 4
+
+    def __init__(self, key: bytes, domain: int) -> None:
+        if domain < 1:
+            raise ValueError("domain must be >= 1")
+        self.domain = domain
+        bits = max(2, (domain - 1).bit_length())
+        if bits % 2:
+            bits += 1
+        self.half_bits = bits // 2
+        self.half_mask = (1 << self.half_bits) - 1
+        self.total = 1 << bits
+        self.round_keys = [
+            derive_key(key, f"feistel-round-{i}") for i in range(self.ROUNDS)
+        ]
+
+    def _round(self, i: int, value: int) -> int:
+        data = struct.pack(">Q", value)
+        return prf_int(self.round_keys[i], data, self.half_mask + 1)
+
+    def _encrypt_raw(self, x: int) -> int:
+        left = (x >> self.half_bits) & self.half_mask
+        right = x & self.half_mask
+        for i in range(self.ROUNDS):
+            left, right = right, left ^ self._round(i, right)
+        return (left << self.half_bits) | right
+
+    def _decrypt_raw(self, y: int) -> int:
+        left = (y >> self.half_bits) & self.half_mask
+        right = y & self.half_mask
+        for i in reversed(range(self.ROUNDS)):
+            left, right = right ^ self._round(i, left), left
+        return (left << self.half_bits) | right
+
+    def encrypt(self, x: int) -> int:
+        """Permute *x*; cycle-walk until the image lands inside the domain."""
+        if not 0 <= x < self.domain:
+            raise ValueError(f"value {x} outside domain [0, {self.domain})")
+        y = self._encrypt_raw(x)
+        while y >= self.domain:
+            y = self._encrypt_raw(y)
+        return y
+
+    def decrypt(self, y: int) -> int:
+        if not 0 <= y < self.domain:
+            raise ValueError(f"value {y} outside domain [0, {self.domain})")
+        x = self._decrypt_raw(y)
+        while x >= self.domain:
+            x = self._decrypt_raw(x)
+        return x

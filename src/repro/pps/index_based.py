@@ -1,0 +1,118 @@
+"""The index-based baseline and its bandwidth model (Section 5.3.1).
+
+The straightforward alternative to PPS: keep an encrypted index online,
+download it (or its deltas) before searching locally.  The paper's
+analytical model, reproduced here, computes per-period bandwidth for both
+approaches as a function of update frequency ``fu`` and query frequency
+``fq``:
+
+* PPS:  ``500*fu + 2500*fq``  (metadata upload + query/result traffic);
+* Index: with at most ``d_max`` outstanding deltas, updates cost
+  ``fu*(INDEX + 200*(d_max-1))/d_max`` and queries (for non-local updates)
+  ``fq*(INDEX + 100*d_max*(d_max-1))/d_max``, with the query term capped by
+  the update frequency when queries outnumber updates.
+
+The optimal ``d_max`` is found numerically; Fig 5.1 plots the ratio for
+0% / 50% / 90% local updates, showing index-based costs up to ~8x PPS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "IndexModelParams",
+    "pps_bandwidth",
+    "index_bandwidth",
+    "optimal_delta_max",
+    "bandwidth_ratio",
+]
+
+
+@dataclass(frozen=True)
+class IndexModelParams:
+    """Constants of the Section 5.3.1 model (50,000-file collection)."""
+
+    index_bytes: float = 500_000.0  # full compressed encrypted index
+    delta_bytes: float = 200.0  # one compressed encrypted update
+    metadata_bytes: float = 500.0  # one PPS metadata
+    query_bytes: float = 500.0  # one encrypted PPS query
+    results_bytes: float = 2_000.0  # 10 results x 200 B
+
+
+def pps_bandwidth(
+    fu: float, fq: float, params: IndexModelParams | None = None
+) -> float:
+    """PPS bandwidth per period: 500*fu + 2500*fq with default constants."""
+    p = params or IndexModelParams()
+    return p.metadata_bytes * fu + (p.query_bytes + p.results_bytes) * fq
+
+
+def index_bandwidth(
+    fu: float,
+    fq: float,
+    delta_max: int,
+    local_fraction: float = 0.0,
+    params: IndexModelParams | None = None,
+) -> float:
+    """Index-based bandwidth per period with *delta_max* deltas per rebuild.
+
+    ``local_fraction`` of updates are generated on the querying machine and
+    need no download before queries.  Queries can never need more delta
+    downloads than there were (remote) updates, so the query term is capped
+    at the remote update frequency.
+    """
+    if delta_max < 1:
+        raise ValueError("delta_max must be >= 1")
+    if not 0.0 <= local_fraction <= 1.0:
+        raise ValueError("local_fraction must be in [0, 1]")
+    p = params or IndexModelParams()
+    # Updates: every delta_max-th update uploads the full index; the rest
+    # upload one delta each.
+    update_bw = fu * (
+        p.index_bytes + p.delta_bytes * (delta_max - 1)
+    ) / delta_max
+
+    # Queries: before each search the device syncs -- downloading the index
+    # (1/delta_max of the time) or 0..delta_max-1 deltas (uniformly likely).
+    remote_fu = fu * (1.0 - local_fraction)
+    effective_fq = min(fq, remote_fu) if remote_fu > 0 else 0.0
+    query_bw = effective_fq * (
+        p.index_bytes + (p.delta_bytes / 2.0) * delta_max * (delta_max - 1)
+    ) / delta_max
+    return update_bw + query_bw
+
+
+def optimal_delta_max(
+    fu: float,
+    fq: float,
+    local_fraction: float = 0.0,
+    params: IndexModelParams | None = None,
+    search_limit: int = 4096,
+) -> int:
+    """The delta cap minimising index-based bandwidth (numeric search)."""
+    best_d, best_bw = 1, math.inf
+    for d in range(1, search_limit + 1):
+        bw = index_bandwidth(fu, fq, d, local_fraction, params)
+        if bw < best_bw:
+            best_d, best_bw = d, bw
+    return best_d
+
+
+def bandwidth_ratio(
+    fu: float,
+    fq: float,
+    local_fraction: float = 0.0,
+    params: IndexModelParams | None = None,
+) -> float:
+    """Index-based bandwidth (at its optimal delta cap) over PPS bandwidth.
+
+    This is the quantity Fig 5.1 plots across the (fu, fq) plane.
+    """
+    d = optimal_delta_max(fu, fq, local_fraction, params)
+    idx = index_bandwidth(fu, fq, d, local_fraction, params)
+    pps = pps_bandwidth(fu, fq, params)
+    if pps <= 0:
+        return math.inf
+    return idx / pps

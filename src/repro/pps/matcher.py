@@ -1,0 +1,211 @@
+"""The query execution engine: producer/consumer matching (Section 5.6.3).
+
+One I/O thread reads metadata (from disk or the in-memory cache) in batches
+into a fixed-size buffer; one matching thread per core consumes batches and
+runs the encrypted match.  The buffer hides I/O latency when the CPU is the
+bottleneck and adds almost nothing when I/O is.  Queries from the same user
+are serialised; different users run concurrently (fair sharing).
+
+Two fixed-cost profiles mirror the paper's two builds (Section 5.7):
+
+* ``PPS_LM`` (low memory) runs a full garbage collection after every query
+  -- higher fixed cost, flatter memory;
+* ``PPS_LC`` (low CPU) skips it -- lower fixed cost, more memory.
+
+The engine records an execution trace (cumulative produced/consumed counts
+over time) so Fig 5.4's bottleneck analysis can be reproduced.
+"""
+
+from __future__ import annotations
+
+import gc
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .schemes.base import EncryptedMetadata, EncryptedQuery
+from .store import StoredItem
+
+__all__ = ["TracePoint", "MatchResult", "MatchEngine"]
+
+#: sentinel pushed by the producer when the stream is exhausted.
+_DONE = object()
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """Cumulative progress sample: (wall time, items, role)."""
+
+    t: float
+    count: int
+    role: str  # "io" or "match"
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one query execution."""
+
+    matches: list[StoredItem]
+    scanned: int
+    elapsed: float
+    io_wait: float
+    trace: list[TracePoint] = field(default_factory=list)
+
+
+MatchFn = Callable[[EncryptedMetadata], bool]
+
+
+class MatchEngine:
+    """Runs encrypted queries over metadata streams."""
+
+    def __init__(
+        self,
+        n_threads: int = 1,
+        batch_size: int = 1000,
+        buffer_batches: int = 8,
+        low_memory: bool = True,
+        trace_every: int = 1000,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.n_threads = n_threads
+        self.batch_size = batch_size
+        self.buffer_batches = buffer_batches
+        #: PPS_LM forces a GC after each query; PPS_LC does not.
+        self.low_memory = low_memory
+        self.trace_every = trace_every
+
+    # -- synchronous reference path ----------------------------------------------
+    def run_serial(
+        self, items: Sequence[StoredItem], match_fn: MatchFn
+    ) -> MatchResult:
+        """Single-threaded load-then-match (validation baseline)."""
+        t0 = time.perf_counter()
+        matches = [it for it in items if match_fn(it.metadata)]
+        elapsed = time.perf_counter() - t0
+        if self.low_memory:
+            gc.collect()
+        return MatchResult(
+            matches=matches, scanned=len(items), elapsed=elapsed, io_wait=0.0
+        )
+
+    # -- threaded path ---------------------------------------------------------------
+    def run(
+        self,
+        items: Iterable[StoredItem],
+        match_fn: MatchFn,
+        io_delay_per_item: float = 0.0,
+        stop_after_matches: int | None = None,
+    ) -> MatchResult:
+        """Producer/consumer execution.
+
+        *io_delay_per_item* simulates disk-bound streams (the producer
+        sleeps proportionally per batch); 0 models the in-memory cache.
+        *stop_after_matches* implements early query termination for
+        match-everything queries (Section 5.7, CPU-bound discussion).
+        """
+        buffer: queue.Queue = queue.Queue(maxsize=self.buffer_batches)
+        matches: list[StoredItem] = []
+        trace: list[TracePoint] = []
+        lock = threading.Lock()
+        scanned = 0
+        io_wait = 0.0
+        stop_flag = threading.Event()
+        t0 = time.perf_counter()
+
+        def producer() -> None:
+            nonlocal io_wait
+            produced = 0
+            batch: list[StoredItem] = []
+            for item in items:
+                if stop_flag.is_set():
+                    break
+                batch.append(item)
+                if len(batch) >= self.batch_size:
+                    if io_delay_per_item > 0:
+                        time.sleep(io_delay_per_item * len(batch))
+                    wait_start = time.perf_counter()
+                    buffer.put(batch)
+                    io_wait += time.perf_counter() - wait_start
+                    produced += len(batch)
+                    if produced % self.trace_every < self.batch_size:
+                        trace.append(
+                            TracePoint(time.perf_counter() - t0, produced, "io")
+                        )
+                    batch = []
+            if batch and not stop_flag.is_set():
+                if io_delay_per_item > 0:
+                    time.sleep(io_delay_per_item * len(batch))
+                buffer.put(batch)
+                produced += len(batch)
+            trace.append(TracePoint(time.perf_counter() - t0, produced, "io"))
+            for _ in range(self.n_threads):
+                buffer.put(_DONE)
+
+        def consumer() -> None:
+            nonlocal scanned
+            local_scanned = 0
+            local_matches: list[StoredItem] = []
+            while True:
+                batch = buffer.get()
+                if batch is _DONE:
+                    break
+                for item in batch:
+                    if match_fn(item.metadata):
+                        local_matches.append(item)
+                local_scanned += len(batch)
+                if local_scanned % self.trace_every < self.batch_size:
+                    with lock:
+                        trace.append(
+                            TracePoint(
+                                time.perf_counter() - t0,
+                                scanned + local_scanned,
+                                "match",
+                            )
+                        )
+                if (
+                    stop_after_matches is not None
+                    and len(local_matches) >= stop_after_matches
+                ):
+                    stop_flag.set()
+                    break
+            with lock:
+                matches.extend(local_matches)
+                scanned += local_scanned
+
+        io_thread = threading.Thread(target=producer, name="pps-io")
+        workers = [
+            threading.Thread(target=consumer, name=f"pps-match-{i}")
+            for i in range(self.n_threads)
+        ]
+        io_thread.start()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        stop_flag.set()
+        # Drain so the producer can finish if consumers stopped early.
+        while io_thread.is_alive():
+            try:
+                buffer.get_nowait()
+            except queue.Empty:
+                time.sleep(0.0005)
+        io_thread.join()
+
+        elapsed = time.perf_counter() - t0
+        if self.low_memory:
+            gc_start = time.perf_counter()
+            gc.collect()
+            elapsed += time.perf_counter() - gc_start
+        trace.append(TracePoint(elapsed, scanned, "match"))
+        return MatchResult(
+            matches=matches,
+            scanned=scanned,
+            elapsed=elapsed,
+            io_wait=io_wait,
+            trace=trace,
+        )

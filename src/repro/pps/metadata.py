@@ -1,0 +1,141 @@
+"""File metadata encoding: bundling all attributes into one scheme (5.6.4).
+
+Each user file contributes three kinds of searchable information: path
+components, content keywords, and numeric attributes (size, modification
+date).  Encoding each attribute separately would let the server learn which
+attribute type each query targets; instead all attributes share a single
+keyword space with type prefixes ("kw=", "path=", "size>", ...), exactly as
+the paper stacks per-attribute dictionaries into one.
+
+:class:`MetadataCodec` owns the underlying Bloom keyword scheme and the
+reference-point layouts for the numeric attributes, and converts
+:class:`FileMetadata` / typed queries to and from that shared word space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from .schemes.base import EncryptedMetadata, EncryptedQuery
+from .schemes.inequality import exponential_reference_points
+from .schemes.keyword_bloom import BloomKeywordScheme
+
+__all__ = ["FileMetadata", "MetadataCodec", "Predicate"]
+
+
+@dataclass(frozen=True)
+class FileMetadata:
+    """Plaintext searchable description of one file."""
+
+    path: str
+    keywords: tuple[str, ...]  # rank-ordered, most important first
+    size: int  # bytes
+    mtime: float  # seconds since epoch
+
+    def path_components(self) -> list[str]:
+        return [part.lower() for part in self.path.split("/") if part]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A typed single-attribute query before encryption."""
+
+    kind: Literal["keyword", "path", "size", "date"]
+    op: str = "="  # "=", ">", "<"
+    value: str | float = ""
+
+
+class MetadataCodec:
+    """Encodes files and predicates into the bundled keyword space."""
+
+    def __init__(
+        self,
+        key: bytes,
+        max_content_keywords: int = 50,
+        max_path_depth: int = 22,
+        size_points: Sequence[float] | None = None,
+        date_points: Sequence[float] | None = None,
+        fp_rate: float = 1e-5,
+    ) -> None:
+        self.max_content_keywords = max_content_keywords
+        self.max_path_depth = max_path_depth
+        #: reference points for file sizes: exponential up to 1 GiB+
+        self.size_points = sorted(size_points or exponential_reference_points(2**30))
+        #: reference points for mtimes: default weekly over ~4 years back
+        #: from a fixed epoch (deterministic for reproducibility).
+        if date_points is None:
+            base = 1.0e9
+            week = 7 * 86400.0
+            date_points = [base + i * week for i in range(208)]
+        self.date_points = sorted(date_points)
+
+        capacity = (
+            max_content_keywords
+            + max_path_depth
+            + len(self.size_points)
+            + len(self.date_points)
+        )
+        self.scheme = BloomKeywordScheme(key, max_words=capacity, fp_rate=fp_rate)
+
+    # -- word-space mapping -------------------------------------------------
+    def words_for_file(self, meta: FileMetadata) -> list[str]:
+        words: list[str] = []
+        words.extend(
+            f"kw={w.lower()}" for w in meta.keywords[: self.max_content_keywords]
+        )
+        words.extend(
+            f"path={c}" for c in meta.path_components()[: self.max_path_depth]
+        )
+        for p in self.size_points:
+            if meta.size > p:
+                words.append(f"size>{p:g}")
+            elif meta.size < p:
+                words.append(f"size<{p:g}")
+        for p in self.date_points:
+            if meta.mtime > p:
+                words.append(f"date>{p:g}")
+            elif meta.mtime < p:
+                words.append(f"date<{p:g}")
+        return words
+
+    def word_for_predicate(self, pred: Predicate) -> str:
+        if pred.kind == "keyword":
+            if pred.op != "=":
+                raise ValueError("keyword predicates support '=' only")
+            return f"kw={str(pred.value).lower()}"
+        if pred.kind == "path":
+            if pred.op != "=":
+                raise ValueError("path predicates support '=' only")
+            return f"path={str(pred.value).lower()}"
+        if pred.kind == "size":
+            return self._numeric_word("size", pred.op, float(pred.value), self.size_points)
+        if pred.kind == "date":
+            return self._numeric_word("date", pred.op, float(pred.value), self.date_points)
+        raise ValueError(f"unknown predicate kind {pred.kind!r}")
+
+    @staticmethod
+    def _numeric_word(
+        prefix: str, op: str, value: float, points: Sequence[float]
+    ) -> str:
+        if op not in (">", "<"):
+            raise ValueError(f"numeric predicates need '>' or '<', got {op!r}")
+        nearest = min(points, key=lambda p: abs(value - p))
+        return f"{prefix}{op}{nearest:g}"
+
+    # -- encryption ----------------------------------------------------------
+    def encrypt_file(self, meta: FileMetadata) -> EncryptedMetadata:
+        return self.scheme.encrypt_metadata(self.words_for_file(meta))
+
+    def encrypt_predicate(self, pred: Predicate) -> EncryptedQuery:
+        return self.scheme.encrypt_query(self.word_for_predicate(pred))
+
+    def match(
+        self, enc_meta: EncryptedMetadata, enc_query: EncryptedQuery
+    ) -> bool:
+        return self.scheme.match(enc_meta, enc_query)
+
+    # -- introspection ----------------------------------------------------------
+    def metadata_size_bytes(self) -> int:
+        """Wire size of one encrypted metadata under current parameters."""
+        return 8 + (self.scheme.filter_bits + 7) // 8

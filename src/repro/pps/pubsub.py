@@ -1,0 +1,160 @@
+"""Online filtering: long-standing encrypted queries (Sections 2.3, 5.4).
+
+The dual of the query scenario: users install *standing* queries
+(subscriptions) on the servers; each newly stored metadata is matched
+against them and the owners of matching queries are notified.  This is the
+paper's second application class (e.g. "notify me when a message containing
+URGENT arrives") and the original setting of the security model, which is
+why Definition 7 includes the ``Cover`` relation: a server may organise
+standing queries into a *covering forest* -- if query A covers query B
+(A's matches are always a superset of B's), B need only be evaluated for
+metadata that already matched A.
+
+:class:`StandingQueryIndex` implements that engine over any
+:class:`~repro.pps.schemes.base.PPSScheme`.  With the keyword-style schemes
+the cover relation reduces to equality, so the forest collapses identical
+subscriptions into one evaluation -- exactly the saving available without
+leaking more than Definition 7 allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .schemes.base import EncryptedMetadata, EncryptedQuery, PPSScheme
+
+__all__ = ["Subscription", "Notification", "StandingQueryIndex"]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One installed standing query."""
+
+    sub_id: int
+    owner: str
+    query: EncryptedQuery
+
+
+@dataclass(frozen=True)
+class Notification:
+    """Delivered to a subscription owner when new metadata matches."""
+
+    sub_id: int
+    owner: str
+    metadata: EncryptedMetadata
+
+
+class _CoverNode:
+    """A node of the covering forest: one representative query plus the
+    subscriptions it is equivalent to / covered by."""
+
+    __slots__ = ("query", "subscriptions", "children")
+
+    def __init__(self, query: EncryptedQuery) -> None:
+        self.query = query
+        self.subscriptions: list[Subscription] = []
+        self.children: list["_CoverNode"] = []
+
+
+class StandingQueryIndex:
+    """Server-side store of standing queries with cover-based evaluation."""
+
+    def __init__(self, scheme: PPSScheme) -> None:
+        self.scheme = scheme
+        self._roots: list[_CoverNode] = []
+        self._subs: dict[int, Subscription] = {}
+        self._next_id = 1
+        #: instrumentation: query evaluations performed by match_metadata.
+        self.evaluations = 0
+
+    # -- subscription management ------------------------------------------------
+    def subscribe(self, owner: str, query: EncryptedQuery) -> Subscription:
+        """Install a standing query; returns the subscription handle."""
+        sub = Subscription(self._next_id, owner, query)
+        self._next_id += 1
+        self._subs[sub.sub_id] = sub
+        self._insert(sub)
+        return sub
+
+    def _insert(self, sub: Subscription) -> None:
+        # Find a root covering this query; with keyword-style schemes Cover
+        # is equality, so this dedupes identical subscriptions.
+        for root in self._roots:
+            if self.scheme.cover(root.query, sub.query) and self.scheme.cover(
+                sub.query, root.query
+            ):
+                root.subscriptions.append(sub)
+                return
+            if self.scheme.cover(root.query, sub.query):
+                child = _CoverNode(sub.query)
+                child.subscriptions.append(sub)
+                root.children.append(child)
+                return
+        node = _CoverNode(sub.query)
+        node.subscriptions.append(sub)
+        self._roots.append(node)
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        """Withdraw a standing query."""
+        sub = self._subs.pop(sub_id, None)
+        if sub is None:
+            return False
+
+        def prune(nodes: list[_CoverNode]) -> None:
+            for node in list(nodes):
+                node.subscriptions = [
+                    s for s in node.subscriptions if s.sub_id != sub_id
+                ]
+                prune(node.children)
+                if not node.subscriptions and not node.children:
+                    nodes.remove(node)
+
+        prune(self._roots)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def distinct_queries(self) -> int:
+        count = 0
+
+        def walk(nodes: list[_CoverNode]) -> None:
+            nonlocal count
+            for node in nodes:
+                count += 1
+                walk(node.children)
+
+        walk(self._roots)
+        return count
+
+    # -- matching -----------------------------------------------------------------
+    def match_metadata(self, metadata: EncryptedMetadata) -> list[Notification]:
+        """Match one new metadata against all standing queries.
+
+        Uses the cover forest: children are only evaluated when their
+        covering parent matched (a non-matching parent proves the child
+        cannot match either, since the parent's match set is a superset).
+        """
+        out: list[Notification] = []
+
+        def visit(node: _CoverNode) -> None:
+            self.evaluations += 1
+            if not self.scheme.match(metadata, node.query):
+                return
+            for sub in node.subscriptions:
+                out.append(Notification(sub.sub_id, sub.owner, metadata))
+            for child in node.children:
+                visit(child)
+
+        for root in self._roots:
+            visit(root)
+        return out
+
+    def match_batch(
+        self, metadatas: Iterator[EncryptedMetadata] | list[EncryptedMetadata]
+    ) -> list[Notification]:
+        out: list[Notification] = []
+        for metadata in metadatas:
+            out.extend(self.match_metadata(metadata))
+        return out

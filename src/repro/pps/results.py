@@ -1,0 +1,101 @@
+"""Result assembly and ranking at the front-end (Chapter 1, Section 5.5.4).
+
+Each queried server ranks its local matches and returns only its best
+``k``; the front-end merges the per-server lists, ranks once more, and
+returns the global top ``k`` to the user.  This module implements that
+two-level top-k pipeline plus the scoring used with ranked PPS queries
+(rank-bucket membership as a coarse relevance signal).
+
+Correctness note: two-level top-k is exact as long as every server returns
+its *complete* local top-k -- the global top-k is a subset of the union of
+local top-ks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["ScoredMatch", "local_top_k", "merge_top_k", "bucket_scorer"]
+
+
+@dataclass(frozen=True, order=True)
+class ScoredMatch:
+    """One match with its relevance score (higher = better).
+
+    Ordering is by (score, tiebreak) so heap operations are deterministic;
+    ``payload`` is excluded from comparisons.
+    """
+
+    score: float
+    tiebreak: float
+    payload: object = field(compare=False)
+
+
+def local_top_k(
+    matches: Iterable[tuple[object, float]],
+    k: int,
+) -> list[ScoredMatch]:
+    """A server's side of the pipeline: keep the best *k* of its matches.
+
+    Input is ``(payload, score)`` pairs; output is sorted best-first.
+    Runs in O(m log k) via a bounded min-heap.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    heap: list[ScoredMatch] = []
+    for i, (payload, score) in enumerate(matches):
+        item = ScoredMatch(score=score, tiebreak=-float(i), payload=payload)
+        if len(heap) < k:
+            heapq.heappush(heap, item)
+        elif item > heap[0]:
+            heapq.heapreplace(heap, item)
+    return sorted(heap, reverse=True)
+
+
+def merge_top_k(
+    per_server: Sequence[Sequence[ScoredMatch]],
+    k: int,
+) -> list[ScoredMatch]:
+    """The front-end's side: merge per-server top lists into a global top-k.
+
+    Inputs need not be sorted; output is sorted best-first.  Exact provided
+    each input holds that server's complete local top-k.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    heap: list[ScoredMatch] = []
+    for server_list in per_server:
+        for item in server_list:
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+    return sorted(heap, reverse=True)
+
+
+def bucket_scorer(
+    thresholds: Sequence[int],
+    membership_test: Callable[[object, int], bool],
+) -> Callable[[object], float]:
+    """Scoring from rank-bucket membership (Section 5.5.4).
+
+    With the ranked PPS scheme the server can only test "is keyword within
+    the top t features" for the offered thresholds; the tightest satisfied
+    bucket becomes the score (smaller bucket = higher score).
+
+    *membership_test(doc, t)* must answer the encrypted top-t test.
+    """
+    ordered = sorted(set(int(t) for t in thresholds))
+    if not ordered:
+        raise ValueError("need at least one threshold")
+
+    def score(doc: object) -> float:
+        for t in ordered:
+            if membership_test(doc, t):
+                # tightest bucket wins: score decreases with t.
+                return 1.0 / t
+        return 0.0
+
+    return score

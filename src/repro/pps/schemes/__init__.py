@@ -1,0 +1,30 @@
+"""PPS matching schemes (Section 5.5)."""
+
+from .base import EncryptedMetadata, EncryptedQuery, PPSScheme
+from .equality import EqualityScheme
+from .inequality import (
+    InequalityScheme,
+    exponential_reference_points,
+    linear_reference_points,
+)
+from .keyword_bloom import BloomKeywordScheme
+from .keyword_dict import DictionaryKeywordScheme
+from .range_scheme import Partition, RangeScheme, dyadic_partitions
+from .ranked import DEFAULT_THRESHOLDS, RankedScheme
+
+__all__ = [
+    "BloomKeywordScheme",
+    "DEFAULT_THRESHOLDS",
+    "DictionaryKeywordScheme",
+    "EncryptedMetadata",
+    "EncryptedQuery",
+    "EqualityScheme",
+    "InequalityScheme",
+    "Partition",
+    "PPSScheme",
+    "RangeScheme",
+    "RankedScheme",
+    "dyadic_partitions",
+    "exponential_reference_points",
+    "linear_reference_points",
+]

@@ -1,0 +1,74 @@
+"""The PPS scheme interface (Definition 7, Section 5.4.3).
+
+Every Privacy Preserving Search solution consists of five algorithms:
+
+* ``Keygen(t)`` -- user-side key generation;
+* ``EncryptQuery(K, Q)`` -- user-side query encoding;
+* ``EncryptMetadata(K, M)`` -- user-side metadata encoding;
+* ``Match(Me, Qe)`` -- server-side, decides whether an encrypted query
+  matches an encrypted metadata;
+* ``Cover(Q1, Q2)`` -- server-side, optional: whether query 1's matches are
+  always a superset of query 2's (used by continuous-query engines).
+
+"Encrypt" here means a secure *encoding* that supports Match -- decryption
+is generally impossible.  Cover implementations are conservative: false
+negatives allowed, false positives not.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EncryptedQuery", "EncryptedMetadata", "PPSScheme"]
+
+
+@dataclass(frozen=True)
+class EncryptedQuery:
+    """An encoded query: scheme-specific payload + size accounting."""
+
+    scheme: str
+    payload: Any
+    size_bytes: int
+
+    def __hash__(self) -> int:  # payloads are tuples of bytes/ints
+        return hash((self.scheme, self.payload))
+
+
+@dataclass(frozen=True)
+class EncryptedMetadata:
+    """An encoded metadata item: scheme-specific payload + size accounting."""
+
+    scheme: str
+    payload: Any
+    size_bytes: int
+
+
+class PPSScheme(abc.ABC):
+    """Base class for all matching schemes."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def encrypt_query(self, query: Any) -> EncryptedQuery:
+        """Encode a plaintext query under the scheme's key."""
+
+    @abc.abstractmethod
+    def encrypt_metadata(self, metadata: Any) -> EncryptedMetadata:
+        """Encode a plaintext metadata item under the scheme's key."""
+
+    @abc.abstractmethod
+    def match(self, enc_metadata: EncryptedMetadata, enc_query: EncryptedQuery) -> bool:
+        """Server-side match decision.  Uses only encrypted inputs."""
+
+    def cover(self, q1: EncryptedQuery, q2: EncryptedQuery) -> bool:
+        """Default conservative covering: bitwise equality of payloads."""
+        return q1.scheme == q2.scheme and q1.payload == q2.payload
+
+    def _check_scheme(self, *items: EncryptedQuery | EncryptedMetadata) -> None:
+        for item in items:
+            if item.scheme != self.name:
+                raise ValueError(
+                    f"{self.name} scheme got input encoded with {item.scheme!r}"
+                )

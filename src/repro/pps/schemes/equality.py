@@ -1,0 +1,51 @@
+"""Equality matching (Section 5.5.1) -- the simplest PPS scheme.
+
+From Song et al.'s first step: the "hidden" value of an attribute is the PRF
+of its plaintext under the secret key.
+
+* ``EncryptQuery(K, Q) = F_K(Q)``
+* ``EncryptMetadata(K, M) = (rnd, F_h(rnd))`` where ``h = F_K(M)`` and
+  ``rnd`` is a fresh random nonce
+* ``Match((rnd, two), Qe): F_Qe(rnd) == two``
+* ``Cover(Q1, Q2): Q1 == Q2``
+
+The nonce makes metadata encryptions of equal values unlinkable in the
+absence of queries (semantic security for multiple messages); a matching
+query reveals exactly the match bit, nothing else.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from ..crypto import prf, random_nonce
+from .base import EncryptedMetadata, EncryptedQuery, PPSScheme
+
+__all__ = ["EqualityScheme"]
+
+
+class EqualityScheme(PPSScheme):
+    name = "equality"
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._key = key
+
+    def encrypt_query(self, query: Any) -> EncryptedQuery:
+        hidden = prf(self._key, str(query))
+        return EncryptedQuery(self.name, hidden, size_bytes=len(hidden))
+
+    def encrypt_metadata(self, metadata: Any) -> EncryptedMetadata:
+        hidden = prf(self._key, str(metadata))
+        rnd = random_nonce()
+        two = prf(hidden, rnd)
+        return EncryptedMetadata(
+            self.name, (rnd, two), size_bytes=len(rnd) + len(two)
+        )
+
+    def match(self, enc_metadata: EncryptedMetadata, enc_query: EncryptedQuery) -> bool:
+        self._check_scheme(enc_metadata, enc_query)
+        rnd, two = enc_metadata.payload
+        return prf(enc_query.payload, rnd) == two

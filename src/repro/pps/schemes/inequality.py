@@ -1,0 +1,118 @@
+"""Numeric inequality matching (Section 5.5.3, "Supporting Inequality
+Queries") -- a novel construction of the paper.
+
+Choose ``l`` reference points ``p1..pl`` of the numeric domain and form the
+dictionary ``{"> p1", ..., "> pl", "< p1", ..., "< pl"}``.  A metadata value
+``N`` is the document containing every dictionary word it satisfies; a query
+``(op, value)`` is approximated by the dictionary word at the nearest
+reference point.  Matching then reduces to keyword matching under either
+base scheme.
+
+The reference-point layout trades overhead for precision;
+:func:`exponential_reference_points` reproduces the paper's example (1..10,
+20..100, ..., 10^8..10^9: only ~100 points for 4-byte positive integers,
+with precision that scales with magnitude).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal, Sequence
+
+from .base import EncryptedMetadata, EncryptedQuery, PPSScheme
+from .keyword_bloom import BloomKeywordScheme
+from .keyword_dict import DictionaryKeywordScheme
+
+__all__ = [
+    "InequalityScheme",
+    "exponential_reference_points",
+    "linear_reference_points",
+]
+
+
+def exponential_reference_points(max_value: float = 1e9) -> list[float]:
+    """1, 2, ..., 10, 20, ..., 100, 200, ..., up to *max_value*."""
+    points: list[float] = []
+    scale = 1.0
+    while scale < max_value:
+        for mult in range(1, 10):
+            value = mult * scale
+            if value > max_value:
+                break
+            points.append(value)
+        scale *= 10.0
+    points.append(max_value)
+    return sorted(set(points))
+
+
+def linear_reference_points(lo: float, hi: float, count: int) -> list[float]:
+    """*count* evenly spaced reference points over [lo, hi]."""
+    if count < 2:
+        raise ValueError("count must be >= 2")
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+class InequalityScheme(PPSScheme):
+    name = "inequality"
+
+    def __init__(
+        self,
+        key: bytes,
+        reference_points: Sequence[float],
+        base: Literal["bloom", "dict"] = "dict",
+    ) -> None:
+        if not reference_points:
+            raise ValueError("need at least one reference point")
+        self.points = sorted(reference_points)
+        self._words = [f">{p}" for p in self.points] + [f"<{p}" for p in self.points]
+        if base == "dict":
+            self._base: PPSScheme = DictionaryKeywordScheme(key, self._words)
+        elif base == "bloom":
+            self._base = BloomKeywordScheme(
+                key, max_words=len(self._words), fp_rate=1e-5
+            )
+        else:
+            raise ValueError(f"unknown base scheme {base!r}")
+        self.base_name = base
+
+    # -- encoding helpers -------------------------------------------------------
+    def _nearest_point(self, value: float) -> float:
+        return min(self.points, key=lambda p: abs(value - p))
+
+    def words_for_value(self, value: float) -> list[str]:
+        """The dictionary words a metadata value satisfies."""
+        words = []
+        for p in self.points:
+            if value > p:
+                words.append(f">{p}")
+            elif value < p:
+                words.append(f"<{p}")
+            # equality satisfies neither strict inequality word
+        return words
+
+    def approximate_query(self, op: str, value: float) -> str:
+        """The dictionary word approximating an inequality query."""
+        if op not in (">", "<"):
+            raise ValueError(f"op must be '>' or '<', got {op!r}")
+        return f"{op}{self._nearest_point(value)}"
+
+    # -- scheme interface ----------------------------------------------------------
+    def encrypt_query(self, query: tuple[str, float]) -> EncryptedQuery:
+        op, value = query
+        word = self.approximate_query(op, value)
+        inner = self._base.encrypt_query(word)
+        return EncryptedQuery(self.name, inner, size_bytes=inner.size_bytes)
+
+    def encrypt_metadata(self, metadata: float) -> EncryptedMetadata:
+        words = self.words_for_value(float(metadata))
+        inner = self._base.encrypt_metadata(words)
+        return EncryptedMetadata(self.name, inner, size_bytes=inner.size_bytes)
+
+    def match(self, enc_metadata: EncryptedMetadata, enc_query: EncryptedQuery) -> bool:
+        self._check_scheme(enc_metadata, enc_query)
+        return self._base.match(enc_metadata.payload, enc_query.payload)
+
+    def cover(self, q1: EncryptedQuery, q2: EncryptedQuery) -> bool:
+        """Equality check only; full inequality covering needs extra
+        information the secure encoding hides (Section 5.5.3)."""
+        return self._base.cover(q1.payload, q2.payload)

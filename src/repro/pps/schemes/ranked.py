@@ -1,0 +1,95 @@
+"""Ranked keyword queries (Section 5.5.4).
+
+Traditional IR ranks by a query-document scalar product, which PPS cannot
+compute; the paper approximates it by bucketing keyword *importance*:
+partition the feature (rank) space as {first, first 5, first 10, first 25}
+and, for a keyword at rank j, store the word ``top{t}|{keyword}`` for every
+threshold ``t >= j``.  A ranked query asks for documents where a keyword is
+within the first ``t`` features.
+
+With the default thresholds a document gains ``1 + 5 + 10 + 25 = 41`` extra
+stored words (the paper's count), growing Bloom metadata from ~130 B to
+~250 B.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+from .base import EncryptedMetadata, EncryptedQuery, PPSScheme
+from .keyword_bloom import BloomKeywordScheme
+
+__all__ = ["RankedScheme", "DEFAULT_THRESHOLDS"]
+
+DEFAULT_THRESHOLDS = (1, 5, 10, 25)
+
+
+class RankedScheme(PPSScheme):
+    name = "ranked"
+
+    def __init__(
+        self,
+        key: bytes,
+        thresholds: Sequence[int] = DEFAULT_THRESHOLDS,
+        max_keywords: int = 50,
+        fp_rate: float = 1e-5,
+    ) -> None:
+        if not thresholds:
+            raise ValueError("need at least one rank threshold")
+        self.thresholds = tuple(sorted(set(int(t) for t in thresholds)))
+        if self.thresholds[0] < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.max_keywords = max_keywords
+        # Stored words: the plain keywords plus sum(thresholds) rank words.
+        capacity = max_keywords + sum(
+            min(t, max_keywords) for t in self.thresholds
+        )
+        self._base = BloomKeywordScheme(key, max_words=capacity, fp_rate=fp_rate)
+
+    def rank_words(self, ranked_keywords: Sequence[str]) -> list[str]:
+        """All stored words for a rank-ordered keyword list.
+
+        ``ranked_keywords[0]`` is the most important feature.  Output is the
+        plain keywords (supporting unranked queries) plus ``top{t}|{kw}``
+        for each keyword within each threshold.
+        """
+        if len(ranked_keywords) > self.max_keywords:
+            raise ValueError(
+                f"too many keywords ({len(ranked_keywords)} > {self.max_keywords})"
+            )
+        words = [str(k).lower() for k in ranked_keywords]
+        out = list(words)
+        for t in self.thresholds:
+            out.extend(f"top{t}|{kw}" for kw in words[:t])
+        return out
+
+    def query_word(self, keyword: str, within_top: int | None = None) -> str:
+        """The stored word a (keyword, rank-threshold) query targets."""
+        keyword = str(keyword).lower()
+        if within_top is None:
+            return keyword
+        if within_top not in self.thresholds:
+            raise ValueError(
+                f"threshold {within_top} not offered; choose from {self.thresholds}"
+            )
+        return f"top{within_top}|{keyword}"
+
+    # -- scheme interface --------------------------------------------------------
+    def encrypt_query(self, query: tuple[str, int | None] | str) -> EncryptedQuery:
+        if isinstance(query, str):
+            keyword, top = query, None
+        else:
+            keyword, top = query
+        inner = self._base.encrypt_query(self.query_word(keyword, top))
+        return EncryptedQuery(self.name, inner, size_bytes=inner.size_bytes)
+
+    def encrypt_metadata(self, metadata: Sequence[str]) -> EncryptedMetadata:
+        inner = self._base.encrypt_metadata(self.rank_words(metadata))
+        return EncryptedMetadata(self.name, inner, size_bytes=inner.size_bytes)
+
+    def match(self, enc_metadata: EncryptedMetadata, enc_query: EncryptedQuery) -> bool:
+        self._check_scheme(enc_metadata, enc_query)
+        return self._base.match(enc_metadata.payload, enc_query.payload)
+
+    def cover(self, q1: EncryptedQuery, q2: EncryptedQuery) -> bool:
+        return self._base.cover(q1.payload, q2.payload)

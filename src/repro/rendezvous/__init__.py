@@ -1,0 +1,29 @@
+"""Distributed Rendezvous algorithms: the abstraction and all baselines."""
+
+from .base import (
+    Assignment,
+    RendezvousAlgorithm,
+    ServerInfo,
+    load_imbalance,
+    partitioning_level,
+)
+from .dual import DualPTN, DualSW
+from .ptn import PTN
+from .rand import Randomized, expected_harvest
+from .roar_adapter import RoarAlgorithm
+from .sw import SlidingWindow
+
+__all__ = [
+    "Assignment",
+    "DualPTN",
+    "DualSW",
+    "PTN",
+    "Randomized",
+    "RendezvousAlgorithm",
+    "RoarAlgorithm",
+    "ServerInfo",
+    "SlidingWindow",
+    "expected_harvest",
+    "load_imbalance",
+    "partitioning_level",
+]

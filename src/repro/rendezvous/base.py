@@ -1,0 +1,143 @@
+"""The Distributed Rendezvous abstraction (Chapter 2, Definitions 1-3).
+
+A Distributed Rendezvous (DR) algorithm takes ``n`` servers and a
+replication level ``r`` and offers two operations: *store object* (replicate
+onto r servers) and *run query* (forward to enough servers that all objects
+are met -- the partitioning level ``p = n/r`` under perfect balance).
+
+This module defines the common interface the PTN / SW / RAND / ROAR
+implementations expose so the comparison experiments (Chapter 6) can drive
+them interchangeably, plus the harvest/yield and load-imbalance metrics.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..core.objects import DataObject
+
+__all__ = [
+    "ServerInfo",
+    "Assignment",
+    "RendezvousAlgorithm",
+    "load_imbalance",
+    "partitioning_level",
+]
+
+
+def load_imbalance(assigned: Sequence[int | float]) -> float:
+    """Definition 3: max assigned / mean assigned (1 = perfect, n = worst)."""
+    if not assigned:
+        return 1.0
+    mean = sum(assigned) / len(assigned)
+    if mean <= 0:
+        return 1.0
+    return max(assigned) / mean
+
+
+def partitioning_level(n: int, r: float) -> float:
+    """The r*p = n relation (Eq. 2.1) under perfect load balancing."""
+    if r <= 0:
+        raise ValueError("replication level must be positive")
+    return n / r
+
+
+@dataclass
+class ServerInfo:
+    """A server as seen by a placement algorithm."""
+
+    name: str
+    speed: float = 1.0
+    alive: bool = True
+
+
+@dataclass
+class Assignment:
+    """One sub-query of a planned query: target server + work share."""
+
+    server: str
+    work_fraction: float  # fraction of the total dataset this sub-query scans
+    finish: float = 0.0  # scheduler's predicted completion delay
+
+
+#: estimator signature shared with the core scheduler: predicted finish
+#: delay for a sub-query covering ``fraction`` of the dataset on ``server``.
+DelayEstimator = Callable[[str, float], float]
+
+
+class RendezvousAlgorithm(abc.ABC):
+    """Interface every DR implementation provides."""
+
+    name: str = "abstract"
+
+    def __init__(self, servers: Sequence[ServerInfo]) -> None:
+        if not servers:
+            raise ValueError("need at least one server")
+        self.servers = list(servers)
+        self.by_name = {s.name: s for s in self.servers}
+        self.objects: list[DataObject] = []
+        self.bytes_moved = 0  # replica traffic from placement/reconfiguration
+
+    # -- storage --------------------------------------------------------------
+    @abc.abstractmethod
+    def place(self, objects: Iterable[DataObject]) -> None:
+        """Assign replicas for *objects* (replacing any current placement)."""
+
+    @abc.abstractmethod
+    def replica_holders(self, obj: DataObject) -> list[str]:
+        """Names of the servers holding a replica of *obj*."""
+
+    def store_counts(self) -> dict[str, int]:
+        """Replica count per server (for load-imbalance measurements)."""
+        counts = {s.name: 0 for s in self.servers}
+        for obj in self.objects:
+            for name in self.replica_holders(obj):
+                counts[name] += 1
+        return counts
+
+    def data_imbalance(self) -> float:
+        return load_imbalance(list(self.store_counts().values()))
+
+    # -- queries ---------------------------------------------------------------
+    @abc.abstractmethod
+    def schedule(
+        self,
+        estimator: DelayEstimator,
+        rng: random.Random | None = None,
+    ) -> list[Assignment]:
+        """Plan one query: choose a target server for every sub-query,
+        minimising predicted makespan within the algorithm's choice space."""
+
+    @abc.abstractmethod
+    def covered_objects(self, plan: Sequence[Assignment]) -> set[int]:
+        """Indices (into ``self.objects``) of objects a plan would visit.
+
+        Used to measure *harvest* (Brewer): deterministic algorithms return
+        everything; randomized ones may miss objects.
+        """
+
+    def harvest(self, plan: Sequence[Assignment]) -> float:
+        if not self.objects:
+            return 1.0
+        return len(self.covered_objects(plan)) / len(self.objects)
+
+    # -- reconfiguration ---------------------------------------------------------
+    @abc.abstractmethod
+    def change_p(self, p_new: int) -> int:
+        """Move to partitioning level *p_new*; returns bytes transferred."""
+
+    # -- introspection -------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.servers)
+
+    def alive_servers(self) -> list[ServerInfo]:
+        return [s for s in self.servers if s.alive]
+
+    def choice_count(self) -> float:
+        """Number of distinct server combinations available per query."""
+        raise NotImplementedError

@@ -1,0 +1,222 @@
+"""Dual variants of PTN and SW (Sections 3.1, 3.3).
+
+*Dual PTN*: ``r`` clusters instead of ``p``; each object is stored once per
+cluster (on a random member); a query runs on every server of one randomly
+chosen cluster.  Suited to multi-data-centre deployments where a query
+should complete inside one site; otherwise performs like PTN.
+
+*Dual SW* (Glacier-style): each object is stored at ``r`` equidistant ring
+points; a query covers one contiguous ``1/r`` arc.  Changing r relocates a
+``1/n`` fraction of objects per step and requires per-object replica
+pointers -- the administrative complexity that disqualified it.
+
+Both are implemented for the comparison experiments that justify dropping
+them from the candidate list.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..core.objects import DataObject
+from .base import Assignment, DelayEstimator, RendezvousAlgorithm, ServerInfo
+
+__all__ = ["DualPTN", "DualSW"]
+
+
+class DualPTN(RendezvousAlgorithm):
+    name = "dual-ptn"
+
+    def __init__(
+        self,
+        servers: Sequence[ServerInfo],
+        r: int,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(servers)
+        if not 1 <= r <= len(servers):
+            raise ValueError(f"r must be in [1, n], got {r}")
+        self.r = r
+        self.rng = rng or random.Random()
+        # r clusters, round-robin by speed for balanced capacity.
+        self.clusters: list[list[ServerInfo]] = [[] for _ in range(r)]
+        for i, server in enumerate(sorted(servers, key=lambda s: -s.speed)):
+            self.clusters[i % r].append(server)
+        self._holder_of_obj: list[list[str]] = []  # one holder per cluster
+
+    @property
+    def p(self) -> float:
+        return len(self.servers) / self.r
+
+    def place(self, objects: Iterable[DataObject]) -> None:
+        self.objects = list(objects)
+        self._holder_of_obj = []
+        for obj in self.objects:
+            holders = [self.rng.choice(cluster).name for cluster in self.clusters]
+            self._holder_of_obj.append(holders)
+            self.bytes_moved += obj.size * self.r
+
+    def replica_holders(self, obj: DataObject) -> list[str]:
+        idx = self.objects.index(obj)
+        return list(self._holder_of_obj[idx])
+
+    def schedule(
+        self,
+        estimator: DelayEstimator,
+        rng: random.Random | None = None,
+    ) -> list[Assignment]:
+        """Pick the cluster whose slowest member finishes first; the query
+        runs on *all* servers of that cluster."""
+        per_server = self._replica_counts()
+        total = max(1, len(self.objects))
+        best_plan: list[Assignment] | None = None
+        best_makespan = float("inf")
+        for cluster in self.clusters:
+            if any(not s.alive for s in cluster):
+                continue
+            plan = []
+            makespan = 0.0
+            for server in cluster:
+                fraction = per_server.get(server.name, 0) / total
+                fin = estimator(server.name, fraction)
+                plan.append(Assignment(server.name, fraction, fin))
+                makespan = max(makespan, fin)
+            if makespan < best_makespan:
+                best_makespan = makespan
+                best_plan = plan
+        if best_plan is None:
+            raise LookupError("no fully-alive cluster available")
+        return best_plan
+
+    def _replica_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for holders in self._holder_of_obj:
+            for name in holders:
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def covered_objects(self, plan: Sequence[Assignment]) -> set[int]:
+        targeted = {a.server for a in plan}
+        return {
+            i
+            for i, holders in enumerate(self._holder_of_obj)
+            if targeted.intersection(holders)
+        }
+
+    def choice_count(self) -> float:
+        return float(sum(1 for c in self.clusters if all(s.alive for s in c)))
+
+    def change_p(self, p_new: int) -> int:
+        raise NotImplementedError(
+            "dual PTN reconfigures by changing r (cluster count); "
+            "rebuild the instance instead"
+        )
+
+
+class DualSW(RendezvousAlgorithm):
+    name = "dual-sw"
+
+    def __init__(
+        self,
+        servers: Sequence[ServerInfo],
+        r: int,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(servers)
+        n = len(servers)
+        if not 1 <= r <= n:
+            raise ValueError(f"r must be in [1, n], got {r}")
+        self.r = r
+        self.rng = rng or random.Random()
+        self._pos_of_obj: list[float] = []
+
+    @property
+    def p(self) -> float:
+        return self.r  # a query covers a 1/r arc on each of... see below
+
+    def _holder_indices(self, pos: float) -> list[int]:
+        """Servers at the r equidistant replica points for ring position pos."""
+        n = len(self.servers)
+        out = []
+        for j in range(self.r):
+            point = (pos + j / self.r) % 1.0
+            out.append(int(point * n) % n)
+        return out
+
+    def place(self, objects: Iterable[DataObject]) -> None:
+        self.objects = list(objects)
+        self._pos_of_obj = [self.rng.random() for _ in self.objects]
+        self.bytes_moved += sum(o.size for o in self.objects) * self.r
+
+    def replica_holders(self, obj: DataObject) -> list[str]:
+        idx = self.objects.index(obj)
+        return [
+            self.servers[i].name for i in self._holder_indices(self._pos_of_obj[idx])
+        ]
+
+    def schedule(
+        self,
+        estimator: DelayEstimator,
+        rng: random.Random | None = None,
+    ) -> list[Assignment]:
+        """Query all servers in the best-performing 1/r arc of the ring."""
+        rng = rng or self.rng
+        n = len(self.servers)
+        arc_servers = max(1, n // self.r)
+        best_plan: list[Assignment] | None = None
+        best_makespan = float("inf")
+        for start in range(self.r):
+            first = start * arc_servers
+            members = [self.servers[(first + j) % n] for j in range(arc_servers)]
+            if any(not s.alive for s in members):
+                continue
+            plan = []
+            makespan = 0.0
+            fraction = 1.0 / n  # each server holds ~1/n of each replica set
+            for server in members:
+                fin = estimator(server.name, fraction * self.r)
+                plan.append(Assignment(server.name, fraction * self.r, fin))
+                makespan = max(makespan, fin)
+            if makespan < best_makespan:
+                best_makespan = makespan
+                best_plan = plan
+        if best_plan is None:
+            raise LookupError("no fully-alive arc available")
+        return best_plan
+
+    def covered_objects(self, plan: Sequence[Assignment]) -> set[int]:
+        targeted = {a.server for a in plan}
+        covered = set()
+        for i, pos in enumerate(self._pos_of_obj):
+            holders = {
+                self.servers[j].name for j in self._holder_indices(pos)
+            }
+            if holders & targeted:
+                covered.add(i)
+        return covered
+
+    def choice_count(self) -> float:
+        return float(self.r)
+
+    def change_r(self, r_new: int) -> int:
+        """Equidistant replicas relocate when r changes: ~D/n per step plus
+        the new replicas themselves (the cost that disqualified dual SW)."""
+        n = len(self.servers)
+        if not 1 <= r_new <= n:
+            raise ValueError(f"r_new must be in [1, n], got {r_new}")
+        steps = abs(r_new - self.r)
+        relocated = int(len(self.objects) / max(n, 1)) * steps
+        new_replicas = max(0, r_new - self.r) * len(self.objects)
+        mean_size = (
+            sum(o.size for o in self.objects) / len(self.objects)
+            if self.objects
+            else 0
+        )
+        moved = int((relocated + new_replicas) * mean_size)
+        self.r = r_new
+        self.bytes_moved += moved
+        return moved
+
+    def change_p(self, p_new: int) -> int:
+        return self.change_r(max(1, int(round(len(self.servers) / p_new))))

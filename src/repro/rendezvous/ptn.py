@@ -1,0 +1,219 @@
+"""Partitioned Distributed Rendezvous -- the Google-style baseline (Sec 3.1).
+
+The ``n`` servers are divided into ``p`` clusters of roughly ``n/p``; each
+object is stored on *every* server of one randomly chosen cluster; a query
+is sent to one server per cluster.  The scheduler therefore has ``r^p``
+combinations and can simply pick, per cluster, the server predicted to
+finish first -- ``O(n)`` total.
+
+Changing p is disruptive (Section 3.1): decreasing p destroys a cluster
+(its objects are re-stored on every server of surviving clusters, then the
+freed servers re-load a full partition each); increasing p steals servers
+from each cluster to form a new one, which then pulls objects over for
+balance.  ``change_p`` implements both directions and accounts the bytes
+moved, which is the quantity Fig 7.5 / Table 6.2 compare against ROAR.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Sequence
+
+from ..core.objects import DataObject
+from .base import Assignment, DelayEstimator, RendezvousAlgorithm, ServerInfo
+
+__all__ = ["PTN"]
+
+
+class PTN(RendezvousAlgorithm):
+    name = "ptn"
+
+    def __init__(
+        self,
+        servers: Sequence[ServerInfo],
+        p: int,
+        rng: random.Random | None = None,
+        balanced_clusters: bool = True,
+    ) -> None:
+        super().__init__(servers)
+        if not 1 <= p <= len(servers):
+            raise ValueError(f"p must be in [1, n], got {p}")
+        self.p = p
+        self.rng = rng or random.Random()
+        self.balanced_clusters = balanced_clusters
+        self.clusters: list[list[ServerInfo]] = []
+        self._cluster_of_obj: list[int] = []
+        self._build_clusters()
+
+    # -- cluster construction ---------------------------------------------------
+    def _build_clusters(self) -> None:
+        """Split servers into p clusters.
+
+        With ``balanced_clusters`` the paper's throughput requirement is
+        honoured: clusters are built greedily so the *sum of speeds* is
+        roughly equal across clusters (no cluster becomes the bottleneck).
+        """
+        self.clusters = [[] for _ in range(self.p)]
+        if self.balanced_clusters:
+            order = sorted(self.servers, key=lambda s: -s.speed)
+            caps = [0.0] * self.p
+            sizes = [0] * self.p
+            max_size = math.ceil(len(self.servers) / self.p)
+            for server in order:
+                candidates = [i for i in range(self.p) if sizes[i] < max_size]
+                target = min(candidates, key=lambda i: caps[i])
+                self.clusters[target].append(server)
+                caps[target] += server.speed
+                sizes[target] += 1
+        else:
+            for i, server in enumerate(self.servers):
+                self.clusters[i % self.p].append(server)
+
+    @property
+    def r(self) -> float:
+        return len(self.servers) / self.p
+
+    # -- storage ------------------------------------------------------------------
+    def place(self, objects: Iterable[DataObject]) -> None:
+        self.objects = list(objects)
+        self._cluster_of_obj = [
+            self.rng.randrange(self.p) for _ in self.objects
+        ]
+        self.bytes_moved += sum(
+            obj.size * len(self.clusters[c])
+            for obj, c in zip(self.objects, self._cluster_of_obj)
+        )
+
+    def replica_holders(self, obj: DataObject) -> list[str]:
+        idx = self.objects.index(obj)
+        cluster = self._cluster_of_obj[idx]
+        return [s.name for s in self.clusters[cluster]]
+
+    def cluster_fraction(self, cluster_idx: int) -> float:
+        """Fraction of the dataset stored in a cluster."""
+        if not self.objects:
+            return 1.0 / self.p
+        count = sum(1 for c in self._cluster_of_obj if c == cluster_idx)
+        return count / len(self.objects)
+
+    # -- scheduling --------------------------------------------------------------------
+    def schedule(
+        self,
+        estimator: DelayEstimator,
+        rng: random.Random | None = None,
+    ) -> list[Assignment]:
+        """Per cluster, pick the alive server that finishes first (O(n))."""
+        plan: list[Assignment] = []
+        for idx, cluster in enumerate(self.clusters):
+            fraction = self.cluster_fraction(idx)
+            best_name = None
+            best_finish = float("inf")
+            for server in cluster:
+                if not server.alive:
+                    continue
+                fin = estimator(server.name, fraction)
+                if fin < best_finish:
+                    best_finish = fin
+                    best_name = server.name
+            if best_name is None:
+                raise LookupError(f"cluster {idx} has no alive servers")
+            plan.append(Assignment(best_name, fraction, best_finish))
+        return plan
+
+    def covered_objects(self, plan: Sequence[Assignment]) -> set[int]:
+        visited_clusters = set()
+        name_to_cluster = {
+            s.name: ci for ci, cl in enumerate(self.clusters) for s in cl
+        }
+        for assignment in plan:
+            visited_clusters.add(name_to_cluster[assignment.server])
+        return {
+            i
+            for i, c in enumerate(self._cluster_of_obj)
+            if c in visited_clusters
+        }
+
+    def choice_count(self) -> float:
+        count = 1.0
+        for cluster in self.clusters:
+            count *= max(1, sum(1 for s in cluster if s.alive))
+        return count
+
+    # -- reconfiguration ------------------------------------------------------------------
+    def change_p(self, p_new: int) -> int:
+        """Repartition to *p_new* clusters, returning bytes transferred.
+
+        Decreasing p: destroy ``p - p_new`` clusters; every object of a
+        destroyed cluster is copied onto all servers of a surviving cluster;
+        freed servers then join surviving clusters and each downloads that
+        cluster's full partition.
+
+        Increasing p: pull servers out of existing clusters to form new
+        ones; each new cluster downloads the objects rebalanced onto it.
+        """
+        if not 1 <= p_new <= len(self.servers):
+            raise ValueError(f"p_new must be in [1, n], got {p_new}")
+        if p_new == self.p:
+            return 0
+        moved = 0
+        obj_count = len(self.objects)
+        mean_obj_size = (
+            sum(o.size for o in self.objects) / obj_count if obj_count else 0
+        )
+
+        if p_new < self.p:
+            doomed = list(range(p_new, self.p))
+            survivors = list(range(p_new))
+            freed: list[ServerInfo] = []
+            for ci in doomed:
+                freed.extend(self.clusters[ci])
+            # 1. Objects from doomed clusters re-homed onto survivors
+            #    (copied to every server of the receiving cluster).
+            for i, c in enumerate(self._cluster_of_obj):
+                if c in doomed:
+                    new_c = self.rng.choice(survivors)
+                    self._cluster_of_obj[i] = new_c
+                    moved += int(self.objects[i].size * len(self.clusters[new_c]))
+            self.clusters = self.clusters[:p_new]
+            # 2. Freed servers join surviving clusters and download that
+            #    cluster's entire partition.
+            for server in freed:
+                target = min(
+                    range(p_new), key=lambda i: sum(s.speed for s in self.clusters[i])
+                )
+                self.clusters[target].append(server)
+                partition_objs = sum(
+                    1 for c in self._cluster_of_obj if c == target
+                )
+                moved += int(partition_objs * mean_obj_size)
+        else:
+            extra = p_new - self.p
+            new_clusters: list[list[ServerInfo]] = [[] for _ in range(extra)]
+            # Steal servers round-robin from the largest clusters.
+            target_size = max(1, len(self.servers) // p_new)
+            for new_c in new_clusters:
+                while len(new_c) < target_size:
+                    donor = max(self.clusters, key=len)
+                    if len(donor) <= 1:
+                        break
+                    new_c.append(donor.pop())
+            self.clusters.extend(new_clusters)
+            # Rebalance objects: move a fair share onto each new cluster.
+            if obj_count:
+                share = obj_count // p_new
+                movable = [
+                    i for i, c in enumerate(self._cluster_of_obj) if c < self.p
+                ]
+                self.rng.shuffle(movable)
+                cursor = 0
+                for new_idx in range(self.p, p_new):
+                    for i in movable[cursor : cursor + share]:
+                        self._cluster_of_obj[i] = new_idx
+                        moved += int(
+                            self.objects[i].size * len(self.clusters[new_idx])
+                        )
+                    cursor += share
+        self.p = p_new
+        self.bytes_moved += moved
+        return moved

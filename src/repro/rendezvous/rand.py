@@ -1,0 +1,160 @@
+"""Randomized Distributed Rendezvous (Section 3.2; BubbleStorm-style).
+
+Objects are replicated on ``c * r`` servers chosen by a random walk; queries
+are routed to ``c * n / r`` random servers.  Coverage is probabilistic: the
+chance a particular object is missed by a query is roughly the chance that
+two random subsets of sizes ``c*r`` and ``c*n/r`` of an ``n``-set are
+disjoint.  With the typical ``c = 2`` harvest is about 98%.
+
+The paper sets RAND aside for data-centre use (it costs ~``c^2``x more than
+deterministic algorithms for <100% harvest) -- we implement it to reproduce
+that comparison and the harvest measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Sequence
+
+from ..core.objects import DataObject
+from .base import Assignment, DelayEstimator, RendezvousAlgorithm, ServerInfo
+
+__all__ = ["Randomized", "expected_harvest"]
+
+
+def expected_harvest(n: int, r: int, c: float = 2.0) -> float:
+    """Probability a random query visits a random object's replica set.
+
+    Replicas on ``c*r`` servers; query on ``c*n/r`` servers; miss
+    probability is ``C(n - cr, cn/r) / C(n, cn/r)`` which is approximately
+    ``(1 - c*r/n)^(c*n/r) ~= exp(-c^2)``.
+    """
+    replicas = min(n, int(round(c * r)))
+    queried = min(n, int(round(c * n / r)))
+    if replicas + queried >= n:
+        return 1.0
+    # exact hypergeometric complement, computed in log space
+    log_miss = 0.0
+    for i in range(queried):
+        log_miss += math.log((n - replicas - i) / (n - i))
+    return 1.0 - math.exp(log_miss)
+
+
+class Randomized(RendezvousAlgorithm):
+    name = "rand"
+
+    def __init__(
+        self,
+        servers: Sequence[ServerInfo],
+        r: int,
+        c: float = 2.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(servers)
+        n = len(servers)
+        if not 1 <= r <= n:
+            raise ValueError(f"r must be in [1, n], got {r}")
+        if c <= 0:
+            raise ValueError("c must be positive")
+        self.r = r
+        self.c = c
+        self.rng = rng or random.Random()
+        self._holders_of_obj: list[list[int]] = []
+
+    @property
+    def replicas_per_object(self) -> int:
+        return min(len(self.servers), int(round(self.c * self.r)))
+
+    @property
+    def servers_per_query(self) -> int:
+        return min(
+            len(self.servers), max(1, int(round(self.c * len(self.servers) / self.r)))
+        )
+
+    # -- storage ---------------------------------------------------------------
+    def place(self, objects: Iterable[DataObject]) -> None:
+        self.objects = list(objects)
+        n = len(self.servers)
+        k = self.replicas_per_object
+        self._holders_of_obj = [
+            self.rng.sample(range(n), k) for _ in self.objects
+        ]
+        self.bytes_moved += sum(o.size for o in self.objects) * k
+
+    def replica_holders(self, obj: DataObject) -> list[str]:
+        idx = self.objects.index(obj)
+        return [self.servers[i].name for i in self._holders_of_obj[idx]]
+
+    # -- queries -------------------------------------------------------------------
+    def schedule(
+        self,
+        estimator: DelayEstimator,
+        rng: random.Random | None = None,
+    ) -> list[Assignment]:
+        """Send the query to ``c*n/r`` random alive servers.
+
+        Every targeted server scans its whole local replica set, so the work
+        fraction per sub-query is the server's share of stored replicas.
+        """
+        rng = rng or self.rng
+        alive = [i for i, s in enumerate(self.servers) if s.alive]
+        count = min(len(alive), self.servers_per_query)
+        chosen = rng.sample(alive, count)
+        per_server = self._replicas_per_server()
+        total = max(1, len(self.objects))
+        plan = []
+        for idx in chosen:
+            fraction = per_server.get(idx, 0) / total
+            name = self.servers[idx].name
+            plan.append(Assignment(name, fraction, estimator(name, fraction)))
+        return plan
+
+    def _replicas_per_server(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for holders in self._holders_of_obj:
+            for i in holders:
+                counts[i] = counts.get(i, 0) + 1
+        return counts
+
+    def covered_objects(self, plan: Sequence[Assignment]) -> set[int]:
+        targeted = {a.server for a in plan}
+        index_of = {s.name: i for i, s in enumerate(self.servers)}
+        target_idx = {index_of[name] for name in targeted}
+        return {
+            i
+            for i, holders in enumerate(self._holders_of_obj)
+            if target_idx.intersection(holders)
+        }
+
+    def choice_count(self) -> float:
+        n = len(self.alive_servers())
+        k = self.servers_per_query
+        return float(math.comb(n, min(n, k)))
+
+    # -- reconfiguration ---------------------------------------------------------------
+    def change_r(self, r_new: int) -> int:
+        """Extend/trim each object's random walk; returns bytes transferred."""
+        n = len(self.servers)
+        if not 1 <= r_new <= n:
+            raise ValueError(f"r_new must be in [1, n], got {r_new}")
+        old_k = self.replicas_per_object
+        self.r = r_new
+        new_k = self.replicas_per_object
+        moved = 0
+        if new_k > old_k:
+            for i, holders in enumerate(self._holders_of_obj):
+                available = [j for j in range(n) if j not in holders]
+                extra = self.rng.sample(available, min(new_k - old_k, len(available)))
+                holders.extend(extra)
+                moved += self.objects[i].size * len(extra)
+        elif new_k < old_k:
+            for holders in self._holders_of_obj:
+                del holders[new_k:]
+        self.bytes_moved += moved
+        return moved
+
+    def change_p(self, p_new: int) -> int:
+        n = len(self.servers)
+        r_new = max(1, int(round(n / p_new)))
+        return self.change_r(r_new)

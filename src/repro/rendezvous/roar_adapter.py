@@ -1,0 +1,159 @@
+"""ROAR exposed through the generic DR interface.
+
+Wraps the core ring + heap scheduler so the Chapter 6 comparison harness can
+drive PTN, SW, RAND and ROAR uniformly.  ``speeds -> proportional ranges``
+is the load-balanced steady state the background balancer converges to, so
+the adapter builds the ring that way by default.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..core.ids import Arc, cw_distance
+from ..core.objects import DataObject, replication_range
+from ..core.ring import Ring, RingNode
+from ..core.scheduler import schedule_heap
+from .base import Assignment, DelayEstimator, RendezvousAlgorithm, ServerInfo
+
+__all__ = ["RoarAlgorithm"]
+
+
+class RoarAlgorithm(RendezvousAlgorithm):
+    name = "roar"
+
+    def __init__(
+        self,
+        servers: Sequence[ServerInfo],
+        p: int,
+        rng: random.Random | None = None,
+        n_rings: int = 1,
+        proportional: bool = True,
+    ) -> None:
+        super().__init__(servers)
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        self.p = p
+        self.rng = rng or random.Random()
+        self.rings = self._build_rings(n_rings, proportional)
+        self._node_ranges: dict[str, Arc] = {}
+        self._refresh_ranges()
+        self._oid_of_obj: list[float] = []
+
+    def _build_rings(self, n_rings: int, proportional: bool) -> list[Ring]:
+        groups: list[list[ServerInfo]] = [[] for _ in range(n_rings)]
+        caps = [0.0] * n_rings
+        for server in sorted(self.servers, key=lambda s: -s.speed):
+            target = min(range(n_rings), key=lambda i: caps[i])
+            groups[target].append(server)
+            caps[target] += server.speed
+        rings = []
+        for rid, members in enumerate(groups):
+            ring = Ring()
+            total = sum(s.speed for s in members) or 1.0
+            pos = 0.0
+            for server in members:
+                length = (
+                    server.speed / total if proportional else 1.0 / len(members)
+                )
+                ring.add_node(
+                    RingNode(server.name, pos, speed=server.speed, ring_id=rid)
+                )
+                pos += length
+            rings.append(ring)
+        return rings
+
+    def _refresh_ranges(self) -> None:
+        self._node_ranges = {}
+        for ring in self.rings:
+            for node in ring:
+                self._node_ranges[node.name] = ring.range_of(node)
+
+    @property
+    def r(self) -> float:
+        return len(self.servers) / self.p
+
+    # -- storage ----------------------------------------------------------------
+    def place(self, objects: Iterable[DataObject]) -> None:
+        self.objects = list(objects)
+        self._oid_of_obj = [o.oid for o in self.objects]
+        for obj in self.objects:
+            self.bytes_moved += obj.size * len(self.replica_holders(obj))
+
+    def replica_holders(self, obj: DataObject) -> list[str]:
+        arc = replication_range(obj, self.p)
+        holders = []
+        for ring in self.rings:
+            for node in ring:
+                if self._node_ranges[node.name].intersects(arc):
+                    holders.append(node.name)
+        return holders
+
+    # -- queries -----------------------------------------------------------------
+    def schedule(
+        self,
+        estimator: DelayEstimator,
+        rng: random.Random | None = None,
+        pq: int | None = None,
+    ) -> list[Assignment]:
+        pq = pq or self.p
+
+        def node_estimator(node: RingNode, fraction: float) -> float:
+            return estimator(node.name, fraction)
+
+        # keep liveness in sync with the ServerInfo flags
+        for ring in self.rings:
+            for node in ring:
+                node.alive = self.by_name[node.name].alive
+
+        result = schedule_heap(self.rings, pq, node_estimator)
+        return [
+            Assignment(node.name, 1.0 / pq, fin)
+            for node, fin in zip(result.assignment, result.finishes)
+        ]
+
+    def covered_objects(self, plan: Sequence[Assignment]) -> set[int]:
+        """Objects whose replica set intersects the plan's targets, assuming
+        the dedup window assignment implied by equally spaced points."""
+        targeted = {a.server for a in plan}
+        covered = set()
+        for i, oid in enumerate(self._oid_of_obj):
+            holders = set(self.replica_holders(self.objects[i]))
+            if holders & targeted:
+                covered.add(i)
+        return covered
+
+    def choice_count(self) -> float:
+        from ..core.multiring import choices_multiring, choices_sw
+
+        if len(self.rings) == 1:
+            return choices_sw(self.r, self.p)
+        return choices_multiring(self.r, self.p, len(self.rings))
+
+    # -- reconfiguration --------------------------------------------------------------
+    def change_p(self, p_new: int) -> int:
+        """Grow/shrink replication arcs; returns bytes transferred.
+
+        Shrinking arcs (p up) moves nothing; growing them (p down)
+        replicates each object over the extra arc length -- the minimal
+        possible transfer.
+        """
+        if p_new < 1:
+            raise ValueError("p_new must be >= 1")
+        moved = 0
+        if p_new < self.p:
+            extra = 1.0 / p_new - 1.0 / self.p
+            for obj in self.objects:
+                old_arc = replication_range(obj, self.p)
+                new_tail = Arc(old_arc.end, extra)
+                for ring in self.rings:
+                    for node in ring:
+                        node_range = self._node_ranges[node.name]
+                        if node_range.intersects(new_tail) and not node_range.intersects(
+                            old_arc
+                        ):
+                            moved += obj.size
+        self.p = p_new
+        self.bytes_moved += moved
+        return moved

@@ -1,0 +1,148 @@
+"""Sliding-Window Distributed Rendezvous -- the discrete baseline (Sec 3.3).
+
+The ``n`` nodes form a circular *list* (discrete positions).  An object
+assigned to start node ``k`` is stored on nodes ``k, k+1, ..., k+r-1``
+(mod n); a query starting at node ``s`` visits ``s, s+r, s+2r, ...`` --
+every ``r``-th node -- so it meets every object.  Only the starting node is
+free: the scheduler has exactly ``r`` choices (evaluating all of them is
+cheap), which is why SW's delay lags PTN/ROAR on heterogeneous pools.
+
+Changing r is beautifully incremental (copy/drop one successor replica per
+object) but the discrete positions make node churn disruptive -- the
+weakness ROAR's continuous ring removes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..core.objects import DataObject
+from .base import Assignment, DelayEstimator, RendezvousAlgorithm, ServerInfo
+
+__all__ = ["SlidingWindow"]
+
+
+class SlidingWindow(RendezvousAlgorithm):
+    name = "sw"
+
+    def __init__(
+        self,
+        servers: Sequence[ServerInfo],
+        r: int,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(servers)
+        n = len(servers)
+        if not 1 <= r <= n:
+            raise ValueError(f"r must be in [1, n], got {r}")
+        if n % r != 0:
+            raise ValueError(
+                f"discrete SW requires r | n for exact coverage (n={n}, r={r})"
+            )
+        self.r = r
+        self.rng = rng or random.Random()
+        self._start_of_obj: list[int] = []
+
+    @property
+    def p(self) -> int:
+        return len(self.servers) // self.r
+
+    # -- storage ------------------------------------------------------------
+    def place(self, objects: Iterable[DataObject]) -> None:
+        self.objects = list(objects)
+        n = len(self.servers)
+        self._start_of_obj = [self.rng.randrange(n) for _ in self.objects]
+        self.bytes_moved += sum(o.size for o in self.objects) * self.r
+
+    def replica_holders(self, obj: DataObject) -> list[str]:
+        idx = self.objects.index(obj)
+        start = self._start_of_obj[idx]
+        n = len(self.servers)
+        return [self.servers[(start + j) % n].name for j in range(self.r)]
+
+    # -- queries --------------------------------------------------------------
+    def query_nodes(self, start: int) -> list[int]:
+        """Node indices visited by a query starting at node *start*."""
+        n = len(self.servers)
+        return [(start + j * self.r) % n for j in range(self.p)]
+
+    def _work_of_node(self, node_idx: int) -> float:
+        """Fraction of objects node *node_idx* matches for a query hitting it.
+
+        A visited node matches objects whose start lies in the r-node window
+        ending at it: start in (node - r, node].
+        """
+        if not self.objects:
+            return self.r / len(self.servers)
+        n = len(self.servers)
+        window = {(node_idx - j) % n for j in range(self.r)}
+        count = sum(1 for s in self._start_of_obj if s in window)
+        return count / len(self.objects)
+
+    def schedule(
+        self,
+        estimator: DelayEstimator,
+        rng: random.Random | None = None,
+    ) -> list[Assignment]:
+        """Evaluate all r rotations; keep the one with the best makespan."""
+        best_plan: list[Assignment] | None = None
+        best_makespan = float("inf")
+        for start in range(self.r):
+            nodes = self.query_nodes(start)
+            if any(not self.servers[i].alive for i in nodes):
+                continue  # basic SW cannot reroute around failures
+            plan = []
+            makespan = 0.0
+            for node_idx in nodes:
+                fraction = self._work_of_node(node_idx)
+                fin = estimator(self.servers[node_idx].name, fraction)
+                plan.append(Assignment(self.servers[node_idx].name, fraction, fin))
+                makespan = max(makespan, fin)
+            if makespan < best_makespan:
+                best_makespan = makespan
+                best_plan = plan
+        if best_plan is None:
+            raise LookupError("no failure-free rotation available")
+        return best_plan
+
+    def covered_objects(self, plan: Sequence[Assignment]) -> set[int]:
+        n = len(self.servers)
+        index_of = {s.name: i for i, s in enumerate(self.servers)}
+        covered: set[int] = set()
+        for assignment in plan:
+            node_idx = index_of[assignment.server]
+            window = {(node_idx - j) % n for j in range(self.r)}
+            covered.update(
+                i for i, s in enumerate(self._start_of_obj) if s in window
+            )
+        return covered
+
+    def choice_count(self) -> float:
+        return float(self.r)
+
+    # -- reconfiguration -----------------------------------------------------------
+    def change_r(self, r_new: int) -> int:
+        """Incremental replication change; returns bytes transferred.
+
+        Increasing r by k: every object is copied onto its k next successor
+        nodes (k*D transfers).  Decreasing: replicas are dropped, nothing
+        moves.
+        """
+        n = len(self.servers)
+        if not 1 <= r_new <= n:
+            raise ValueError(f"r_new must be in [1, n], got {r_new}")
+        if n % r_new != 0:
+            raise ValueError(f"discrete SW requires r | n (n={n}, r={r_new})")
+        moved = 0
+        if r_new > self.r:
+            moved = sum(o.size for o in self.objects) * (r_new - self.r)
+        self.r = r_new
+        self.bytes_moved += moved
+        return moved
+
+    def change_p(self, p_new: int) -> int:
+        n = len(self.servers)
+        if n % p_new != 0:
+            raise ValueError(f"p_new must divide n (n={n}, p_new={p_new})")
+        return self.change_r(n // p_new)

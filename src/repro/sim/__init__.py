@@ -1,0 +1,46 @@
+"""Discrete-event simulation substrate (the Chapter 6 evaluation model)."""
+
+from .energy import DEFAULT_PROFILES, EnergyReport, PowerProfile, measure_energy
+from .engine import Event, Simulation
+from .network import NetworkModel, TrafficLedger
+from .queueing import md1_delay, md1_wait, min_p_for_delay, mm1_wait, utilisation
+from .server import SimServer, TaskRecord
+from .tracing import DelayLog, QueryRecord, linear_fit, percentile
+from .transport import IncastModel, IncastResult, TransportConfig
+from .workload import (
+    DiurnalTrace,
+    PoissonArrivals,
+    StepTrace,
+    UniformArrivals,
+    arrivals_from_rate_fn,
+)
+
+__all__ = [
+    "DEFAULT_PROFILES",
+    "DelayLog",
+    "DiurnalTrace",
+    "EnergyReport",
+    "Event",
+    "IncastModel",
+    "IncastResult",
+    "TransportConfig",
+    "NetworkModel",
+    "PoissonArrivals",
+    "PowerProfile",
+    "QueryRecord",
+    "SimServer",
+    "Simulation",
+    "StepTrace",
+    "TaskRecord",
+    "TrafficLedger",
+    "UniformArrivals",
+    "arrivals_from_rate_fn",
+    "linear_fit",
+    "md1_delay",
+    "md1_wait",
+    "measure_energy",
+    "min_p_for_delay",
+    "mm1_wait",
+    "percentile",
+    "utilisation",
+]

@@ -1,0 +1,96 @@
+"""Energy model for the power-savings experiments (Table 7.2).
+
+The paper measures that running at the minimum viable partitioning level
+(p=5) instead of the maximum (p=47) saves significant energy because fixed
+per-sub-query overheads are paid p times per query.  We model each server
+with a two-level power draw (idle/busy watts, typical of the 2009-era servers
+in Table 7.1) and integrate busy time reported by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .server import SimServer
+
+__all__ = ["PowerProfile", "EnergyReport", "measure_energy"]
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Idle/busy wattage for a server model."""
+
+    idle_watts: float
+    busy_watts: float
+
+    def power(self, utilisation: float) -> float:
+        """Linear interpolation between idle and busy draw."""
+        u = min(max(utilisation, 0.0), 1.0)
+        return self.idle_watts + (self.busy_watts - self.idle_watts) * u
+
+
+#: Representative profiles for the Table 7.1 server generations.  Absolute
+#: numbers are typical published figures for those models; only the busy-idle
+#: gap matters for the savings comparison.
+DEFAULT_PROFILES = {
+    "dell-1950": PowerProfile(idle_watts=210.0, busy_watts=305.0),
+    "dell-2950": PowerProfile(idle_watts=220.0, busy_watts=320.0),
+    "dell-1850": PowerProfile(idle_watts=190.0, busy_watts=260.0),
+    "sun-x4100": PowerProfile(idle_watts=180.0, busy_watts=245.0),
+}
+
+
+@dataclass
+class EnergyReport:
+    """Aggregate energy over an experiment."""
+
+    elapsed: float
+    total_joules: float
+    busy_joules: float
+    idle_joules: float
+
+    @property
+    def mean_watts(self) -> float:
+        return self.total_joules / self.elapsed if self.elapsed > 0 else 0.0
+
+    def savings_vs(self, other: "EnergyReport") -> float:
+        """Fractional energy saved relative to *other* (positive = cheaper)."""
+        if other.total_joules <= 0:
+            return 0.0
+        return 1.0 - self.total_joules / other.total_joules
+
+
+def measure_energy(
+    servers: Iterable[SimServer],
+    elapsed: float,
+    profiles: dict[str, PowerProfile] | None = None,
+    model_of: dict[str, str] | None = None,
+    default_profile: PowerProfile | None = None,
+) -> EnergyReport:
+    """Compute an :class:`EnergyReport` from simulated server busy times.
+
+    *model_of* maps server name -> model key in *profiles*; unmapped servers
+    use *default_profile* (default: the Dell 1950 profile).
+    """
+    profiles = profiles or DEFAULT_PROFILES
+    model_of = model_of or {}
+    default = default_profile or DEFAULT_PROFILES["dell-1950"]
+    busy_j = 0.0
+    idle_j = 0.0
+    for server in servers:
+        if server.power_busy > 0.0 or server.power_idle > 0.0:
+            # The server carries its own power figures.
+            profile = PowerProfile(server.power_idle, server.power_busy)
+        else:
+            profile = profiles.get(model_of.get(server.name, ""), default)
+        busy = min(server.busy_time / server.cores, elapsed)
+        idle = max(0.0, elapsed - busy)
+        busy_j += busy * profile.busy_watts
+        idle_j += idle * profile.idle_watts
+    return EnergyReport(
+        elapsed=elapsed,
+        total_joules=busy_j + idle_j,
+        busy_joules=busy_j,
+        idle_joules=idle_j,
+    )

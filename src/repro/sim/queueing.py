@@ -1,0 +1,83 @@
+"""Queueing-theory helpers used by the analytical evaluation.
+
+Section 2.3.3 approximates a search server as an M/D/1 queue: waiting time
+grows with utilisation rho as ``rho / (1 - rho)`` (times half the service
+time, by Pollaczek-Khinchine for deterministic service).  These closed forms
+are used to sanity-check the simulator and to compute the ``minP`` function
+(the minimum partitioning level that achieves a target delay at given load).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "md1_wait",
+    "md1_delay",
+    "mm1_wait",
+    "utilisation",
+    "min_p_for_delay",
+]
+
+
+def utilisation(arrival_rate: float, service_time: float, servers: int = 1) -> float:
+    """Offered load rho for *servers* parallel single-server queues."""
+    if servers <= 0:
+        raise ValueError("servers must be positive")
+    return arrival_rate * service_time / servers
+
+
+def md1_wait(arrival_rate: float, service_time: float) -> float:
+    """Mean waiting time in queue for M/D/1 (Pollaczek-Khinchine).
+
+    W = rho * s / (2 * (1 - rho)).  Returns ``inf`` at or above saturation.
+    """
+    rho = arrival_rate * service_time
+    if rho >= 1.0:
+        return math.inf
+    return rho * service_time / (2.0 * (1.0 - rho))
+
+
+def md1_delay(arrival_rate: float, service_time: float) -> float:
+    """Mean sojourn time (wait + service) for M/D/1."""
+    wait = md1_wait(arrival_rate, service_time)
+    return wait + service_time if math.isfinite(wait) else math.inf
+
+
+def mm1_wait(arrival_rate: float, service_time: float) -> float:
+    """Mean waiting time for M/M/1: rho*s/(1-rho).  For comparison."""
+    rho = arrival_rate * service_time
+    if rho >= 1.0:
+        return math.inf
+    return rho * service_time / (1.0 - rho)
+
+
+def min_p_for_delay(
+    target_delay: float,
+    dataset_size: float,
+    total_speed: float,
+    n_servers: int,
+    query_rate: float,
+    fixed_overhead: float = 0.0,
+    p_max: int | None = None,
+) -> int | None:
+    """The ``minP`` function of Section 2.3.3.
+
+    Finds the smallest partitioning level ``p`` such that the expected query
+    delay -- modelled as M/D/1 sojourn time at each of the ``p`` sub-query
+    servers -- meets *target_delay*.
+
+    Each sub-query matches ``dataset_size / p`` objects; each of the ``n``
+    servers (average speed ``total_speed / n``) sees ``query_rate * p / n``
+    sub-queries per second.  Returns None if no feasible p exists.
+    """
+    if p_max is None:
+        p_max = n_servers
+    avg_speed = total_speed / n_servers
+    for p in range(1, p_max + 1):
+        service = fixed_overhead + (dataset_size / p) / avg_speed
+        per_server_rate = query_rate * p / n_servers
+        delay = md1_delay(per_server_rate, service)
+        if delay <= target_delay:
+            return p
+    return None

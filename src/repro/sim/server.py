@@ -1,0 +1,149 @@
+"""Simulated query servers with the paper's computation model.
+
+Definition 8 (Computation Model): each server has a fixed processing speed
+``cpu`` expressed as data objects matched per second; running a query over
+``d`` objects takes ``rtt + d/cpu`` seconds; execution is serial (tasks queue
+behind each other).  On top of this the experimental chapters add *fixed
+per-sub-query overheads* (thread start, message parse, reply send) which do
+not depend on the amount of data searched -- these are what make high
+partitioning levels expensive (Sections 2, 7.3.2).
+
+:class:`SimServer` models one server: a serial task queue characterised
+entirely by ``busy_until``, plus counters for utilisation/energy accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TaskRecord", "SimServer"]
+
+
+@dataclass
+class TaskRecord:
+    """One executed sub-query, for tracing."""
+
+    query_id: int
+    arrival: float
+    start: float
+    finish: float
+    work: float  # objects matched
+
+    @property
+    def wait(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def service(self) -> float:
+        return self.finish - self.start
+
+
+class SimServer:
+    """A serially executing server.
+
+    Attributes:
+        name: identifier.
+        speed: objects matched per second.
+        fixed_overhead: seconds of constant work added to every sub-query
+            regardless of its size (the per-query overhead of Section 7.3.2).
+        cores: number of independent execution lanes.  The paper's scheduler
+            model is serial (one lane); PPS experiments use one matching
+            thread per core, modelled as parallel lanes each running at
+            ``speed / 1`` with tasks going to the earliest-free lane.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        speed: float,
+        fixed_overhead: float = 0.0,
+        cores: int = 1,
+        power_idle: float = 0.0,
+        power_busy: float = 0.0,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        self.name = name
+        self.speed = float(speed)
+        self.fixed_overhead = float(fixed_overhead)
+        self.cores = max(1, int(cores))
+        self.power_idle = power_idle
+        self.power_busy = power_busy
+        self._lane_busy_until: list[float] = [0.0] * self.cores
+        self.busy_time: float = 0.0
+        self.tasks_run: int = 0
+        self.objects_matched: float = 0.0
+        self.failed: bool = False
+        self.trace: list[TaskRecord] = []
+        self.keep_trace: bool = False
+
+    # -- queue state --------------------------------------------------------
+    @property
+    def busy_until(self) -> float:
+        """Earliest time a new task could start (earliest-free lane)."""
+        return min(self._lane_busy_until)
+
+    def queue_backlog(self, now: float) -> float:
+        """Seconds of queued work ahead of a newly arriving task."""
+        return max(0.0, self.busy_until - now)
+
+    def service_time(self, work: float) -> float:
+        """Seconds to match *work* objects once started."""
+        return self.fixed_overhead + work / self.speed
+
+    def estimate_finish(self, now: float, work: float) -> float:
+        """Predicted completion time for a task of *work* objects arriving now."""
+        start = max(now, self.busy_until)
+        return start + self.service_time(work)
+
+    # -- execution ----------------------------------------------------------
+    def submit(self, now: float, work: float, query_id: int = -1) -> float:
+        """Enqueue a task; returns its completion time.
+
+        The task goes to the earliest-free lane and runs serially there.
+        """
+        if self.failed:
+            raise RuntimeError(f"server {self.name} has failed")
+        lane = min(range(self.cores), key=lambda i: self._lane_busy_until[i])
+        start = max(now, self._lane_busy_until[lane])
+        service = self.service_time(work)
+        finish = start + service
+        self._lane_busy_until[lane] = finish
+        self.busy_time += service
+        self.tasks_run += 1
+        self.objects_matched += work
+        if self.keep_trace:
+            self.trace.append(TaskRecord(query_id, now, start, finish, work))
+        return finish
+
+    def fail(self) -> None:
+        self.failed = True
+
+    def recover(self, now: float) -> None:
+        self.failed = False
+        self._lane_busy_until = [max(now, t) for t in self._lane_busy_until]
+
+    def reset(self) -> None:
+        self._lane_busy_until = [0.0] * self.cores
+        self.busy_time = 0.0
+        self.tasks_run = 0
+        self.objects_matched = 0.0
+        self.failed = False
+        self.trace.clear()
+
+    # -- accounting -----------------------------------------------------------
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of capacity used over *elapsed* seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (elapsed * self.cores))
+
+    def energy(self, elapsed: float) -> float:
+        """Joules consumed over *elapsed* seconds with the two-level model."""
+        busy = min(self.busy_time / self.cores, elapsed)
+        idle = max(0.0, elapsed - busy)
+        return busy * self.power_busy + idle * self.power_idle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimServer {self.name} x{self.speed:g} tasks={self.tasks_run}>"

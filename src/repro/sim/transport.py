@@ -1,0 +1,134 @@
+"""Transport model: reliable query delivery and the TCP incast problem.
+
+Section 4.8.4: ROAR sends sub-queries over TCP.  With large ``p`` all ``p``
+servers reply to the front-end at roughly the same instant; the burst
+overflows the switch buffer on the front-end's link, losses are only
+recovered after TCP's *minimum retransmission timeout* (200 ms on Linux,
+1 s per the RFC), and retransmissions can re-synchronise.  The fix the paper
+adopts (from the incast literature) is to drastically reduce the min RTO so
+recovery takes a few milliseconds.
+
+:class:`IncastModel` reproduces that behaviour at the fluid level: a reply
+burst of ``p`` flows of ``reply_packets`` each arrives into a drain-rate
+bottleneck with ``buffer_packets`` of queueing; overflow losses are retried
+after ``min_rto`` (with optional re-synchronisation), and the model reports
+the resulting *reply collection time* -- the transport component of query
+delay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["TransportConfig", "IncastResult", "IncastModel"]
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Switch/link parameters for the front-end's downlink."""
+
+    #: packets the bottleneck queue can hold (shallow ToR buffers: ~64-256).
+    buffer_packets: int = 128
+    #: bottleneck drain rate in packets/second (1 Gb/s, 1.5 kB packets).
+    drain_rate: float = 83_000.0
+    #: TCP minimum retransmission timeout (Linux default 200 ms).
+    min_rto: float = 0.200
+    #: packets in one sub-query reply.
+    reply_packets: int = 4
+    #: fraction of retried flows that re-synchronise into the same burst.
+    resync_fraction: float = 0.5
+    #: maximum retry rounds before declaring the model diverged.
+    max_rounds: int = 50
+
+
+@dataclass
+class IncastResult:
+    """Outcome of collecting one query's replies."""
+
+    collection_time: float  # seconds until every reply fully received
+    rounds: int  # 1 = no losses; each extra round cost ~min_rto
+    packets_lost: int
+    flows_lost: int  # sub-query replies that hit at least one timeout
+
+
+class IncastModel:
+    """Fluid model of synchronized reply bursts into a shallow buffer."""
+
+    def __init__(self, config: TransportConfig | None = None) -> None:
+        self.config = config or TransportConfig()
+
+    def burst_losses(self, flows: int) -> int:
+        """Packets dropped when *flows* replies arrive simultaneously.
+
+        The burst lands faster than the drain: packets beyond the buffer
+        plus the one-burst drain allowance are lost.  One packet per lost
+        flow is enough to strand that flow on a timeout (tail loss -- no
+        fast retransmit with these tiny windows).
+        """
+        cfg = self.config
+        arriving = flows * cfg.reply_packets
+        # Whatever drains during the burst itself (~burst serialization).
+        drained = int(cfg.drain_rate * (arriving / cfg.drain_rate) * 0.5)
+        capacity = cfg.buffer_packets + drained
+        return max(0, arriving - capacity)
+
+    def collect(self, p: int, rng: random.Random | None = None) -> IncastResult:
+        """Simulate reply collection for a ``p``-way query."""
+        cfg = self.config
+        rng = rng or random.Random()
+        remaining = p
+        time = 0.0
+        rounds = 0
+        lost_packets = 0
+        flows_ever_lost = 0
+
+        while remaining > 0:
+            if rounds >= cfg.max_rounds:
+                break
+            rounds += 1
+            burst_packets = remaining * cfg.reply_packets
+            time += burst_packets / cfg.drain_rate  # serialization/drain
+            lost = self.burst_losses(remaining)
+            if lost <= 0:
+                remaining = 0
+                break
+            # Tail losses strand ceil(lost / reply_packets) flows.
+            stranded = min(remaining, (lost + cfg.reply_packets - 1) // cfg.reply_packets)
+            lost_packets += lost
+            flows_ever_lost += stranded
+            completed = remaining - stranded
+            remaining = stranded
+            # Stranded flows time out; some re-synchronise into one burst,
+            # the rest trickle in staggered (arriving loss-free).
+            time += cfg.min_rto
+            resync = int(round(stranded * cfg.resync_fraction))
+            staggered = stranded - resync
+            time += staggered * cfg.reply_packets / cfg.drain_rate
+            remaining = resync
+            if remaining == 0:
+                break
+        return IncastResult(
+            collection_time=time,
+            rounds=rounds,
+            packets_lost=lost_packets,
+            flows_lost=flows_ever_lost,
+        )
+
+    def mean_collection_time(
+        self, p: int, samples: int = 20, seed: int = 0
+    ) -> float:
+        rng = random.Random(seed)
+        total = 0.0
+        for _ in range(samples):
+            total += self.collect(p, rng).collection_time
+        return total / samples
+
+    def incast_threshold(self) -> int:
+        """Largest p whose synchronized burst fits without loss."""
+        p = 1
+        while self.burst_losses(p + 1) == 0:
+            p += 1
+            if p > 1_000_000:  # pragma: no cover - defensive
+                break
+        return p

@@ -1,0 +1,127 @@
+"""Workload generators: query arrival processes and load traces.
+
+Chapter 6 drives the simulator with Poisson arrivals at a configurable mean;
+Chapter 7's dynamic-p experiment (Fig 7.5) uses a diurnal load trace with a
+2x-4x peak-to-trough ratio (Section 4.9.1 cites this range for real online
+services).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+__all__ = [
+    "PoissonArrivals",
+    "UniformArrivals",
+    "DiurnalTrace",
+    "StepTrace",
+    "arrivals_from_rate_fn",
+]
+
+
+@dataclass
+class PoissonArrivals:
+    """Open-loop Poisson query arrivals with constant *rate* (queries/sec)."""
+
+    rate: float
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        self._rng = random.Random(self.seed)
+
+    def times(self, count: int, start: float = 0.0) -> list[float]:
+        """The first *count* arrival times after *start*."""
+        out = []
+        t = start
+        for _ in range(count):
+            t += self._rng.expovariate(self.rate)
+            out.append(t)
+        return out
+
+    def __iter__(self) -> Iterator[float]:
+        t = 0.0
+        while True:
+            t += self._rng.expovariate(self.rate)
+            yield t
+
+
+@dataclass
+class UniformArrivals:
+    """Deterministic evenly spaced arrivals (closed-form sanity baseline)."""
+
+    rate: float
+
+    def times(self, count: int, start: float = 0.0) -> list[float]:
+        gap = 1.0 / self.rate
+        return [start + (i + 1) * gap for i in range(count)]
+
+
+@dataclass
+class DiurnalTrace:
+    """A sinusoidal day/night load pattern.
+
+    ``rate(t) = base * (1 + amplitude * sin(2*pi*t/period))`` with amplitude
+    chosen so the peak:trough ratio matches the requested value (default 3x,
+    inside the paper's 2x-4x range).
+    """
+
+    base_rate: float
+    period: float = 86400.0
+    peak_to_trough: float = 3.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_to_trough < 1.0:
+            raise ValueError("peak_to_trough must be >= 1")
+        # base*(1+a) / base*(1-a) = ratio  =>  a = (ratio-1)/(ratio+1)
+        self.amplitude = (self.peak_to_trough - 1.0) / (self.peak_to_trough + 1.0)
+
+    def rate(self, t: float) -> float:
+        return self.base_rate * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period + self.phase)
+        )
+
+
+@dataclass
+class StepTrace:
+    """Piecewise-constant load: list of (start_time, rate) steps."""
+
+    steps: Sequence[tuple[float, float]]
+
+    def rate(self, t: float) -> float:
+        current = 0.0
+        for start, rate in self.steps:
+            if t >= start:
+                current = rate
+            else:
+                break
+        return current
+
+
+def arrivals_from_rate_fn(
+    rate_fn: Callable[[float], float],
+    horizon: float,
+    max_rate: float,
+    seed: int | None = None,
+) -> list[float]:
+    """Sample a non-homogeneous Poisson process by thinning.
+
+    *max_rate* must upper-bound ``rate_fn`` over ``[0, horizon]``.
+    """
+    if max_rate <= 0:
+        raise ValueError("max_rate must be positive")
+    rng = random.Random(seed)
+    out: list[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(max_rate)
+        if t > horizon:
+            break
+        if rng.random() <= rate_fn(t) / max_rate:
+            out.append(t)
+    return out

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core import Ring, RingNode
+from repro.pps.crypto import keygen_deterministic
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def key():
+    return keygen_deterministic("unit-test-key")
+
+
+@pytest.fixture
+def uniform_ring():
+    """8 equal-speed nodes with equal ranges."""
+    return Ring.uniform(8)
+
+
+@pytest.fixture
+def hetero_ring():
+    """6 nodes with speeds 1..3 and ranges proportional to speed."""
+    return Ring.proportional([1.0, 2.0, 3.0, 1.0, 2.0, 3.0])
+
+
+@pytest.fixture
+def work_estimator():
+    """Finish estimator for an idle system: work fraction / speed."""
+
+    def estimate(node, fraction):
+        return fraction / node.speed
+
+    return estimate

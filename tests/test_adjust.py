@@ -1,0 +1,177 @@
+"""Tests for range adjustment and sub-query splitting (repro.core.adjust)."""
+
+import random
+
+import pytest
+
+from repro.core import Ring, generate_objects
+from repro.core.adjust import (
+    QueryPlan,
+    adjust_ranges,
+    plan_from_schedule,
+    split_slowest,
+)
+from repro.core.ids import cw_distance, frac
+from repro.core.node import RoarNode, dedup_matches
+from repro.core.scheduler import schedule_heap
+
+
+def windows_tile_circle(plan: QueryPlan) -> bool:
+    return abs(plan.total_width() - 1.0) < 1e-9
+
+
+def coverage_exact(plan: QueryPlan, query_id: int, object_ids) -> bool:
+    """Every object falls in exactly one sub-query window."""
+    subs = plan.to_subqueries(query_id)
+    for oid in object_ids:
+        hits = sum(1 for s in subs if dedup_matches(oid, s))
+        if hits != 1:
+            return False
+    return True
+
+
+@pytest.fixture
+def planned(hetero_ring, work_estimator):
+    result = schedule_heap(hetero_ring, 3, work_estimator)
+    return plan_from_schedule(result, work_estimator)
+
+
+class TestPlanFromSchedule:
+    def test_windows_tile(self, planned):
+        assert windows_tile_circle(planned)
+
+    def test_each_window_is_one_over_p(self, planned):
+        for sub in planned.subs:
+            assert sub.width == pytest.approx(1.0 / 3)
+
+    def test_dest_equals_window_end(self, planned):
+        for sub in planned.subs:
+            assert sub.dest == pytest.approx(sub.window_end)
+
+    def test_coverage(self, planned, rng):
+        oids = [rng.random() for _ in range(300)]
+        assert coverage_exact(planned, 1, oids)
+
+
+class TestAdjustRanges:
+    def test_preserves_tiling(self, planned, hetero_ring, work_estimator):
+        adjusted = adjust_ranges(planned, hetero_ring, work_estimator, p_store=3)
+        assert windows_tile_circle(adjusted)
+
+    def test_preserves_coverage(self, planned, hetero_ring, work_estimator, rng):
+        adjusted = adjust_ranges(planned, hetero_ring, work_estimator, p_store=3)
+        oids = [rng.random() for _ in range(300)]
+        assert coverage_exact(adjusted, 1, oids)
+
+    def test_never_worsens_makespan(self, work_estimator):
+        for seed in range(8):
+            rng = random.Random(seed)
+            ring = Ring.proportional([rng.uniform(0.3, 3.0) for _ in range(9)])
+            result = schedule_heap(ring, 3, work_estimator)
+            plan = plan_from_schedule(result, work_estimator)
+            before = plan.makespan
+            after = adjust_ranges(plan, ring, work_estimator, p_store=3).makespan
+            assert after <= before + 1e-12
+
+    def test_adjusted_objects_are_stored_on_assignees(self, work_estimator, rng):
+        """The coverage constraints: shifted window contents must actually be
+        replicated on the node that now matches them (Fig 4.6)."""
+        p = 3
+        ring = Ring.proportional([rng.uniform(0.5, 2.5) for _ in range(9)])
+        objects = generate_objects(400, rng)
+        stores = {}
+        for node in ring:
+            store = RoarNode(node)
+            store.load_objects(objects, p, ring.range_of(node))
+            stores[node.name] = store
+
+        result = schedule_heap(ring, p, work_estimator)
+        plan = adjust_ranges(
+            plan_from_schedule(result, work_estimator), ring, work_estimator, p
+        )
+        matched = {}
+        for i, planned_sub in enumerate(plan.subs):
+            sub = planned_sub.to_subquery(1, i)
+            local = stores[planned_sub.node.name].execute(sub)
+            window_count = sum(
+                1 for o in objects if dedup_matches(o.oid, sub)
+            )
+            # Everything in the window must be present locally.
+            assert len(local) == window_count
+            for obj in local:
+                matched[obj.key] = matched.get(obj.key, 0) + 1
+        assert len(matched) == len(objects)
+        assert all(v == 1 for v in matched.values())
+
+    def test_single_subquery_plan_untouched(self, work_estimator, uniform_ring):
+        result = schedule_heap(uniform_ring, 1, work_estimator)
+        plan = plan_from_schedule(result, work_estimator)
+        adjusted = adjust_ranges(plan, uniform_ring, work_estimator, p_store=1)
+        assert len(adjusted.subs) == 1
+
+
+class TestSplitSlowest:
+    def test_adds_subqueries(self, work_estimator):
+        rng = random.Random(4)
+        # One clearly slow node so the split has something to fix.
+        speeds = [3.0] * 8 + [0.3]
+        ring = Ring.proportional(speeds)
+        result = schedule_heap(ring, 3, work_estimator)
+        plan = plan_from_schedule(result, work_estimator)
+        split = split_slowest(plan, ring, work_estimator, p_store=3, max_splits=1)
+        assert len(split.subs) in (3, 4)
+
+    def test_improves_or_keeps_makespan(self, work_estimator):
+        for seed in range(8):
+            rng = random.Random(seed)
+            ring = Ring.proportional([rng.uniform(0.2, 3.0) for _ in range(10)])
+            result = schedule_heap(ring, 5, work_estimator)
+            plan = plan_from_schedule(result, work_estimator)
+            before = plan.makespan
+            split = split_slowest(plan, ring, work_estimator, p_store=5, max_splits=2)
+            assert split.makespan <= before + 1e-12
+
+    def test_preserves_tiling_and_coverage(self, work_estimator, rng):
+        ring = Ring.proportional([rng.uniform(0.2, 3.0) for _ in range(10)])
+        result = schedule_heap(ring, 5, work_estimator)
+        plan = plan_from_schedule(result, work_estimator)
+        split = split_slowest(plan, ring, work_estimator, p_store=5, max_splits=3)
+        assert windows_tile_circle(split)
+        oids = [rng.random() for _ in range(300)]
+        assert coverage_exact(split, 1, oids)
+
+    def test_split_pieces_are_stored_on_assignees(self, work_estimator, rng):
+        p = 4
+        speeds = [2.0] * 7 + [0.25]
+        ring = Ring.proportional(speeds)
+        objects = generate_objects(500, rng)
+        stores = {}
+        for node in ring:
+            store = RoarNode(node)
+            store.load_objects(objects, p, ring.range_of(node))
+            stores[node.name] = store
+        result = schedule_heap(ring, p, work_estimator)
+        plan = split_slowest(
+            plan_from_schedule(result, work_estimator),
+            ring,
+            work_estimator,
+            p,
+            max_splits=2,
+        )
+        matched = {}
+        for i, planned_sub in enumerate(plan.subs):
+            sub = planned_sub.to_subquery(1, i)
+            local = stores[planned_sub.node.name].execute(sub)
+            window_count = sum(1 for o in objects if dedup_matches(o.oid, sub))
+            assert len(local) == window_count, (
+                f"sub {i} on {planned_sub.node.name}: stored {len(local)} of "
+                f"{window_count} window objects"
+            )
+            for obj in local:
+                matched[obj.key] = matched.get(obj.key, 0) + 1
+        assert len(matched) == len(objects)
+        assert all(v == 1 for v in matched.values())
+
+    def test_zero_splits_is_identity(self, planned, hetero_ring, work_estimator):
+        out = split_slowest(planned, hetero_ring, work_estimator, 3, max_splits=0)
+        assert out is planned

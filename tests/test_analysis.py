@@ -1,0 +1,164 @@
+"""Tests for the closed-form models (repro.analysis)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    bandwidth_penalty,
+    best_p_for_target,
+    equal_split_bound,
+    fluid_bound,
+    loaded_delay,
+    message_costs,
+    multiring_unavailability_mc,
+    optimal_r,
+    ptn_unavailability,
+    roar_run_unavailability,
+    roar_unavailability_mc,
+    sw_unavailability,
+    total_bandwidth,
+)
+
+
+class TestBandwidth:
+    def test_optimal_r_formula(self):
+        # r_opt = sqrt(n * Bq / Bd)
+        assert optimal_r(100, b_data=1.0, b_query=4.0) == pytest.approx(20.0)
+
+    def test_optimal_r_minimises(self):
+        n, bd, bq = 64, 2.0, 3.0
+        r_opt = optimal_r(n, bd, bq)
+        best = total_bandwidth(n, r_opt, bd, bq)
+        for r in (1, 2, 4, 8, 16, 32, 64):
+            assert total_bandwidth(n, r, bd, bq) >= best - 1e-9
+
+    def test_extreme_r_penalty_order_sqrt_n(self):
+        n = 10_000
+        penalty = bandwidth_penalty(n, 1.0, b_data=1.0, b_query=1.0)
+        # Section 2.3.2: O(sqrt(n)) more bandwidth than optimal.
+        assert penalty == pytest.approx(math.sqrt(n) / 2, rel=0.1)
+
+    def test_results_term_constant(self):
+        a = total_bandwidth(10, 2, 1.0, 1.0, b_results=5.0)
+        b = total_bandwidth(10, 5, 1.0, 1.0, b_results=5.0)
+        assert a - total_bandwidth(10, 2, 1.0, 1.0) == pytest.approx(5.0)
+        assert b - total_bandwidth(10, 5, 1.0, 1.0) == pytest.approx(5.0)
+
+
+class TestMessageCosts:
+    def test_store_and_query_identical_across_deterministic(self):
+        for algo in ("roar", "sw", "ptn"):
+            costs = message_costs(algo, n=100, p=10, d=1000)
+            assert costs.store_object == 10.0  # r = n/p
+            assert costs.run_query == 10.0  # p
+
+    def test_rand_pays_c_factor(self):
+        costs = message_costs("rand", n=100, p=10, d=1000, c=2.0)
+        assert costs.store_object == 20.0
+        assert costs.run_query == 20.0
+
+    def test_roar_reconfig_cheaper_than_ptn(self):
+        """Table 6.2's key row: ROAR moves D objects for r+1, PTN moves
+        O(D*n/p^2)."""
+        roar = message_costs("roar", n=100, p=5, d=10_000)
+        ptn = message_costs("ptn", n=100, p=5, d=10_000)
+        assert roar.increase_r < ptn.increase_r
+        assert roar.decrease_r == 0.0
+        assert ptn.decrease_r > 0.0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            message_costs("nope", 10, 2, 100)
+
+
+class TestDelayBounds:
+    SPEEDS = [4.0, 3.0, 2.0, 1.0]
+
+    def test_fluid_bound(self):
+        assert fluid_bound(100.0, self.SPEEDS) == pytest.approx(10.0)
+
+    def test_equal_split_uses_pth_fastest(self):
+        # p=2: D/2 / s_2 = 50/3.
+        assert equal_split_bound(100.0, self.SPEEDS, 2) == pytest.approx(50.0 / 3)
+
+    def test_equal_split_never_beats_fluid(self):
+        for p in range(1, 5):
+            assert (
+                equal_split_bound(100.0, self.SPEEDS, p)
+                >= fluid_bound(100.0, self.SPEEDS) - 1e-12
+            )
+
+    def test_equal_split_p_too_large(self):
+        with pytest.raises(ValueError):
+            equal_split_bound(100.0, self.SPEEDS, 5)
+
+    def test_loaded_delay_grows(self):
+        delays = [loaded_delay(1.0, rho) for rho in (0.0, 0.5, 0.9)]
+        assert delays[0] < delays[1] < delays[2]
+        assert math.isinf(loaded_delay(1.0, 1.0))
+
+    def test_best_p_for_target(self):
+        # target 20: p=2 gives 16.67 <= 20.
+        assert best_p_for_target(100.0, self.SPEEDS, 20.0) == 2
+
+    def test_best_p_infeasible(self):
+        assert best_p_for_target(100.0, self.SPEEDS, 0.001) is None
+
+    def test_smaller_p_preferred(self):
+        p = best_p_for_target(100.0, self.SPEEDS, 30.0)
+        assert p == 1  # 100/4 = 25 <= 30
+
+
+class TestAvailability:
+    def test_ptn_shape(self):
+        # More replication -> lower unavailability.
+        assert ptn_unavailability(0.1, 4, 5) < ptn_unavailability(0.1, 2, 5)
+        # More clusters -> more chances to lose one.
+        assert ptn_unavailability(0.1, 3, 10) > ptn_unavailability(0.1, 3, 2)
+
+    def test_sw_much_worse_than_ptn(self):
+        """Fig 6.8's headline: basic SW availability is catastrophically
+        worse because it needs a fully-alive rotation."""
+        f, r, p = 0.05, 5, 10
+        assert sw_unavailability(f, r, p) > 100 * ptn_unavailability(f, r, p)
+
+    def test_roar_fallback_close_to_ptn(self):
+        """ROAR with fall-back ~ runs of r failures ~ PTN's cluster loss."""
+        f, r, p = 0.05, 5, 10
+        n = r * p
+        roar = roar_unavailability_mc(f, r, n, trials=30_000, seed=1)
+        ptn = ptn_unavailability(f, r, p)
+        assert roar < sw_unavailability(f, r, p)
+        # Same order of magnitude as PTN (within ~10x, both tiny).
+        assert roar <= max(ptn * 10, 2e-3)
+
+    def test_run_approximation_tracks_mc(self):
+        f, r, n = 0.1, 3, 30
+        approx = roar_run_unavailability(f, r, n)
+        mc = roar_unavailability_mc(f, r, n, trials=40_000, seed=2)
+        assert approx == pytest.approx(mc, rel=0.5)
+
+    def test_multiring_improves_strictness(self):
+        """Section 4.7: multiple rings increase availability for strict ops."""
+        f, r, n = 0.15, 4, 32
+        single = roar_unavailability_mc(f, r, n, trials=20_000, seed=3)
+        double = multiring_unavailability_mc(f, r, n, k_rings=2, trials=20_000, seed=3)
+        assert double <= single
+
+    def test_zero_failure_probability(self):
+        assert ptn_unavailability(0.0, 3, 4) == 0.0
+        assert sw_unavailability(0.0, 3, 4) == 0.0
+        assert roar_unavailability_mc(0.0, 3, 12, trials=100) == 0.0
+
+    def test_certain_failure(self):
+        assert ptn_unavailability(1.0, 3, 4) == 1.0
+        assert roar_unavailability_mc(1.0, 3, 12, trials=100) == 1.0
+
+    def test_invalid_f(self):
+        with pytest.raises(ValueError):
+            ptn_unavailability(1.5, 2, 2)
+
+    def test_multiring_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            multiring_unavailability_mc(0.1, 3, 32, k_rings=2, trials=10)

@@ -1,0 +1,101 @@
+"""Tests for range load balancing (repro.core.balance, Section 4.6)."""
+
+import random
+
+import pytest
+
+from repro.core import Ring, RingNode
+from repro.core.balance import BalanceConfig, LoadBalancer, load_imbalance
+
+
+class TestLoadImbalance:
+    def test_perfect(self):
+        assert load_imbalance([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_worst_case(self):
+        assert load_imbalance([12.0, 0.0, 0.0]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert load_imbalance([]) == 1.0
+
+    def test_zero_mean(self):
+        assert load_imbalance([0.0, 0.0]) == 1.0
+
+
+class TestBalancer:
+    def test_equal_speeds_already_balanced(self):
+        ring = Ring.uniform(6)
+        lb = LoadBalancer(ring)
+        assert lb.step() == 0
+
+    def test_converges_to_proportional_ranges(self):
+        # Equal ranges but unequal speeds: balancer should move boundaries
+        # until range/speed ratios even out.
+        speeds = [1.0, 3.0, 1.0, 3.0]
+        ring = Ring.uniform(4, speeds=speeds)
+        lb = LoadBalancer(ring)
+        rounds = lb.run_until_stable(max_rounds=500)
+        assert rounds < 500
+        assert lb.imbalance() < 1.15  # within the 10% hysteresis band
+        ring.validate()
+
+    def test_imbalance_never_increases_much(self):
+        rng = random.Random(3)
+        speeds = [rng.uniform(0.5, 4.0) for _ in range(10)]
+        ring = Ring.uniform(10, speeds=speeds)
+        lb = LoadBalancer(ring)
+        history = [lb.imbalance()]
+        for _ in range(200):
+            if lb.step() == 0:
+                break
+            history.append(lb.imbalance())
+        assert history[-1] < history[0]
+
+    def test_hysteresis_stops_churn(self):
+        # Within the threshold: no movement at all.
+        ring = Ring.proportional([1.0, 1.04, 1.0])
+        lb = LoadBalancer(ring, BalanceConfig(threshold=0.10))
+        assert lb.step() == 0
+
+    def test_fixed_nodes_not_moved(self):
+        ring = Ring.uniform(4, speeds=[1.0, 5.0, 1.0, 5.0])
+        lb = LoadBalancer(ring)
+        lb.fixed = {n.name for n in ring}
+        assert lb.step() == 0
+
+    def test_custom_load_function(self):
+        ring = Ring.uniform(4)
+        measured = {"node-0": 10.0, "node-1": 1.0, "node-2": 1.0, "node-3": 1.0}
+        lb = LoadBalancer(
+            ring, load_fn=lambda node, rng_len: measured[node.name] * rng_len
+        )
+        moved = lb.step()
+        assert moved > 0
+        # node-0 was hottest: its range should have shrunk.
+        assert ring.range_of(ring.get("node-0")).length < 0.25
+
+    def test_two_node_ring(self):
+        ring = Ring.uniform(2, speeds=[1.0, 9.0])
+        lb = LoadBalancer(ring)
+        lb.run_until_stable(200)
+        fast = ring.get("node-1")
+        assert ring.range_of(fast).length > 0.6
+        ring.validate()
+
+    def test_single_node_noop(self):
+        ring = Ring([RingNode("solo", 0.0)])
+        assert LoadBalancer(ring).step() == 0
+
+    def test_dead_nodes_skipped(self):
+        ring = Ring.uniform(4, speeds=[1.0, 5.0, 1.0, 5.0])
+        for node in ring:
+            node.alive = False
+        assert LoadBalancer(ring).step() == 0
+
+    def test_ranges_stay_a_partition(self):
+        rng = random.Random(8)
+        ring = Ring.uniform(12, speeds=[rng.uniform(0.3, 3.0) for _ in range(12)])
+        lb = LoadBalancer(ring)
+        for _ in range(100):
+            lb.step()
+            ring.validate()

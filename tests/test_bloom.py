@@ -1,0 +1,84 @@
+"""Tests for Bloom filters (repro.pps.bloom)."""
+
+import random
+
+import pytest
+
+from repro.pps.bloom import BloomFilter, optimal_parameters
+
+
+class TestOptimalParameters:
+    def test_paper_parameters(self):
+        """The paper's figures: fp 1e-5 gives 17 hashes, ~24 bits/element."""
+        m, k = optimal_parameters(50, 1e-5)
+        assert k == 17
+        assert 23 <= m / 50 <= 25
+
+    def test_looser_rate_needs_less(self):
+        m1, k1 = optimal_parameters(100, 1e-2)
+        m5, k5 = optimal_parameters(100, 1e-5)
+        assert m1 < m5
+        assert k1 < k5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_parameters(10, 1.5)
+
+
+class TestBloomFilter:
+    def test_set_and_test(self):
+        bf = BloomFilter(128)
+        bf.set(5)
+        assert bf.test(5)
+        assert not bf.test(6)
+
+    def test_positions_wrap(self):
+        bf = BloomFilter(10)
+        bf.set(25)
+        assert bf.test(5)
+
+    def test_set_all_test_all(self):
+        bf = BloomFilter(256)
+        bf.set_all([3, 99, 200])
+        assert bf.test_all([3, 99, 200])
+        assert not bf.test_all([3, 99, 201])
+
+    def test_count_set(self):
+        bf = BloomFilter(64)
+        bf.set_all([1, 2, 3])
+        assert bf.count_set() == 3
+
+    def test_round_trip_bytes(self):
+        bf = BloomFilter(100)
+        bf.set_all([7, 55, 93])
+        again = BloomFilter.from_bytes(bf.to_bytes(), 100)
+        assert again == bf
+
+    def test_fill_to_pads(self):
+        bf = BloomFilter(512)
+        bf.set_all([1, 2])
+        bf.fill_to(50, random.Random(0))
+        assert bf.count_set() == 50
+        assert bf.test(1) and bf.test(2)  # original bits preserved
+
+    def test_false_positive_rate_near_target(self):
+        n_items, fp = 100, 1e-2
+        m, k = optimal_parameters(n_items, fp)
+        rng = random.Random(1)
+        bf = BloomFilter(m)
+        stored = [[rng.randrange(m) for _ in range(k)] for _ in range(n_items)]
+        for positions in stored:
+            bf.set_all(positions)
+        false_pos = 0
+        probes = 3000
+        for _ in range(probes):
+            candidate = [rng.randrange(m) for _ in range(k)]
+            if bf.test_all(candidate):
+                false_pos += 1
+        assert false_pos / probes < fp * 8  # generous head room
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.algorithm == "roar"
+        assert args.n == 90
+
+    def test_compare_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--algorithm", "magic"])
+
+    def test_plan_flags(self):
+        args = build_parser().parse_args(
+            ["plan", "--servers", "12", "--target-delay", "0.3"]
+        )
+        assert args.servers == 12
+        assert args.target_delay == 0.3
+
+
+class TestCommands:
+    def test_compare_runs(self, capsys):
+        rc = main(
+            ["compare", "--n", "18", "-p", "3", "--queries", "40", "--rate", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean delay" in out
+        assert "utilisation" in out
+
+    def test_deploy_runs(self, capsys):
+        rc = main(["deploy", "--nodes", "12", "-p", "3", "--queries", "25"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "yield 100%" in out
+
+    def test_deploy_with_failures(self, capsys):
+        rc = main(
+            ["deploy", "--nodes", "12", "-p", "3", "--queries", "30", "--fail", "2"]
+        )
+        assert rc == 0
+        assert "failed nodes" in capsys.readouterr().out
+
+    def test_plan_feasible(self, capsys):
+        rc = main(["plan", "--servers", "24", "--target-delay", "0.5"])
+        assert rc == 0
+        assert "recommended" in capsys.readouterr().out
+
+    def test_plan_infeasible_exit_code(self, capsys):
+        rc = main(["plan", "--servers", "2", "--target-delay", "0.0001"])
+        assert rc == 1
+
+    def test_pps_demo(self, capsys):
+        rc = main(["pps-demo", "--files", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "matches" in out
+        assert "ground truth" in out

@@ -1,0 +1,275 @@
+"""Tests for the cluster rig: models, comparison harness, deployment."""
+
+import math
+import random
+
+import pytest
+
+from repro.cluster import (
+    ComparisonConfig,
+    Deployment,
+    DeploymentConfig,
+    DynamicPController,
+    MODEL_CATALOGUE,
+    ec2_fleet,
+    hen_testbed,
+    heterogeneous_speeds,
+    make_sim_server,
+    run_comparison,
+)
+from repro.core.frontend import FrontEndConfig
+from repro.sim import PoissonArrivals
+
+
+class TestModels:
+    def test_catalogue_has_table_7_1_models(self):
+        for name in ("dell-1950", "dell-2950", "dell-1850", "sun-x4100"):
+            assert name in MODEL_CATALOGUE
+
+    def test_speed_ordering(self):
+        """2950 > 1950 > 1850 > x4100, matching the paper's hardware."""
+        speeds = {
+            name: model.speed(in_memory=True)
+            for name, model in MODEL_CATALOGUE.items()
+        }
+        assert speeds["dell-2950"] > speeds["dell-1950"]
+        assert speeds["dell-1950"] > speeds["dell-1850"]
+        assert speeds["dell-1850"] > speeds["sun-x4100"]
+
+    def test_disk_slower_than_memory(self):
+        for model in MODEL_CATALOGUE.values():
+            assert model.speed(in_memory=False) < model.speed(in_memory=True)
+
+    def test_hen_testbed_size_and_mix(self):
+        pool = hen_testbed(47)
+        assert len(pool) == 47
+        names = {m.name for m in pool}
+        assert len(names) >= 3  # genuinely heterogeneous
+
+    def test_ec2_fleet_mild_variation(self):
+        fleet = ec2_fleet(100)
+        speeds = [m.speed() for m in fleet]
+        assert max(speeds) / min(speeds) < 1.5
+
+    def test_make_sim_server(self):
+        server = make_sim_server("x", MODEL_CATALOGUE["dell-1950"])
+        assert server.speed == MODEL_CATALOGUE["dell-1950"].speed(True)
+
+
+class TestHeterogeneousSpeeds:
+    def test_zero_heterogeneity_identical(self):
+        speeds = heterogeneous_speeds(10, 0.0, mean=2.0)
+        assert all(s == 2.0 for s in speeds)
+
+    def test_spread_grows(self):
+        rng = random.Random(1)
+        lo = heterogeneous_speeds(500, 0.1, random.Random(1))
+        hi = heterogeneous_speeds(500, 0.9, random.Random(1))
+        spread = lambda xs: max(xs) / min(xs)
+        assert spread(hi) > spread(lo)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            heterogeneous_speeds(5, 1.5)
+
+
+class TestComparisonHarness:
+    @pytest.mark.parametrize("algo", ["roar", "roar2", "ptn", "sw", "opt"])
+    def test_all_algorithms_run(self, algo):
+        cfg = ComparisonConfig(
+            algorithm=algo, n_servers=18, p=3, query_rate=5.0, n_queries=150, seed=2
+        )
+        res = run_comparison(cfg)
+        assert len(res.log.records) == 150
+        assert res.raw_mean_delay > 0
+
+    def test_paper_ordering_opt_ptn_roar_sw(self):
+        """Fig 6.1's shape: OPT <= PTN <= ROAR <= SW on heterogeneous pools."""
+        means = {}
+        for algo in ("opt", "ptn", "roar", "sw"):
+            cfg = ComparisonConfig(
+                algorithm=algo, n_servers=36, p=6, query_rate=15.0,
+                n_queries=400, seed=7,
+            )
+            means[algo] = run_comparison(cfg).raw_mean_delay
+        assert means["opt"] <= means["ptn"] * 1.05
+        assert means["ptn"] <= means["roar"] * 1.05
+        assert means["roar"] <= means["sw"] * 1.05
+
+    def test_optimisations_reduce_roar_delay(self):
+        base = dict(n_servers=36, p=6, query_rate=15.0, n_queries=400, seed=7)
+        plain = run_comparison(ComparisonConfig(algorithm="roar", **base))
+        tuned = run_comparison(
+            ComparisonConfig(algorithm="roar", adjust=True, splits=1, **base)
+        )
+        assert tuned.raw_mean_delay <= plain.raw_mean_delay * 1.02
+
+    def test_pq_above_p_reduces_delay_at_low_load(self):
+        base = dict(n_servers=36, p=6, query_rate=3.0, n_queries=300, seed=7)
+        at_p = run_comparison(ComparisonConfig(algorithm="roar", **base))
+        at_2p = run_comparison(ComparisonConfig(algorithm="roar", pq=12, **base))
+        assert at_2p.raw_mean_delay < at_p.raw_mean_delay
+
+    def test_two_rings_never_worse(self):
+        base = dict(n_servers=36, p=6, query_rate=15.0, n_queries=400, seed=7)
+        one = run_comparison(ComparisonConfig(algorithm="roar", **base))
+        two = run_comparison(ComparisonConfig(algorithm="roar2", **base))
+        assert two.raw_mean_delay <= one.raw_mean_delay * 1.05
+
+    def test_overload_detected_as_exploding(self):
+        cfg = ComparisonConfig(
+            algorithm="roar",
+            n_servers=12,
+            p=3,
+            query_rate=500.0,  # way past capacity
+            n_queries=400,
+            seed=3,
+        )
+        res = run_comparison(cfg)
+        assert res.exploding
+        assert math.isinf(res.mean_delay)
+
+    def test_speed_error_degrades_delay(self):
+        base = dict(n_servers=36, p=6, query_rate=15.0, n_queries=400, seed=7)
+        good = run_comparison(ComparisonConfig(algorithm="roar", **base))
+        bad = run_comparison(
+            ComparisonConfig(algorithm="roar", speed_error=0.9, **base)
+        )
+        assert bad.raw_mean_delay >= good.raw_mean_delay * 0.95
+
+    def test_sw_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            run_comparison(
+                ComparisonConfig(algorithm="sw", n_servers=10, p=3, n_queries=10)
+            )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            run_comparison(ComparisonConfig(algorithm="magic", n_queries=10))
+
+
+class TestDeployment:
+    def make_deployment(self, **overrides):
+        defaults = dict(
+            models=hen_testbed(12),
+            p=3,
+            dataset_size=1_000_000.0,
+            seed=4,
+        )
+        defaults.update(overrides)
+        return Deployment(DeploymentConfig(**defaults))
+
+    def test_basic_queries_complete(self):
+        dep = self.make_deployment()
+        arrivals = PoissonArrivals(5.0, seed=1).times(50)
+        log = dep.run_queries(arrivals, pq_fn=3)
+        assert len(log.records) == 50
+        assert all(r.delay > 0 for r in log.records)
+
+    def test_higher_pq_lower_delay_light_load(self):
+        slow = self.make_deployment(seed=5)
+        fast = self.make_deployment(seed=5)
+        arrivals = PoissonArrivals(2.0, seed=2).times(60)
+        d_small = slow.run_queries(arrivals, pq_fn=3).raw_mean_delay()
+        d_large = fast.run_queries(arrivals, pq_fn=9).raw_mean_delay()
+        assert d_large < d_small
+
+    def test_pq_below_p_store_rejected(self):
+        dep = self.make_deployment(p=4)
+        with pytest.raises(ValueError):
+            dep.run_query(0.0, pq=2)
+
+    def test_breakdown_components_sum_sensibly(self):
+        dep = self.make_deployment()
+        dep.run_query(0.0, pq=3)
+        b = dep.breakdowns[0]
+        assert b.total >= b.service
+        assert b.scheduling > 0
+        assert b.network >= 0
+
+    def test_failure_does_not_lose_queries(self):
+        dep = self.make_deployment(store_objects=True, n_objects_stored=500)
+        arrivals = PoissonArrivals(5.0, seed=3).times(30)
+        for t in arrivals[:10]:
+            dep.run_query(t, 3)
+        victim = next(iter(dep.servers))
+        dep.fail_node(victim, arrivals[10])
+        for t in arrivals[10:]:
+            rec = dep.run_query(t, 3)
+            assert rec.delay > 0
+        assert len(dep.log.records) == 30
+
+    def test_failed_node_gets_no_direct_work_after_detection(self):
+        dep = self.make_deployment()
+        victim = next(iter(dep.servers))
+        dep.fail_node(victim, 0.0)
+        for t in (1.0, 2.0, 3.0):
+            dep.run_query(t, 3)
+        assert dep.servers[victim].tasks_run == 0
+
+    def test_updates_consume_capacity(self):
+        dep = self.make_deployment()
+        before = sum(s.busy_time for s in dep.servers.values())
+        for i in range(20):
+            dep.apply_update(float(i))
+        after = sum(s.busy_time for s in dep.servers.values())
+        assert after > before
+        assert dep.ledger.update_messages > 0
+
+    def test_energy_report(self):
+        dep = self.make_deployment()
+        dep.run_queries(PoissonArrivals(5.0, seed=1).times(20), pq_fn=3)
+        report = dep.energy(elapsed=10.0)
+        assert report.total_joules > 0
+        assert report.busy_joules > 0
+
+    def test_per_node_load(self):
+        dep = self.make_deployment()
+        dep.run_queries(PoissonArrivals(5.0, seed=1).times(20), pq_fn=3)
+        loads = dep.per_node_load(10.0)
+        assert len(loads) == 12
+        assert all(0.0 <= v <= 1.0 for v in loads.values())
+
+    def test_reset_measurements(self):
+        dep = self.make_deployment()
+        dep.run_query(0.0, 3)
+        dep.reset_measurements()
+        assert not dep.log.records
+        assert dep.scheduling_wallclock == 0.0
+
+
+class TestDynamicPController:
+    def test_raises_pq_under_load(self):
+        dep = Deployment(
+            DeploymentConfig(models=hen_testbed(12), p=3, dataset_size=5e6, seed=6)
+        )
+        ctrl = DynamicPController(dep, target_delay=0.05, window=5)
+        t = 0.0
+        for _ in range(30):
+            dep.run_query(t, ctrl.pq)
+            ctrl.step(t)
+            t += 0.05
+        assert ctrl.pq > 3
+
+    def test_lowers_pq_when_idle(self):
+        dep = Deployment(
+            DeploymentConfig(models=hen_testbed(12), p=3, dataset_size=1e5, seed=6)
+        )
+        ctrl = DynamicPController(dep, target_delay=5.0, window=5)
+        ctrl.pq = 10
+        t = 0.0
+        for _ in range(30):
+            dep.run_query(t, ctrl.pq)
+            ctrl.step(t)
+            t += 2.0
+        assert ctrl.pq == 3  # back to the floor
+
+    def test_pq_respects_floor(self):
+        dep = Deployment(
+            DeploymentConfig(models=hen_testbed(12), p=4, dataset_size=1e5, seed=6)
+        )
+        ctrl = DynamicPController(dep, target_delay=100.0, window=2, pq_min=1)
+        for i in range(10):
+            dep.run_query(float(i), ctrl.pq)
+            ctrl.step(float(i))
+        assert ctrl.pq >= 4

@@ -1,0 +1,108 @@
+"""Tests for PPS crypto primitives (repro.pps.crypto)."""
+
+import pytest
+
+from repro.pps.crypto import (
+    FeistelPermutation,
+    derive_key,
+    keygen,
+    keygen_deterministic,
+    prf,
+    prf_bit,
+    prf_int,
+)
+
+
+class TestKeys:
+    def test_keygen_length(self):
+        assert len(keygen()) == 20
+        assert len(keygen(32)) == 32
+
+    def test_keygen_random(self):
+        assert keygen() != keygen()
+
+    def test_deterministic_keygen(self):
+        assert keygen_deterministic("seed") == keygen_deterministic("seed")
+        assert keygen_deterministic("a") != keygen_deterministic("b")
+
+    def test_deterministic_keygen_length(self):
+        assert len(keygen_deterministic("x", 64)) == 64
+
+    def test_derive_key_independent(self, key):
+        k1 = derive_key(key, "one")
+        k2 = derive_key(key, "two")
+        assert k1 != k2
+        assert derive_key(key, "one") == k1
+
+
+class TestPRF:
+    def test_deterministic(self, key):
+        assert prf(key, "msg") == prf(key, "msg")
+
+    def test_key_sensitivity(self, key):
+        other = keygen_deterministic("other")
+        assert prf(key, "msg") != prf(other, "msg")
+
+    def test_message_sensitivity(self, key):
+        assert prf(key, "a") != prf(key, "b")
+
+    def test_accepts_bytes_and_str(self, key):
+        assert prf(key, "msg") == prf(key, b"msg")
+
+    def test_output_length(self, key):
+        assert len(prf(key, "x")) == 20  # SHA-1
+
+    def test_prf_int_in_range(self, key):
+        for i in range(100):
+            assert 0 <= prf_int(key, f"m{i}", 97) < 97
+
+    def test_prf_int_roughly_uniform(self, key):
+        buckets = [0] * 10
+        for i in range(5000):
+            buckets[prf_int(key, f"m{i}", 10)] += 1
+        assert min(buckets) > 300  # expectation 500 each
+
+    def test_prf_int_invalid_modulus(self, key):
+        with pytest.raises(ValueError):
+            prf_int(key, "m", 0)
+
+    def test_prf_bit(self, key):
+        bits = [prf_bit(key, f"m{i}") for i in range(2000)]
+        assert set(bits) == {0, 1}
+        assert 800 < sum(bits) < 1200
+
+
+class TestFeistelPermutation:
+    @pytest.mark.parametrize("domain", [1, 2, 7, 64, 100, 1000, 4097])
+    def test_is_bijection(self, key, domain):
+        perm = FeistelPermutation(key, domain)
+        images = {perm.encrypt(x) for x in range(domain)}
+        assert images == set(range(domain))
+
+    @pytest.mark.parametrize("domain", [7, 100, 1000])
+    def test_decrypt_inverts(self, key, domain):
+        perm = FeistelPermutation(key, domain)
+        for x in range(domain):
+            assert perm.decrypt(perm.encrypt(x)) == x
+
+    def test_different_keys_differ(self, key):
+        a = FeistelPermutation(derive_key(key, "a"), 1000)
+        b = FeistelPermutation(derive_key(key, "b"), 1000)
+        mapped_same = sum(1 for x in range(1000) if a.encrypt(x) == b.encrypt(x))
+        assert mapped_same < 30  # ~1 expected by chance
+
+    def test_looks_shuffled(self, key):
+        perm = FeistelPermutation(key, 1000)
+        fixed_points = sum(1 for x in range(1000) if perm.encrypt(x) == x)
+        assert fixed_points < 20  # expectation ~1
+
+    def test_domain_bounds_enforced(self, key):
+        perm = FeistelPermutation(key, 10)
+        with pytest.raises(ValueError):
+            perm.encrypt(10)
+        with pytest.raises(ValueError):
+            perm.decrypt(-1)
+
+    def test_invalid_domain(self, key):
+        with pytest.raises(ValueError):
+            FeistelPermutation(key, 0)

@@ -1,0 +1,168 @@
+"""Tests for failure fall-back (repro.core.failures, Section 4.4)."""
+
+import random
+
+import pytest
+
+from repro.core import Ring, RingNode, generate_objects
+from repro.core.failures import (
+    FailureCoverageError,
+    replacement_subqueries,
+    split_failed,
+)
+from repro.core.ids import cw_distance, frac
+from repro.core.node import RoarNode, SubQuery, dedup_matches
+
+
+def build_stored_ring(n, p, n_objects, rng):
+    ring = Ring.proportional([rng.uniform(0.5, 2.0) for _ in range(n)])
+    objects = generate_objects(n_objects, rng)
+    stores = {}
+    for node in ring:
+        store = RoarNode(node)
+        store.load_objects(objects, p, ring.range_of(node))
+        stores[node.name] = store
+    return ring, objects, stores
+
+
+class TestReplacementGeometry:
+    def test_replacements_bracket_failed_range(self, rng):
+        ring, _, _ = build_stored_ring(12, 4, 0, rng)
+        failed = ring.get("node-5")
+        failed.alive = False
+        original = SubQuery.normal(1, ring.range_of(failed).midpoint(), 4)
+        pieces = replacement_subqueries(ring, failed, original, 4, rng=rng)
+        fail_range = ring.range_of(failed)
+        assert 1 <= len(pieces) <= 2
+        # The last piece is delivered strictly after the failed range.
+        assert cw_distance(fail_range.end, pieces[-1].dest) < 1.0 / 4
+        if len(pieces) == 2:
+            # First piece delivered strictly before the failed range,
+            # maximally separated from the second (1/p apart).
+            assert cw_distance(pieces[0].dest, fail_range.start) < 1.0 / 4
+            assert cw_distance(pieces[0].dest, pieces[-1].dest) == pytest.approx(
+                pieces[0].local_width, abs=1e-9
+            )
+
+    def test_replacements_partition_original_window(self, rng):
+        ring, _, _ = build_stored_ring(12, 4, 0, rng)
+        failed = ring.get("node-3")
+        failed.alive = False
+        original = SubQuery.normal(7, ring.range_of(failed).midpoint(), 4)
+        pieces = replacement_subqueries(ring, failed, original, 4, rng=rng)
+        # The pieces' windows exactly tile the original window.
+        total = sum(p.dedup_width for p in pieces)
+        assert total == pytest.approx(original.dedup_width, abs=1e-9)
+        assert pieces[-1].dedup_origin == original.dedup_origin
+        assert all(p.query_id == 7 for p in pieces)
+
+    def test_wide_failed_range_raises(self):
+        # Two nodes, p=4: each node's range (0.5) exceeds 1/p.
+        ring = Ring.uniform(2)
+        failed = ring.get("node-0")
+        failed.alive = False
+        original = SubQuery.normal(1, 0.25, 4)
+        with pytest.raises(FailureCoverageError):
+            replacement_subqueries(ring, failed, original, 4)
+
+    def test_avoids_other_failed_nodes(self, rng):
+        ring, _, _ = build_stored_ring(16, 4, 0, rng)
+        failed = ring.nodes()[5]
+        failed.alive = False
+        # Kill one neighbour too; resolution must land on alive nodes.
+        ring.nodes()[4].alive = False
+        original = SubQuery.normal(1, ring.range_of(failed).midpoint(), 4)
+        resolved = split_failed(ring, [original], 4, rng=random.Random(0))
+        assert resolved
+        assert all(node.alive for _, node in resolved)
+
+    def test_mass_failure_recursion(self):
+        """Even when most of a replacement window is dead, recursion finds
+        alive targets and keeps exact coverage."""
+        rng = random.Random(77)
+        p = 4
+        ring, objects, stores = build_stored_ring(24, p, 300, rng)
+        # Kill 10 of 24 nodes.
+        for idx in (1, 2, 3, 7, 8, 12, 13, 17, 20, 21):
+            ring.nodes()[idx].alive = False
+        start = rng.random()
+        subs = [
+            SubQuery.normal(1, frac(start + i / p), p, index=i) for i in range(p)
+        ]
+        resolved = split_failed(ring, subs, p, rng=rng)
+        matched = {}
+        for sub, node in resolved:
+            assert node.alive
+            for obj in stores[node.name].execute(sub):
+                matched[obj.key] = matched.get(obj.key, 0) + 1
+        assert len(matched) == len(objects)
+        assert all(v == 1 for v in matched.values())
+
+
+class TestCoverageAfterFailure:
+    """The invariant that matters: after replacement, the query still matches
+    every object exactly once."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_single_failure_exact_coverage(self, seed):
+        rng = random.Random(seed)
+        p = 4
+        ring, objects, stores = build_stored_ring(16, p, 400, rng)
+        failed = ring.nodes()[rng.randrange(16)]
+        failed.alive = False
+
+        start = rng.random()
+        subs = [
+            SubQuery.normal(1, frac(start + i / p), p, index=i) for i in range(p)
+        ]
+        resolved = split_failed(ring, subs, p, rng=rng)
+        assert all(node.alive for _, node in resolved)
+
+        matched = {}
+        for sub, node in resolved:
+            for obj in stores[node.name].execute(sub):
+                matched[obj.key] = matched.get(obj.key, 0) + 1
+        assert len(matched) == len(objects), (
+            f"missed {len(objects) - len(matched)} objects"
+        )
+        assert all(v == 1 for v in matched.values()), "duplicate matches"
+
+    def test_multiple_failures_exact_coverage(self):
+        rng = random.Random(42)
+        p = 5
+        ring, objects, stores = build_stored_ring(25, p, 500, rng)
+        for idx in (2, 3, 11, 19):
+            ring.nodes()[idx].alive = False
+
+        start = rng.random()
+        subs = [
+            SubQuery.normal(1, frac(start + i / p), p, index=i) for i in range(p)
+        ]
+        resolved = split_failed(ring, subs, p, rng=rng)
+        matched = {}
+        for sub, node in resolved:
+            assert node.alive
+            for obj in stores[node.name].execute(sub):
+                matched[obj.key] = matched.get(obj.key, 0) + 1
+        assert len(matched) == len(objects)
+        assert all(v == 1 for v in matched.values())
+
+    def test_subquery_count_grows_by_one_per_failed_target(self, rng):
+        p = 4
+        ring, _, _ = build_stored_ring(16, p, 0, rng)
+        failed = ring.nodes()[0]
+        failed.alive = False
+        # Aim one sub-query straight at the failed node.
+        subs = [
+            SubQuery.normal(1, frac(failed.start + 1e-6 + i / p), p, index=i)
+            for i in range(p)
+        ]
+        resolved = split_failed(ring, subs, p, rng=rng)
+        assert len(resolved) == p + 1
+
+    def test_alive_targets_pass_through_unchanged(self, rng):
+        p = 4
+        ring, _, _ = build_stored_ring(16, p, 0, rng)
+        subs = [SubQuery.normal(1, i / p + 0.01, p, index=i) for i in range(p)]
+        resolved = split_failed(ring, subs, p, rng=rng)
+        assert [s for s, _ in resolved] == subs

@@ -1,0 +1,157 @@
+"""Tests for the front-end server (repro.core.frontend)."""
+
+import random
+
+import pytest
+
+from repro.core import FrontEnd, FrontEndConfig, Ring
+from repro.core.node import dedup_matches
+
+
+@pytest.fixture
+def frontend(hetero_ring):
+    return FrontEnd(hetero_ring, dataset_size=1000.0)
+
+
+class TestStats:
+    def test_initial_estimates_are_true_speeds(self, frontend, hetero_ring):
+        for node in hetero_ring:
+            assert frontend.stats_for(node).speed_estimate == node.speed
+
+    def test_observe_completion_updates_ewma(self, frontend, hetero_ring):
+        node = hetero_ring.get("node-0")  # speed 1.0
+        st = frontend.stats_for(node)
+        # Node actually performed at 2x the estimate.
+        frontend.observe_completion(node, work_objects=200.0, service_time=100.0, now=1.0)
+        assert st.speed_estimate > 1.0
+        assert st.speed_estimate < 2.0  # EWMA, not a jump
+
+    def test_ewma_converges(self, frontend, hetero_ring):
+        node = hetero_ring.get("node-0")
+        for _ in range(200):
+            frontend.observe_completion(node, 200.0, 100.0, now=1.0)
+        assert frontend.stats_for(node).speed_estimate == pytest.approx(2.0, rel=0.01)
+
+    def test_perturb_speed_estimates_bounded(self, frontend, hetero_ring):
+        frontend.perturb_speed_estimates(0.5, rng=random.Random(0))
+        for node in hetero_ring:
+            est = frontend.stats_for(node).speed_estimate
+            assert 0.5 * node.speed - 1e-9 <= est <= 1.5 * node.speed + 1e-9
+
+    def test_set_speed_estimate(self, frontend):
+        frontend.set_speed_estimate("node-1", 42.0)
+        assert frontend.stats["node-1"].speed_estimate == 42.0
+
+
+class TestEstimator:
+    def test_idle_estimate(self, frontend, hetero_ring):
+        est = frontend.make_estimator(now=0.0)
+        node = hetero_ring.get("node-1")  # speed 2
+        # work fraction 0.5 of 1000 objects at speed 2 = 250s.
+        assert est(node, 0.5) == pytest.approx(250.0)
+
+    def test_backlog_included(self, frontend, hetero_ring):
+        node = hetero_ring.get("node-1")
+        frontend.stats_for(node).busy_until = 10.0
+        est = frontend.make_estimator(now=0.0)
+        assert est(node, 0.5) == pytest.approx(260.0)
+
+    def test_backlog_in_past_ignored(self, frontend, hetero_ring):
+        node = hetero_ring.get("node-1")
+        frontend.stats_for(node).busy_until = 5.0
+        est = frontend.make_estimator(now=100.0)
+        assert est(node, 0.5) == pytest.approx(250.0)
+
+    def test_fixed_overhead_added(self, hetero_ring):
+        fe = FrontEnd(
+            hetero_ring, 1000.0, FrontEndConfig(fixed_overhead=3.0)
+        )
+        est = fe.make_estimator(0.0)
+        node = hetero_ring.get("node-1")
+        assert est(node, 0.5) == pytest.approx(253.0)
+
+
+class TestScheduleQuery:
+    def test_returns_plan_with_pq_subqueries(self, frontend):
+        qid, plan, result = frontend.schedule_query(0.0, pq=3)
+        assert len(plan.subs) == 3
+        assert qid == 1
+
+    def test_query_ids_increment(self, frontend):
+        ids = [frontend.schedule_query(0.0, 2)[0] for _ in range(3)]
+        assert ids == [1, 2, 3]
+
+    def test_pq_greater_than_p_store(self, frontend, rng):
+        qid, plan, _ = frontend.schedule_query(0.0, pq=6, p_store=3)
+        subs = plan.to_subqueries(qid)
+        # Coverage with the wider pq against replicas stored at p=3.
+        for oid in (rng.random() for _ in range(200)):
+            assert sum(1 for s in subs if dedup_matches(oid, s)) == 1
+
+    def test_invalid_pq(self, frontend):
+        with pytest.raises(ValueError):
+            frontend.schedule_query(0.0, 0)
+
+    def test_unknown_method_raises(self, hetero_ring):
+        fe = FrontEnd(hetero_ring, 100.0, FrontEndConfig(method="bogus"))
+        with pytest.raises(ValueError):
+            fe.schedule_query(0.0, 2)
+
+    @pytest.mark.parametrize("method", ["heap", "naive", "random"])
+    def test_all_methods_produce_valid_plans(self, hetero_ring, method):
+        fe = FrontEnd(hetero_ring, 100.0, FrontEndConfig(method=method))
+        _, plan, _ = fe.schedule_query(0.0, 3)
+        assert abs(plan.total_width() - 1.0) < 1e-9
+
+    def test_optimisations_dont_break_tiling(self, hetero_ring):
+        fe = FrontEnd(
+            hetero_ring,
+            100.0,
+            FrontEndConfig(adjust_ranges=True, max_splits=2),
+        )
+        _, plan, _ = fe.schedule_query(0.0, 3)
+        assert abs(plan.total_width() - 1.0) < 1e-9
+
+    def test_iteration_counters_accumulate(self, frontend):
+        frontend.schedule_query(0.0, 3)
+        frontend.schedule_query(0.0, 3)
+        assert frontend.queries_scheduled == 2
+        assert frontend.total_iterations >= 0
+        assert frontend.mean_iterations() == frontend.total_iterations / 2
+
+
+class TestReserve:
+    def test_reserve_bumps_busy_until(self, frontend):
+        qid, plan, _ = frontend.schedule_query(0.0, 3)
+        frontend.reserve(plan, now=0.0)
+        for sub in plan.subs:
+            st = frontend.stats_for(sub.node)
+            assert st.busy_until > 0.0
+            assert st.outstanding == 1
+
+    def test_observe_completion_decrements_outstanding(self, frontend, hetero_ring):
+        qid, plan, _ = frontend.schedule_query(0.0, 3)
+        frontend.reserve(plan, now=0.0)
+        node = plan.subs[0].node
+        frontend.observe_completion(node, 10.0, 5.0, now=1.0)
+        assert frontend.stats_for(node).outstanding == 0
+
+
+class TestFailureIntegration:
+    def test_resolve_failures_replaces_dead_targets(self, hetero_ring, rng):
+        fe = FrontEnd(hetero_ring, 100.0, rng=rng)
+        qid, plan, _ = fe.schedule_query(0.0, 3)
+        dead = plan.subs[0].node
+        fe.mark_failed(dead)
+        subs = plan.to_subqueries(qid)
+        resolved = fe.resolve_failures(subs, p_store=3)
+        assert all(node.alive for _, node in resolved)
+        assert len(resolved) == 4  # one target split in two
+
+    def test_mark_recovered(self, hetero_ring):
+        fe = FrontEnd(hetero_ring, 100.0)
+        node = hetero_ring.get("node-0")
+        fe.mark_failed(node)
+        assert not node.alive
+        fe.mark_recovered(node, now=5.0)
+        assert node.alive

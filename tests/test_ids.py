@@ -1,0 +1,157 @@
+"""Tests for circular ID-space arithmetic (repro.core.ids)."""
+
+import math
+
+import pytest
+
+from repro.core.ids import Arc, arcs_intersect, ccw_distance, cw_distance, frac, in_arc
+
+
+class TestFrac:
+    def test_identity_inside_unit(self):
+        assert frac(0.25) == 0.25
+
+    def test_zero(self):
+        assert frac(0.0) == 0.0
+
+    def test_wraps_above_one(self):
+        assert frac(1.25) == pytest.approx(0.25)
+
+    def test_wraps_negative(self):
+        assert frac(-0.25) == pytest.approx(0.75)
+
+    def test_exactly_one_maps_to_zero(self):
+        assert frac(1.0) == 0.0
+
+    def test_large_multiple(self):
+        assert frac(7.125) == pytest.approx(0.125)
+
+    def test_result_always_in_range(self):
+        for x in (-3.7, -1e-18, 0.999999999, 12.3, -0.0):
+            out = frac(x)
+            assert 0.0 <= out < 1.0
+
+
+class TestDistances:
+    def test_cw_simple(self):
+        assert cw_distance(0.1, 0.4) == pytest.approx(0.3)
+
+    def test_cw_wrapping(self):
+        assert cw_distance(0.9, 0.1) == pytest.approx(0.2)
+
+    def test_cw_self_is_zero(self):
+        assert cw_distance(0.5, 0.5) == 0.0
+
+    def test_ccw_is_complement(self):
+        assert ccw_distance(0.1, 0.4) == pytest.approx(0.7)
+
+    def test_cw_plus_ccw_is_one(self):
+        for a, b in ((0.2, 0.7), (0.9, 0.3), (0.0, 0.5)):
+            assert cw_distance(a, b) + ccw_distance(a, b) == pytest.approx(1.0)
+
+
+class TestInArc:
+    def test_inside(self):
+        assert in_arc(0.3, 0.2, 0.2)
+
+    def test_start_is_inclusive(self):
+        assert in_arc(0.2, 0.2, 0.2)
+
+    def test_end_is_exclusive(self):
+        assert not in_arc(0.4, 0.2, 0.2)
+
+    def test_wrapping_arc(self):
+        assert in_arc(0.05, 0.9, 0.2)
+        assert not in_arc(0.5, 0.9, 0.2)
+
+    def test_full_circle_contains_everything(self):
+        assert in_arc(0.123, 0.7, 1.0)
+
+    def test_empty_arc_contains_nothing(self):
+        assert not in_arc(0.2, 0.2, 0.0)
+
+
+class TestArcsIntersect:
+    def test_overlapping(self):
+        assert arcs_intersect(0.1, 0.3, 0.2, 0.3)
+
+    def test_disjoint(self):
+        assert not arcs_intersect(0.1, 0.1, 0.5, 0.1)
+
+    def test_wrap_overlap(self):
+        assert arcs_intersect(0.9, 0.2, 0.0, 0.05)
+
+    def test_touching_endpoints_do_not_intersect(self):
+        # [0.1, 0.2) and [0.2, 0.3) share no point (half-open).
+        assert not arcs_intersect(0.1, 0.1, 0.2, 0.1)
+
+    def test_full_circle_intersects_all(self):
+        assert arcs_intersect(0.0, 1.0, 0.5, 0.001)
+
+    def test_empty_never_intersects(self):
+        assert not arcs_intersect(0.1, 0.0, 0.0, 1.0)
+
+
+class TestArc:
+    def test_canonicalises_start(self):
+        assert Arc(1.25, 0.1).start == pytest.approx(0.25)
+
+    def test_end(self):
+        assert Arc(0.9, 0.2).end == pytest.approx(0.1)
+
+    def test_full_circle_flag(self):
+        assert Arc(0.3, 1.0).is_full_circle
+        assert not Arc(0.3, 0.999).is_full_circle
+
+    def test_contains_half_open(self):
+        arc = Arc(0.2, 0.3)
+        assert arc.contains(0.2)
+        assert arc.contains(0.49)
+        assert not arc.contains(0.5)
+
+    def test_contains_arc_nested(self):
+        assert Arc(0.1, 0.5).contains_arc(Arc(0.2, 0.2))
+
+    def test_contains_arc_overhanging(self):
+        assert not Arc(0.1, 0.5).contains_arc(Arc(0.5, 0.2))
+
+    def test_contains_arc_wrapping(self):
+        assert Arc(0.9, 0.3).contains_arc(Arc(0.95, 0.2))
+
+    def test_intersection_length_simple(self):
+        assert Arc(0.1, 0.3).intersection_length(Arc(0.2, 0.3)) == pytest.approx(0.2)
+
+    def test_intersection_length_disjoint(self):
+        assert Arc(0.1, 0.1).intersection_length(Arc(0.5, 0.1)) == 0.0
+
+    def test_intersection_length_nested(self):
+        assert Arc(0.0, 0.8).intersection_length(Arc(0.2, 0.2)) == pytest.approx(0.2)
+
+    def test_intersection_with_full_circle(self):
+        assert Arc(0.0, 1.0).intersection_length(Arc(0.3, 0.25)) == pytest.approx(0.25)
+
+    def test_expand_and_shrink(self):
+        arc = Arc(0.4, 0.2)
+        assert arc.expand(0.1).length == pytest.approx(0.3)
+        assert arc.shrink(0.1).length == pytest.approx(0.1)
+        assert arc.shrink(0.5).length == 0.0
+
+    def test_length_clamped_to_circle(self):
+        assert Arc(0.0, 2.5).length == 1.0
+
+    def test_midpoint_wraps(self):
+        assert Arc(0.9, 0.2).midpoint() == pytest.approx(0.0)
+
+    def test_split(self):
+        lo, hi = Arc(0.2, 0.4).split(0.3)
+        assert lo.start == pytest.approx(0.2)
+        assert lo.length == pytest.approx(0.1)
+        assert hi.start == pytest.approx(0.3)
+        assert hi.length == pytest.approx(0.3)
+
+    def test_split_outside_raises(self):
+        with pytest.raises(ValueError):
+            Arc(0.2, 0.1).split(0.5)
+
+    def test_negative_length_clamped(self):
+        assert Arc(0.5, -0.3).is_empty

@@ -1,0 +1,79 @@
+"""Tests for multiple front-end scheduling (repro.cluster.multifrontend)."""
+
+import random
+
+import pytest
+
+from repro.cluster.multifrontend import MultiFrontEndDeployment
+from repro.sim import PoissonArrivals
+
+
+def make_speeds(n=18, seed=2):
+    rng = random.Random(seed)
+    return [rng.uniform(300_000.0, 900_000.0) for _ in range(n)]
+
+
+class TestBasics:
+    def test_queries_complete(self):
+        dep = MultiFrontEndDeployment(make_speeds(), p=3, n_frontends=2)
+        dep.run(PoissonArrivals(5.0, seed=1).times(60))
+        assert len(dep.log.records) == 60
+        assert all(r.delay > 0 for r in dep.log.records)
+
+    def test_round_robin_across_frontends(self):
+        dep = MultiFrontEndDeployment(make_speeds(), p=3, n_frontends=3)
+        dep.run(PoissonArrivals(5.0, seed=1).times(30))
+        # Every front-end scheduled its share.
+        for fe in dep.frontends:
+            assert fe.queries_scheduled == 10
+
+    def test_single_frontend_allowed(self):
+        dep = MultiFrontEndDeployment(make_speeds(), p=3, n_frontends=1)
+        dep.run(PoissonArrivals(5.0, seed=1).times(20))
+        assert dep.estimate_divergence() == 0.0
+
+    def test_invalid_frontend_count(self):
+        with pytest.raises(ValueError):
+            MultiFrontEndDeployment(make_speeds(), p=3, n_frontends=0)
+
+
+class TestDecoupling:
+    def test_estimates_stay_coherent(self):
+        """Slow EWMAs keep independent front-ends' speed estimates close
+        (the paper's anti-oscillation prescription)."""
+        dep = MultiFrontEndDeployment(
+            make_speeds(), p=3, n_frontends=3, ewma_alpha=0.05
+        )
+        dep.run(PoissonArrivals(8.0, seed=3).times(300))
+        assert dep.estimate_divergence() < 0.25
+
+    def test_fast_ewma_diverges_more(self):
+        slow = MultiFrontEndDeployment(
+            make_speeds(), p=3, n_frontends=3, ewma_alpha=0.05, seed=4
+        )
+        fast = MultiFrontEndDeployment(
+            make_speeds(), p=3, n_frontends=3, ewma_alpha=0.9, seed=4
+        )
+        arrivals = PoissonArrivals(8.0, seed=3).times(300)
+        slow.run(arrivals)
+        fast.run(arrivals)
+        assert slow.estimate_divergence() <= fast.estimate_divergence() + 0.05
+
+    def test_decoupled_close_to_shared_view(self):
+        """Decoupled scheduling costs little vs a perfectly shared view at
+        moderate load (Section 4.8.3's claim)."""
+        arrivals = PoissonArrivals(4.0, seed=5).times(250)
+        shared = MultiFrontEndDeployment(
+            make_speeds(), p=3, n_frontends=2, shared_view=True, seed=6
+        )
+        decoupled = MultiFrontEndDeployment(
+            make_speeds(), p=3, n_frontends=2, shared_view=False, seed=6
+        )
+        d_shared = shared.run(list(arrivals)).raw_mean_delay()
+        d_dec = decoupled.run(list(arrivals)).raw_mean_delay()
+        assert d_dec < d_shared * 2.5
+
+    def test_utilisation_reported(self):
+        dep = MultiFrontEndDeployment(make_speeds(), p=3, n_frontends=2)
+        dep.run(PoissonArrivals(5.0, seed=1).times(50))
+        assert 0.0 < dep.utilisation() <= 1.0

@@ -1,0 +1,177 @@
+"""Tests for storage nodes and the dedup matching rules (repro.core.node)."""
+
+import random
+
+import pytest
+
+from repro.core import Ring, RingNode, generate_objects, replication_range
+from repro.core.ids import Arc, frac
+from repro.core.node import RoarNode, SubQuery, dedup_matches
+from repro.core.objects import DataObject
+
+
+def make_subqueries(pq, start=0.0, query_id=1):
+    return [
+        SubQuery.normal(query_id, frac(start + i / pq), pq, index=i)
+        for i in range(pq)
+    ]
+
+
+class TestSubQuery:
+    def test_normal_widths(self):
+        sub = SubQuery.normal(1, 0.5, 4)
+        assert sub.dedup_width == pytest.approx(0.25)
+        assert sub.local_width == pytest.approx(0.25)
+        assert sub.dedup_origin == sub.dest
+
+    def test_work_fraction(self):
+        sub = SubQuery.normal(1, 0.0, 8)
+        assert sub.work_fraction() == pytest.approx(0.125)
+
+
+class TestDedupMatching:
+    def test_object_just_before_query_matches(self):
+        sub = SubQuery.normal(1, 0.5, 4)
+        assert dedup_matches(0.4, sub)
+
+    def test_object_at_query_point_does_not_match(self):
+        # Strict inequality id_object < id_query (eq 4.1).
+        sub = SubQuery.normal(1, 0.5, 4)
+        assert not dedup_matches(0.5, sub)
+
+    def test_object_exactly_window_behind_matches(self):
+        # id_object + 1/pq >= id_query is inclusive (eq 4.2).
+        sub = SubQuery.normal(1, 0.5, 4)
+        assert dedup_matches(0.25, sub)
+
+    def test_object_too_far_behind_does_not_match(self):
+        sub = SubQuery.normal(1, 0.5, 4)
+        assert not dedup_matches(0.2, sub)
+
+    def test_wrapping_window(self):
+        sub = SubQuery.normal(1, 0.05, 4)
+        assert dedup_matches(0.9, sub)
+        assert not dedup_matches(0.5, sub)
+
+    @pytest.mark.parametrize("pq", [1, 2, 3, 5, 8, 13])
+    def test_exactly_one_subquery_matches_each_object(self, pq, rng):
+        """The coverage invariant: pq equally spaced sub-queries partition
+        the object space exactly (Section 4.2)."""
+        objects = [rng.random() for _ in range(500)]
+        subs = make_subqueries(pq, start=rng.random())
+        for oid in objects:
+            hits = sum(1 for s in subs if dedup_matches(oid, s))
+            assert hits == 1, f"object {oid} matched {hits} times with pq={pq}"
+
+    def test_pq_larger_than_p_still_partitions(self, rng):
+        subs = make_subqueries(7, start=0.123)
+        for oid in (rng.random() for _ in range(300)):
+            assert sum(1 for s in subs if dedup_matches(oid, s)) == 1
+
+
+class TestRoarNodeStorage:
+    def make_node(self, start=0.0, length_hint=0.25):
+        ring_node = RingNode("n0", start)
+        return RoarNode(ring_node)
+
+    def test_should_store_intersecting(self):
+        node = self.make_node()
+        node_range = Arc(0.0, 0.25)
+        obj = DataObject(oid=0.1)
+        assert node.should_store(obj, p=4, node_range=node_range)
+
+    def test_should_store_overhanging_from_before(self):
+        # Object at 0.9 with arc [0.9, 1.15) reaches into [0.0, 0.25).
+        node = self.make_node()
+        obj = DataObject(oid=0.9)
+        assert node.should_store(obj, p=4, node_range=Arc(0.0, 0.25))
+
+    def test_should_not_store_far_object(self):
+        node = self.make_node()
+        obj = DataObject(oid=0.5)
+        assert not node.should_store(obj, p=4, node_range=Arc(0.0, 0.25))
+
+    def test_load_objects_counts_and_bytes(self, rng):
+        node = self.make_node()
+        objs = generate_objects(200, rng, size=100)
+        loaded = node.load_objects(objs, p=4, node_range=Arc(0.0, 0.25))
+        assert loaded == node.stored_count()
+        assert node.bytes_downloaded == loaded * 100
+        # Roughly (1/p + range) of objects: (0.25 + 0.25) * 200 = ~100.
+        assert 60 <= loaded <= 140
+
+    def test_load_is_idempotent(self, rng):
+        node = self.make_node()
+        objs = generate_objects(100, rng)
+        first = node.load_objects(objs, p=4, node_range=Arc(0.0, 0.25))
+        second = node.load_objects(objs, p=4, node_range=Arc(0.0, 0.25))
+        assert second == 0
+        assert node.stored_count() == first
+
+    def test_drop_outside_after_p_increase(self, rng):
+        node = self.make_node()
+        objs = generate_objects(300, rng)
+        node.load_objects(objs, p=2, node_range=Arc(0.0, 0.25))
+        before = node.stored_count()
+        dropped = node.drop_outside(p=4, node_range=Arc(0.0, 0.25))
+        assert dropped > 0
+        assert node.stored_count() == before - dropped
+        # Everything left genuinely belongs at p=4.
+        for obj in node.store:
+            assert replication_range(obj, 4).intersects(Arc(0.0, 0.25))
+
+
+class TestRoarNodeExecution:
+    def test_execute_returns_only_dedup_window(self, rng):
+        ring_node = RingNode("n0", 0.5)
+        node = RoarNode(ring_node)
+        objs = generate_objects(400, rng)
+        node.load_objects(objs, p=4, node_range=Arc(0.5, 0.25))
+        sub = SubQuery.normal(1, 0.6, 4)
+        got = node.execute(sub)
+        for obj in got:
+            assert dedup_matches(obj.oid, sub)
+
+    def test_execute_with_predicate(self, rng):
+        ring_node = RingNode("n0", 0.0)
+        node = RoarNode(ring_node)
+        objs = [DataObject(oid=0.1 + i * 0.001, key=f"k{i}") for i in range(50)]
+        node.load_objects(objs, p=2, node_range=Arc(0.0, 0.5))
+        sub = SubQuery.normal(1, 0.3, 2)
+        got = node.execute(sub, predicate=lambda o: o.key.endswith("0"))
+        assert got
+        assert all(o.key.endswith("0") for o in got)
+
+    def test_matching_work_counts(self, rng):
+        ring_node = RingNode("n0", 0.0)
+        node = RoarNode(ring_node)
+        objs = generate_objects(200, rng)
+        node.load_objects(objs, p=2, node_range=Arc(0.0, 0.5))
+        sub = SubQuery.normal(1, 0.25, 2)
+        assert node.matching_work(sub) == len(node.execute(sub))
+
+
+class TestFullSystemCoverage:
+    """End-to-end invariant: nodes + storage rule + query rule = exact cover."""
+
+    @pytest.mark.parametrize("p,pq", [(4, 4), (4, 6), (3, 7), (5, 5)])
+    def test_every_object_matched_exactly_once(self, p, pq, rng):
+        ring = Ring.proportional([rng.uniform(0.5, 2.0) for _ in range(12)])
+        objects = generate_objects(300, rng)
+        stores = {}
+        for ring_node in ring:
+            store = RoarNode(ring_node)
+            store.load_objects(objects, p, ring.range_of(ring_node))
+            stores[ring_node.name] = store
+
+        start = rng.random()
+        matched: dict[str, int] = {}
+        for i in range(pq):
+            dest = frac(start + i / pq)
+            sub = SubQuery.normal(1, dest, pq, index=i)
+            owner = ring.node_in_charge(dest)
+            for obj in stores[owner.name].execute(sub):
+                matched[obj.key] = matched.get(obj.key, 0) + 1
+
+        assert len(matched) == len(objects), "some objects were never matched"
+        assert all(v == 1 for v in matched.values()), "duplicate matches"

@@ -1,0 +1,99 @@
+"""Tests for the configuration advisor (repro.analysis.planner)."""
+
+import math
+
+import pytest
+
+from repro.analysis.planner import (
+    ConfigOption,
+    Recommendation,
+    WorkloadSpec,
+    recommend_configuration,
+)
+
+
+def spec(**overrides):
+    base = dict(
+        dataset_size=1e6,
+        query_rate=5.0,
+        update_rate=10.0,
+        target_delay=0.5,
+        speeds=[700_000.0] * 24,
+        fixed_overhead=0.005,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestRecommendation:
+    def test_picks_smallest_feasible_p(self):
+        rec = recommend_configuration(spec())
+        assert rec.chosen is not None
+        feasible = [o for o in rec.options if o.feasible]
+        smallest = feasible[0]
+        # Contract: the smallest feasible p, unless a larger p buys a real
+        # bandwidth win (update-heavy workloads).
+        assert (
+            rec.chosen.p == smallest.p
+            or rec.chosen.bandwidth < smallest.bandwidth
+        )
+
+    def test_chosen_meets_target(self):
+        rec = recommend_configuration(spec())
+        assert rec.chosen.predicted_delay <= 0.5
+        assert rec.chosen.utilisation < 1.0
+
+    def test_tighter_target_needs_larger_p(self):
+        loose = recommend_configuration(spec(target_delay=1.0))
+        tight = recommend_configuration(spec(target_delay=0.25))
+        assert tight.chosen.p >= loose.chosen.p
+
+    def test_higher_load_needs_larger_p(self):
+        # update_rate ~ 0 isolates the delay-driven choice from the
+        # bandwidth tie-break (heavy updates legitimately pull p up).
+        light = recommend_configuration(spec(query_rate=1.0, update_rate=0.1))
+        heavy = recommend_configuration(spec(query_rate=8.0, update_rate=0.1))
+        assert heavy.chosen.p >= light.chosen.p
+
+    def test_impossible_target_returns_none(self):
+        rec = recommend_configuration(spec(target_delay=1e-6))
+        assert rec.chosen is None
+        assert "no partitioning level" in rec.reason
+
+    def test_overload_returns_none(self):
+        rec = recommend_configuration(spec(query_rate=1e6))
+        assert rec.chosen is None
+
+    def test_option_table_complete(self):
+        rec = recommend_configuration(spec())
+        assert len(rec.options) == 24
+        assert [o.p for o in rec.options] == list(range(1, 25))
+        for option in rec.options:
+            assert option.r == pytest.approx(24 / option.p)
+
+    def test_bandwidth_grows_with_p_for_query_heavy(self):
+        rec = recommend_configuration(spec(query_rate=50.0, update_rate=0.1))
+        bws = [o.bandwidth for o in rec.options]
+        assert bws == sorted(bws)
+
+    def test_bandwidth_falls_with_p_for_update_heavy(self):
+        rec = recommend_configuration(spec(query_rate=0.01, update_rate=1000.0))
+        bws = [o.bandwidth for o in rec.options]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_heterogeneous_speeds_accepted(self):
+        rec = recommend_configuration(
+            spec(speeds=[300_000.0, 900_000.0] * 12)
+        )
+        assert rec.chosen is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_configuration(spec(speeds=[]))
+        with pytest.raises(ValueError):
+            recommend_configuration(spec(target_delay=0.0))
+
+    def test_infeasible_options_marked(self):
+        rec = recommend_configuration(spec(query_rate=8.0))
+        assert any(not o.feasible for o in rec.options)
+        assert any(o.feasible for o in rec.options)

@@ -1,0 +1,431 @@
+"""Tests for the PPS application layer: metadata codec, corpus, store,
+matcher, multi-predicate queries, index-based model."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.ids import Arc
+from repro.pps import (
+    CorpusConfig,
+    FileMetadata,
+    MatchEngine,
+    MetadataCodec,
+    MetadataStore,
+    MultiPredicateQuery,
+    Predicate,
+    StoredItem,
+    UserStoreCache,
+    Vocabulary,
+    bandwidth_ratio,
+    generate_corpus,
+    index_bandwidth,
+    optimal_delta_max,
+    pps_bandwidth,
+    sample_size_for_accuracy,
+)
+from repro.pps.corpus import corpus_vocabulary
+
+
+@pytest.fixture
+def codec(key):
+    return MetadataCodec(key, max_content_keywords=10, max_path_depth=6)
+
+
+@pytest.fixture
+def sample_file():
+    return FileMetadata(
+        path="/home/docs/report-7.pdf",
+        keywords=("budget", "q3", "revenue"),
+        size=50_000,
+        mtime=1.0e9 + 50 * 7 * 86400.0,
+    )
+
+
+class TestMetadataCodec:
+    def test_keyword_predicate(self, codec, sample_file):
+        enc = codec.encrypt_file(sample_file)
+        assert codec.match(enc, codec.encrypt_predicate(Predicate("keyword", "=", "budget")))
+        assert not codec.match(enc, codec.encrypt_predicate(Predicate("keyword", "=", "nope")))
+
+    def test_path_predicate(self, codec, sample_file):
+        enc = codec.encrypt_file(sample_file)
+        assert codec.match(enc, codec.encrypt_predicate(Predicate("path", "=", "docs")))
+        assert codec.match(
+            enc, codec.encrypt_predicate(Predicate("path", "=", "report-7.pdf"))
+        )
+        assert not codec.match(enc, codec.encrypt_predicate(Predicate("path", "=", "music")))
+
+    def test_size_predicate(self, codec, sample_file):
+        enc = codec.encrypt_file(sample_file)
+        assert codec.match(enc, codec.encrypt_predicate(Predicate("size", ">", 1000)))
+        assert not codec.match(enc, codec.encrypt_predicate(Predicate("size", ">", 1e8)))
+        assert codec.match(enc, codec.encrypt_predicate(Predicate("size", "<", 1e8)))
+
+    def test_date_predicate(self, codec, sample_file):
+        enc = codec.encrypt_file(sample_file)
+        assert codec.match(
+            enc, codec.encrypt_predicate(Predicate("date", ">", 1.0e9))
+        )
+        assert not codec.match(
+            enc, codec.encrypt_predicate(Predicate("date", ">", 1.0e9 + 100 * 7 * 86400))
+        )
+
+    def test_attribute_types_isolated(self, codec):
+        """A size value equal to a keyword string must not cross-match --
+        the prefix bundling of Section 5.6.4."""
+        meta = FileMetadata("/a/b.txt", ("100",), size=100, mtime=1.0e9)
+        enc = codec.encrypt_file(meta)
+        assert codec.match(enc, codec.encrypt_predicate(Predicate("keyword", "=", "100")))
+        # path predicate for "100" must not match the keyword or the size
+        assert not codec.match(enc, codec.encrypt_predicate(Predicate("path", "=", "100")))
+
+    def test_invalid_predicates(self, codec):
+        with pytest.raises(ValueError):
+            codec.word_for_predicate(Predicate("keyword", ">", "x"))
+        with pytest.raises(ValueError):
+            codec.word_for_predicate(Predicate("size", "=", 5))
+        with pytest.raises(ValueError):
+            codec.word_for_predicate(Predicate("bogus", "=", 5))  # type: ignore
+
+    def test_metadata_size_reported(self, codec):
+        assert codec.metadata_size_bytes() > 100
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = generate_corpus(CorpusConfig(n_files=50, seed=9))
+        b = generate_corpus(CorpusConfig(n_files=50, seed=9))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(CorpusConfig(n_files=50, seed=1))
+        b = generate_corpus(CorpusConfig(n_files=50, seed=2))
+        assert a != b
+
+    def test_corpus_shape(self):
+        files = generate_corpus(CorpusConfig(n_files=100, keywords_per_file=8))
+        assert len(files) == 100
+        for f in files:
+            assert len(f.keywords) == 8
+            assert f.path.startswith("/")
+            assert f.size > 0
+
+    def test_zipf_vocabulary_popularity(self):
+        vocab = Vocabulary.synthetic(500)
+        rng = random.Random(1)
+        draws = [vocab.sample(rng, 1)[0] for _ in range(3000)]
+        top = sum(1 for w in draws if vocab.frequency_rank(w) < 10)
+        bottom = sum(1 for w in draws if vocab.frequency_rank(w) >= 400)
+        assert top > bottom * 3  # heavy head
+
+    def test_corpus_vocabulary_matches_config(self):
+        cfg = CorpusConfig(vocabulary_size=123)
+        assert len(corpus_vocabulary(cfg).words) == 123
+
+
+class TestMetadataStore:
+    def make_store(self, n, rng, chunk_size=16):
+        from repro.pps.schemes.base import EncryptedMetadata
+
+        items = [
+            StoredItem(rng.random(), EncryptedMetadata("fake", i, size_bytes=100))
+            for i in range(n)
+        ]
+        return MetadataStore(items, chunk_size=chunk_size)
+
+    def test_sorted_order(self, rng):
+        store = self.make_store(100, rng)
+        ids = [it.item_id for it in store]
+        assert ids == sorted(ids)
+
+    def test_load_range_returns_only_in_arc(self, rng):
+        store = self.make_store(200, rng)
+        arc = Arc(0.2, 0.3)
+        got = store.load_range(arc)
+        assert all(arc.contains(it.item_id) for it in got)
+        expected = sum(1 for it in store if arc.contains(it.item_id))
+        assert len(got) == expected
+
+    def test_load_wrapping_range(self, rng):
+        store = self.make_store(200, rng)
+        arc = Arc(0.9, 0.2)
+        got = store.load_range(arc)
+        assert all(arc.contains(it.item_id) for it in got)
+
+    def test_full_circle_loads_everything(self, rng):
+        store = self.make_store(50, rng)
+        assert len(store.load_range(Arc(0.0, 1.0))) == 50
+
+    def test_io_charged_per_chunk(self, rng):
+        store = self.make_store(100, rng, chunk_size=10)
+        store.load_range(Arc(0.0, 0.05))
+        # At least one chunk (1000 B), far less than the whole store.
+        assert 0 < store.bytes_read <= 100 * 100
+
+    def test_add_remove_replace(self, rng):
+        from repro.pps.schemes.base import EncryptedMetadata
+
+        store = self.make_store(10, rng)
+        item = StoredItem(0.5, EncryptedMetadata("fake", "new", 100))
+        store.add(item)
+        assert len(store) == 11
+        assert store.remove_id(0.5)
+        assert not store.remove_id(0.5)
+        store.replace(item)
+        assert len(store) == 11
+
+    def test_pointer_table_granularity(self, rng):
+        store = self.make_store(100, rng, chunk_size=25)
+        table = store.pointer_table()
+        assert len(table) == 4
+        assert [pos for _, pos in table] == [0, 25, 50, 75]
+
+
+class TestUserStoreCache:
+    def make_store(self, n, seed=0):
+        from repro.pps.schemes.base import EncryptedMetadata
+
+        rng = random.Random(seed)
+        return MetadataStore(
+            StoredItem(rng.random(), EncryptedMetadata("fake", i, 100))
+            for i in range(n)
+        )
+
+    def test_hit_after_load(self):
+        cache = UserStoreCache(capacity_items=100)
+        cache.get("alice", lambda: self.make_store(10))
+        cache.get("alice", lambda: self.make_store(10))
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = UserStoreCache(capacity_items=25)
+        cache.get("a", lambda: self.make_store(10, 1))
+        cache.get("b", lambda: self.make_store(10, 2))
+        cache.get("c", lambda: self.make_store(10, 3))  # evicts "a"
+        assert cache.evictions >= 1
+        assert not cache.contains("a")
+        assert cache.contains("c")
+
+    def test_lru_order_refreshes_on_access(self):
+        cache = UserStoreCache(capacity_items=25)
+        cache.get("a", lambda: self.make_store(10, 1))
+        cache.get("b", lambda: self.make_store(10, 2))
+        cache.get("a", lambda: self.make_store(10, 1))  # refresh a
+        cache.get("c", lambda: self.make_store(10, 3))  # evicts b, not a
+        assert cache.contains("a")
+        assert not cache.contains("b")
+
+    def test_cold_load_charges_io(self):
+        cache = UserStoreCache(capacity_items=100)
+        store = cache.get("alice", lambda: self.make_store(10))
+        assert store.bytes_read == 10 * 100
+
+
+class TestMatchEngine:
+    def make_items(self, n, key, match_every=10):
+        from repro.pps.schemes import EqualityScheme
+
+        scheme = EqualityScheme(key)
+        rng = random.Random(0)
+        items = []
+        for i in range(n):
+            value = "hit" if i % match_every == 0 else f"miss-{i}"
+            items.append(StoredItem(rng.random(), scheme.encrypt_metadata(value)))
+        query = scheme.encrypt_query("hit")
+        return items, (lambda m: scheme.match(m, query))
+
+    def test_serial_reference(self, key):
+        items, match_fn = self.make_items(200, key)
+        engine = MatchEngine(low_memory=False)
+        result = engine.run_serial(items, match_fn)
+        assert result.scanned == 200
+        assert len(result.matches) == 20
+
+    def test_threaded_equals_serial(self, key):
+        items, match_fn = self.make_items(500, key)
+        serial = MatchEngine(low_memory=False).run_serial(items, match_fn)
+        for threads in (1, 2, 4):
+            engine = MatchEngine(n_threads=threads, batch_size=50, low_memory=False)
+            result = engine.run(items, match_fn)
+            assert result.scanned == 500
+            assert {id(m) for m in result.matches} == {
+                id(m) for m in serial.matches
+            }
+
+    def test_trace_recorded(self, key):
+        items, match_fn = self.make_items(300, key)
+        engine = MatchEngine(batch_size=50, trace_every=100, low_memory=False)
+        result = engine.run(items, match_fn)
+        roles = {t.role for t in result.trace}
+        assert "io" in roles and "match" in roles
+        assert result.trace[-1].count == 300
+
+    def test_early_termination(self, key):
+        items, match_fn = self.make_items(2000, key, match_every=2)
+        engine = MatchEngine(batch_size=20, low_memory=False)
+        result = engine.run(items, match_fn, stop_after_matches=10)
+        assert len(result.matches) >= 10
+        assert result.scanned < 2000
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MatchEngine(n_threads=0)
+        with pytest.raises(ValueError):
+            MatchEngine(batch_size=0)
+
+
+class TestMultiPredicateQuery:
+    def make_preds(self, key, values):
+        from repro.pps.schemes import EqualityScheme
+
+        scheme = EqualityScheme(key)
+        return scheme, [(scheme, scheme.encrypt_query(v)) for v in values]
+
+    def encrypt_items(self, key, rows):
+        from repro.pps.schemes import EqualityScheme
+
+        scheme = EqualityScheme(key)
+        return scheme, [scheme.encrypt_metadata(v) for v in rows]
+
+    def test_sample_size_formula(self):
+        assert sample_size_for_accuracy(0.1) == 225
+        assert sample_size_for_accuracy(0.05) == 900
+
+    def test_and_semantics(self, key):
+        from repro.pps.schemes import BloomKeywordScheme
+
+        scheme = BloomKeywordScheme(key, max_words=4)
+        q = MultiPredicateQuery(
+            [(scheme, scheme.encrypt_query("a")), (scheme, scheme.encrypt_query("b"))],
+            op="and",
+            dynamic_ordering=False,
+        )
+        both = scheme.encrypt_metadata(["a", "b"])
+        only_a = scheme.encrypt_metadata(["a"])
+        assert q.matches(both)
+        assert not q.matches(only_a)
+
+    def test_or_semantics(self, key):
+        from repro.pps.schemes import BloomKeywordScheme
+
+        scheme = BloomKeywordScheme(key, max_words=4)
+        q = MultiPredicateQuery(
+            [(scheme, scheme.encrypt_query("a")), (scheme, scheme.encrypt_query("b"))],
+            op="or",
+            dynamic_ordering=False,
+        )
+        assert q.matches(scheme.encrypt_metadata(["b"]))
+        assert not q.matches(scheme.encrypt_metadata(["c"]))
+
+    def test_dynamic_ordering_puts_selective_first(self, key):
+        from repro.pps.schemes import BloomKeywordScheme
+
+        scheme = BloomKeywordScheme(key, max_words=4)
+        # "common" matches everything; "rare" matches nothing.
+        q = MultiPredicateQuery(
+            [
+                (scheme, scheme.encrypt_query("common")),
+                (scheme, scheme.encrypt_query("rare")),
+            ],
+            op="and",
+            sample_size=50,
+        )
+        for _ in range(60):
+            q.matches(scheme.encrypt_metadata(["common", "other"]))
+        assert q.current_order() == [1, 0]  # rare (selective) first
+
+    def test_ordering_reduces_evaluations(self, key):
+        from repro.pps.schemes import BloomKeywordScheme
+
+        scheme = BloomKeywordScheme(key, max_words=4)
+
+        def run(dynamic):
+            q = MultiPredicateQuery(
+                [
+                    (scheme, scheme.encrypt_query("common")),
+                    (scheme, scheme.encrypt_query("rare")),
+                ],
+                op="and",
+                dynamic_ordering=dynamic,
+                sample_size=50,
+            )
+            metas = [scheme.encrypt_metadata(["common"]) for _ in range(300)]
+            for m in metas:
+                q.matches(m)
+            return q.total_evaluations
+
+        assert run(True) < run(False)
+
+    def test_results_same_with_and_without_ordering(self, key):
+        from repro.pps.schemes import BloomKeywordScheme
+
+        scheme = BloomKeywordScheme(key, max_words=4)
+        rng = random.Random(3)
+        metas = []
+        truths = []
+        for _ in range(400):
+            words = rng.sample(["a", "b", "c", "d"], k=rng.randint(1, 3))
+            metas.append(scheme.encrypt_metadata(words))
+            truths.append("a" in words and "b" in words)
+        for dynamic in (True, False):
+            q = MultiPredicateQuery(
+                [(scheme, scheme.encrypt_query("a")), (scheme, scheme.encrypt_query("b"))],
+                op="and",
+                dynamic_ordering=dynamic,
+                sample_size=100,
+            )
+            got = [q.matches(m) for m in metas]
+            assert got == truths
+
+    def test_empty_predicates_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPredicateQuery([], op="and")
+
+    def test_bad_op_rejected(self, key):
+        from repro.pps.schemes import EqualityScheme
+
+        scheme = EqualityScheme(key)
+        with pytest.raises(ValueError):
+            MultiPredicateQuery(
+                [(scheme, scheme.encrypt_query("x"))], op="xor"  # type: ignore
+            )
+
+
+class TestIndexBasedModel:
+    def test_pps_bandwidth_linear(self):
+        assert pps_bandwidth(10, 0) == pytest.approx(5000)
+        assert pps_bandwidth(0, 10) == pytest.approx(25000)
+
+    def test_index_worse_when_updates_remote(self):
+        ratio = bandwidth_ratio(fu=500, fq=100, local_fraction=0.0)
+        assert ratio > 2.0
+
+    def test_local_updates_shrink_gap(self):
+        r_remote = bandwidth_ratio(fu=500, fq=100, local_fraction=0.0)
+        r_local = bandwidth_ratio(fu=500, fq=100, local_fraction=0.9)
+        assert r_local < r_remote
+
+    def test_paper_headline_ratio(self):
+        """Fig 5.1: up to ~8x more bandwidth with fully remote updates."""
+        worst = max(
+            bandwidth_ratio(fu, fq, 0.0)
+            for fu in (100, 300, 1000)
+            for fq in (100, 300, 1000)
+        )
+        assert 4.0 < worst < 12.0
+
+    def test_optimal_delta_max_balances(self):
+        d = optimal_delta_max(fu=100, fq=100, local_fraction=0.0)
+        assert d >= 1
+        best = index_bandwidth(100, 100, d)
+        assert best <= index_bandwidth(100, 100, max(1, d // 2)) + 1e-9
+        assert best <= index_bandwidth(100, 100, d * 2) + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            index_bandwidth(1, 1, 0)
+        with pytest.raises(ValueError):
+            index_bandwidth(1, 1, 5, local_fraction=1.5)

@@ -1,0 +1,147 @@
+"""Additional property-based tests: reconfiguration, balancing, membership
+edits, result merging, and the planner's monotonicity."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.planner import WorkloadSpec, recommend_configuration
+from repro.core import Ring, RingNode, generate_objects
+from repro.core.balance import LoadBalancer
+from repro.core.ids import frac
+from repro.core.node import RoarNode, SubQuery, dedup_matches
+from repro.core.reconfig import Reconfigurator
+from repro.pps.results import local_top_k, merge_top_k
+
+
+def exact_coverage(ring, stores, objects, pq, rng):
+    start = rng.random()
+    matched = {}
+    for i in range(pq):
+        dest = frac(start + i / pq)
+        sub = SubQuery.normal(1, dest, pq, index=i)
+        for obj in stores[ring.node_in_charge(dest).name].execute(sub):
+            matched[obj.key] = matched.get(obj.key, 0) + 1
+    return len(matched) == len(objects) and set(matched.values()) <= {1}
+
+
+class TestReconfigProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        p1=st.integers(min_value=2, max_value=6),
+        p2=st.integers(min_value=2, max_value=6),
+    )
+    def test_any_p_transition_preserves_coverage(self, seed, p1, p2):
+        """Coverage holds before, *during* (at the safe pq) and after any
+        p -> p' transition."""
+        rng = random.Random(seed)
+        ring = Ring.proportional([rng.uniform(0.5, 2.0) for _ in range(10)])
+        objects = generate_objects(80, rng)
+        stores = {n.name: RoarNode(n) for n in ring}
+        recon = Reconfigurator(ring, stores, objects, p_initial=p1)
+        recon.initial_load()
+        assert exact_coverage(ring, stores, objects, p1, rng)
+
+        recon.request_p(p2)
+        # Mid-transition: half the nodes have acted.
+        pending = list(recon._pending)
+        for name in pending[: len(pending) // 2]:
+            recon.node_step(name)
+        safe = int(round(recon.safe_pq))
+        assert exact_coverage(ring, stores, objects, safe, rng)
+
+        recon.run_all_steps()
+        assert exact_coverage(ring, stores, objects, p2, rng)
+
+
+class TestBalancerProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=2, max_value=12),
+        rounds=st.integers(min_value=1, max_value=30),
+    )
+    def test_balancing_never_breaks_partition(self, seed, n, rounds):
+        rng = random.Random(seed)
+        ring = Ring.uniform(n, speeds=[rng.uniform(0.2, 4.0) for _ in range(n)])
+        balancer = LoadBalancer(ring)
+        before = balancer.imbalance()
+        for _ in range(rounds):
+            balancer.step()
+            ring.validate()
+        # Imbalance is non-increasing over the run as a whole.
+        assert balancer.imbalance() <= before + 1e-9
+
+
+class TestMembershipEditsProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        ops=st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=15),
+    )
+    def test_random_join_leave_keeps_ring_valid(self, seed, ops):
+        from repro.core.membership import MembershipServer
+
+        rng = random.Random(seed)
+        ms = MembershipServer.build_balanced([1.0] * 4)
+        counter = 100
+        for op in ops:
+            ring = ms.rings[0]
+            if op == 0:
+                ms.add_server(f"extra-{counter}", rng.uniform(0.5, 2.0))
+                counter += 1
+            elif op == 1 and len(ring) > 2:
+                victim = rng.choice(ring.nodes())
+                ms.remove_server(victim.name)
+            else:
+                ms.move_cool_to_hot()
+            ring.validate()
+
+
+class TestTopKProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_servers=st.integers(min_value=1, max_value=6),
+        per_server=st.integers(min_value=0, max_value=40),
+        k=st.integers(min_value=1, max_value=15),
+    )
+    def test_two_level_topk_exact(self, seed, n_servers, per_server, k):
+        rng = random.Random(seed)
+        servers = [
+            [(f"s{s}-d{i}", rng.random()) for i in range(per_server)]
+            for s in range(n_servers)
+        ]
+        locals_ = [local_top_k(m, k) if m else [] for m in servers]
+        merged = merge_top_k(locals_, k)
+        union = [m for server in servers for m in server]
+        direct = local_top_k(union, k) if union else []
+        assert [m.score for m in merged] == pytest.approx(
+            [m.score for m in direct]
+        )
+
+
+class TestPlannerProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.1, max_value=6.0),
+        target=st.floats(min_value=0.05, max_value=2.0),
+    )
+    def test_chosen_always_meets_target(self, rate, target):
+        spec = WorkloadSpec(
+            dataset_size=1e6,
+            query_rate=rate,
+            update_rate=1.0,
+            target_delay=target,
+            speeds=[700_000.0] * 16,
+            fixed_overhead=0.003,
+        )
+        rec = recommend_configuration(spec)
+        if rec.chosen is not None:
+            assert rec.chosen.predicted_delay <= target + 1e-9
+            assert rec.chosen.feasible
+        else:
+            # If refused, genuinely nothing was feasible.
+            assert all(not o.feasible for o in rec.options)

@@ -1,0 +1,99 @@
+"""Tests for standing queries / online filtering (repro.pps.pubsub)."""
+
+import pytest
+
+from repro.pps.pubsub import StandingQueryIndex
+from repro.pps.schemes import BloomKeywordScheme, EqualityScheme
+
+
+@pytest.fixture
+def scheme(key):
+    return BloomKeywordScheme(key, max_words=6, pad_filters=False)
+
+
+@pytest.fixture
+def index(scheme):
+    return StandingQueryIndex(scheme)
+
+
+class TestSubscriptions:
+    def test_subscribe_assigns_ids(self, index, scheme):
+        s1 = index.subscribe("alice", scheme.encrypt_query("urgent"))
+        s2 = index.subscribe("bob", scheme.encrypt_query("invoice"))
+        assert s1.sub_id != s2.sub_id
+        assert len(index) == 2
+
+    def test_unsubscribe(self, index, scheme):
+        sub = index.subscribe("alice", scheme.encrypt_query("urgent"))
+        assert index.unsubscribe(sub.sub_id)
+        assert len(index) == 0
+        assert not index.unsubscribe(sub.sub_id)
+
+    def test_identical_queries_collapse(self, index, scheme):
+        """The cover relation (equality here) dedupes evaluations."""
+        q = scheme.encrypt_query("urgent")
+        index.subscribe("alice", q)
+        index.subscribe("bob", scheme.encrypt_query("urgent"))
+        assert len(index) == 2
+        assert index.distinct_queries() == 1
+
+
+class TestMatching:
+    def test_notifies_matching_owners(self, index, scheme):
+        index.subscribe("alice", scheme.encrypt_query("urgent"))
+        index.subscribe("bob", scheme.encrypt_query("boring"))
+        meta = scheme.encrypt_metadata(["urgent", "meeting"])
+        notes = index.match_metadata(meta)
+        assert {n.owner for n in notes} == {"alice"}
+
+    def test_no_match_no_notification(self, index, scheme):
+        index.subscribe("alice", scheme.encrypt_query("urgent"))
+        notes = index.match_metadata(scheme.encrypt_metadata(["calm"]))
+        assert notes == []
+
+    def test_all_equal_subscribers_notified(self, index, scheme):
+        index.subscribe("alice", scheme.encrypt_query("urgent"))
+        index.subscribe("bob", scheme.encrypt_query("urgent"))
+        notes = index.match_metadata(scheme.encrypt_metadata(["urgent"]))
+        assert {n.owner for n in notes} == {"alice", "bob"}
+
+    def test_collapsed_queries_single_evaluation(self, index, scheme):
+        for i in range(10):
+            index.subscribe(f"user{i}", scheme.encrypt_query("urgent"))
+        index.evaluations = 0
+        index.match_metadata(scheme.encrypt_metadata(["urgent"]))
+        assert index.evaluations == 1
+
+    def test_batch(self, index, scheme):
+        index.subscribe("alice", scheme.encrypt_query("urgent"))
+        metas = [
+            scheme.encrypt_metadata(["urgent"]),
+            scheme.encrypt_metadata(["calm"]),
+            scheme.encrypt_metadata(["urgent", "x"]),
+        ]
+        notes = index.match_batch(metas)
+        assert len(notes) == 2
+
+    def test_unsubscribed_not_notified(self, index, scheme):
+        sub = index.subscribe("alice", scheme.encrypt_query("urgent"))
+        index.subscribe("bob", scheme.encrypt_query("urgent"))
+        index.unsubscribe(sub.sub_id)
+        notes = index.match_metadata(scheme.encrypt_metadata(["urgent"]))
+        assert {n.owner for n in notes} == {"bob"}
+
+    def test_works_with_equality_scheme(self, key):
+        scheme = EqualityScheme(key)
+        index = StandingQueryIndex(scheme)
+        index.subscribe("alice", scheme.encrypt_query("exact-value"))
+        hit = index.match_metadata(scheme.encrypt_metadata("exact-value"))
+        miss = index.match_metadata(scheme.encrypt_metadata("other"))
+        assert len(hit) == 1
+        assert miss == []
+
+    def test_mixed_subscriptions_end_to_end(self, index, scheme):
+        index.subscribe("alice", scheme.encrypt_query("urgent"))
+        index.subscribe("bob", scheme.encrypt_query("invoice"))
+        index.subscribe("carol", scheme.encrypt_query("urgent"))
+        meta = scheme.encrypt_metadata(["urgent", "invoice"])
+        owners = sorted(n.owner for n in index.match_metadata(meta))
+        assert owners == ["alice", "bob", "carol"]

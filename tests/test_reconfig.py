@@ -1,0 +1,157 @@
+"""Tests for online reconfiguration (repro.core.reconfig, Section 4.5)."""
+
+import random
+
+import pytest
+
+from repro.core import Ring, generate_objects
+from repro.core.node import RoarNode, SubQuery, dedup_matches
+from repro.core.ids import frac
+from repro.core.reconfig import ReconfigPhase, Reconfigurator
+
+
+@pytest.fixture
+def system(rng):
+    ring = Ring.proportional([rng.uniform(0.5, 2.0) for _ in range(12)])
+    objects = generate_objects(300, rng)
+    stores = {n.name: RoarNode(n) for n in ring}
+    recon = Reconfigurator(ring, stores, objects, p_initial=4)
+    recon.initial_load()
+    return ring, objects, stores, recon
+
+
+def run_query_coverage(ring, objects, stores, pq, rng):
+    """Run one pq-way query; return per-object match counts."""
+    start = rng.random()
+    matched = {}
+    for i in range(pq):
+        dest = frac(start + i / pq)
+        sub = SubQuery.normal(1, dest, pq, index=i)
+        owner = ring.node_in_charge(dest)
+        for obj in stores[owner.name].execute(sub):
+            matched[obj.key] = matched.get(obj.key, 0) + 1
+    return matched
+
+
+class TestInitialLoad:
+    def test_every_object_replicated(self, system):
+        ring, objects, stores, recon = system
+        total = sum(s.stored_count() for s in stores.values())
+        # Each object on >= 1 server; with r = n/p = 3 average replicas.
+        assert total >= len(objects)
+
+    def test_queries_work_at_initial_p(self, system, rng):
+        ring, objects, stores, recon = system
+        matched = run_query_coverage(ring, objects, stores, 4, rng)
+        assert len(matched) == len(objects)
+        assert all(v == 1 for v in matched.values())
+
+
+class TestIncreasingP:
+    def test_immediately_safe(self, system):
+        ring, objects, stores, recon = system
+        status = recon.request_p(6)
+        assert status.phase == ReconfigPhase.SHRINKING_REPLICAS
+        # New pq usable right away (Section 4.5).
+        assert recon.safe_pq == 6
+
+    def test_queries_correct_before_drops_complete(self, system, rng):
+        """Mid-transition: nodes still hold p=4 replicas, queries use pq=6."""
+        ring, objects, stores, recon = system
+        recon.request_p(6)
+        matched = run_query_coverage(ring, objects, stores, 6, rng)
+        assert len(matched) == len(objects)
+        assert all(v == 1 for v in matched.values())
+
+    def test_drops_free_space(self, system, rng):
+        ring, objects, stores, recon = system
+        before = sum(s.stored_count() for s in stores.values())
+        recon.request_p(6)
+        recon.run_all_steps()
+        after = sum(s.stored_count() for s in stores.values())
+        assert after < before
+        assert recon.status().phase == ReconfigPhase.STABLE
+        matched = run_query_coverage(ring, objects, stores, 6, rng)
+        assert len(matched) == len(objects)
+
+
+class TestDecreasingP:
+    def test_not_safe_until_downloads_finish(self, system):
+        ring, objects, stores, recon = system
+        status = recon.request_p(3)
+        assert status.phase == ReconfigPhase.GROWING_REPLICAS
+        # Must keep using the old (larger) p until confirmed.
+        assert recon.safe_pq == 4
+
+    def test_queries_correct_mid_transition_at_old_pq(self, system, rng):
+        ring, objects, stores, recon = system
+        recon.request_p(3)
+        # Some nodes have downloaded, some not.
+        for name in list(recon._pending)[:5]:
+            recon.node_step(name)
+        matched = run_query_coverage(ring, objects, stores, 4, rng)
+        assert len(matched) == len(objects)
+        assert all(v == 1 for v in matched.values())
+
+    def test_safe_after_all_steps(self, system, rng):
+        ring, objects, stores, recon = system
+        recon.request_p(3)
+        recon.run_all_steps()
+        assert recon.safe_pq == 3
+        assert recon.status().phase == ReconfigPhase.STABLE
+        matched = run_query_coverage(ring, objects, stores, 3, rng)
+        assert len(matched) == len(objects)
+        assert all(v == 1 for v in matched.values())
+
+    def test_growth_transfers_bytes(self, system):
+        ring, objects, stores, recon = system
+        before = recon.bytes_moved
+        recon.request_p(3)
+        moved = recon.run_all_steps()
+        assert moved > 0
+        assert recon.bytes_moved == before + moved
+
+    def test_transfer_close_to_minimum(self, system):
+        """ROAR's transfer for p->p' is ~D * (1/p' - 1/p) * n object-copies,
+        the minimal possible (Section 3.4)."""
+        ring, objects, stores, recon = system
+        expected = recon.expected_transfer(3)
+        recon.request_p(3)
+        moved = recon.run_all_steps()
+        assert moved == pytest.approx(expected, rel=0.35)
+
+
+class TestStateMachine:
+    def test_concurrent_reconfig_rejected(self, system):
+        _, _, _, recon = system
+        recon.request_p(3)
+        with pytest.raises(RuntimeError):
+            recon.request_p(6)
+
+    def test_same_p_is_noop(self, system):
+        _, _, _, recon = system
+        status = recon.request_p(4)
+        assert status.phase == ReconfigPhase.STABLE
+        assert recon.reconfigurations == 0
+
+    def test_invalid_p_rejected(self, system):
+        _, _, _, recon = system
+        with pytest.raises(ValueError):
+            recon.request_p(0)
+
+    def test_node_step_idempotent(self, system):
+        _, _, _, recon = system
+        recon.request_p(3)
+        name = next(iter(recon._pending))
+        recon.node_step(name)
+        assert recon.node_step(name) == 0
+
+    def test_roundtrip_p_change(self, system, rng):
+        """4 -> 2 -> 6 -> 4 keeps queries exact throughout."""
+        ring, objects, stores, recon = system
+        for p_new in (2, 6, 4):
+            recon.request_p(p_new)
+            recon.run_all_steps()
+            matched = run_query_coverage(ring, objects, stores, p_new, rng)
+            assert len(matched) == len(objects)
+            assert all(v == 1 for v in matched.values())

@@ -1,0 +1,312 @@
+"""Tests for the DR baselines (repro.rendezvous)."""
+
+import random
+
+import pytest
+
+from repro.core.objects import generate_objects
+from repro.rendezvous import (
+    PTN,
+    DualPTN,
+    DualSW,
+    Randomized,
+    RoarAlgorithm,
+    ServerInfo,
+    SlidingWindow,
+    expected_harvest,
+    load_imbalance,
+    partitioning_level,
+)
+
+
+def make_servers(n, rng=None, hetero=False):
+    rng = rng or random.Random(0)
+    return [
+        ServerInfo(f"node-{i}", rng.uniform(0.5, 2.0) if hetero else 1.0)
+        for i in range(n)
+    ]
+
+
+def idle_estimator(name, fraction):
+    return fraction
+
+
+class TestBaseDefinitions:
+    def test_partitioning_level(self):
+        assert partitioning_level(12, 3) == 4.0
+
+    def test_partitioning_level_invalid_r(self):
+        with pytest.raises(ValueError):
+            partitioning_level(10, 0)
+
+    def test_load_imbalance_range(self):
+        assert load_imbalance([1, 1, 1, 1]) == 1.0
+        assert load_imbalance([4, 0, 0, 0]) == 4.0
+
+
+class TestPTN:
+    def test_cluster_count(self):
+        algo = PTN(make_servers(12), p=4)
+        assert len(algo.clusters) == 4
+        assert sum(len(c) for c in algo.clusters) == 12
+
+    def test_balanced_cluster_capacity(self):
+        rng = random.Random(2)
+        algo = PTN(make_servers(20, rng, hetero=True), p=4, rng=rng)
+        caps = [sum(s.speed for s in c) for c in algo.clusters]
+        assert max(caps) / min(caps) < 1.35
+
+    def test_replicas_fill_one_cluster(self, rng):
+        algo = PTN(make_servers(12), p=4, rng=rng)
+        objs = generate_objects(20, rng)
+        algo.place(objs)
+        for obj in objs:
+            holders = algo.replica_holders(obj)
+            assert len(holders) == 3  # n/p = 3 servers per cluster
+            clusters = {
+                ci
+                for ci, cl in enumerate(algo.clusters)
+                for s in cl
+                if s.name in holders
+            }
+            assert len(clusters) == 1
+
+    def test_query_visits_every_cluster(self, rng):
+        algo = PTN(make_servers(12), p=4, rng=rng)
+        algo.place(generate_objects(100, rng))
+        plan = algo.schedule(idle_estimator)
+        assert len(plan) == 4
+        assert algo.harvest(plan) == 1.0
+
+    def test_schedule_picks_fastest_per_cluster(self, rng):
+        servers = make_servers(8)
+        servers[3].speed = 50.0
+        algo = PTN(servers, p=2, rng=rng)
+        algo.place(generate_objects(50, rng))
+
+        def est(name, fraction):
+            speed = next(s.speed for s in servers if s.name == name)
+            return fraction / speed
+
+        plan = algo.schedule(est)
+        assert "node-3" in {a.server for a in plan}
+
+    def test_schedule_skips_dead(self, rng):
+        algo = PTN(make_servers(8), p=2, rng=rng)
+        algo.place(generate_objects(20, rng))
+        victim = algo.clusters[0][0]
+        victim.alive = False
+        plan = algo.schedule(idle_estimator)
+        assert victim.name not in {a.server for a in plan}
+
+    def test_whole_cluster_dead_raises(self, rng):
+        algo = PTN(make_servers(4), p=2, rng=rng)
+        algo.place(generate_objects(10, rng))
+        for s in algo.clusters[0]:
+            s.alive = False
+        with pytest.raises(LookupError):
+            algo.schedule(idle_estimator)
+
+    def test_choice_count(self, rng):
+        algo = PTN(make_servers(12), p=4)
+        assert algo.choice_count() == 3**4
+
+    def test_decrease_p_moves_lots_of_data(self, rng):
+        algo = PTN(make_servers(12), p=4, rng=rng)
+        algo.place(generate_objects(100, rng, size=100))
+        moved = algo.change_p(3)
+        assert moved > 0
+        assert algo.p == 3
+        assert len(algo.clusters) == 3
+        # All queries still get full harvest.
+        plan = algo.schedule(idle_estimator)
+        assert algo.harvest(plan) == 1.0
+
+    def test_increase_p(self, rng):
+        algo = PTN(make_servers(12), p=3, rng=rng)
+        algo.place(generate_objects(100, rng, size=100))
+        algo.change_p(4)
+        assert algo.p == 4
+        plan = algo.schedule(idle_estimator)
+        assert algo.harvest(plan) == 1.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            PTN(make_servers(4), p=9)
+
+
+class TestSlidingWindow:
+    def test_requires_r_divides_n(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(make_servers(10), r=3)
+
+    def test_replicas_consecutive(self, rng):
+        algo = SlidingWindow(make_servers(12), r=3, rng=rng)
+        objs = generate_objects(30, rng)
+        algo.place(objs)
+        names = [s.name for s in algo.servers]
+        for obj in objs:
+            holders = algo.replica_holders(obj)
+            assert len(holders) == 3
+            start = names.index(holders[0])
+            expected = [names[(start + j) % 12] for j in range(3)]
+            assert holders == expected
+
+    def test_query_full_harvest(self, rng):
+        algo = SlidingWindow(make_servers(12), r=3, rng=rng)
+        algo.place(generate_objects(200, rng))
+        plan = algo.schedule(idle_estimator)
+        assert len(plan) == 4  # p = n/r
+        assert algo.harvest(plan) == 1.0
+
+    def test_only_r_choices(self, rng):
+        algo = SlidingWindow(make_servers(12), r=3, rng=rng)
+        assert algo.choice_count() == 3
+
+    def test_change_r_up_transfers_one_replica_per_object(self, rng):
+        algo = SlidingWindow(make_servers(12), r=3, rng=rng)
+        algo.place(generate_objects(50, rng, size=10))
+        moved = algo.change_r(4)
+        assert moved == 50 * 10
+        assert algo.r == 4
+
+    def test_change_r_down_is_free(self, rng):
+        algo = SlidingWindow(make_servers(12), r=4, rng=rng)
+        algo.place(generate_objects(50, rng, size=10))
+        assert algo.change_r(3) == 0
+
+    def test_failure_blocks_rotation(self, rng):
+        algo = SlidingWindow(make_servers(12), r=3, rng=rng)
+        algo.place(generate_objects(50, rng))
+        # Kill one node in every rotation: no failure-free rotation left.
+        for start in range(3):
+            algo.servers[algo.query_nodes(start)[0]].alive = False
+        with pytest.raises(LookupError):
+            algo.schedule(idle_estimator)
+
+
+class TestRandomized:
+    def test_replica_count(self, rng):
+        algo = Randomized(make_servers(20), r=4, c=2.0, rng=rng)
+        objs = generate_objects(30, rng)
+        algo.place(objs)
+        for obj in objs:
+            assert len(algo.replica_holders(obj)) == 8  # c * r
+
+    def test_harvest_probabilistic_but_high(self):
+        rng = random.Random(1)
+        algo = Randomized(make_servers(40), r=5, c=2.0, rng=rng)
+        algo.place(generate_objects(300, rng))
+        harvests = []
+        for _ in range(20):
+            plan = algo.schedule(idle_estimator, rng=rng)
+            harvests.append(algo.harvest(plan))
+        mean_harvest = sum(harvests) / len(harvests)
+        assert mean_harvest > 0.95  # ~98% expected with c=2
+
+    def test_expected_harvest_formula(self):
+        # c=2 gives ~1 - e^-4 ~= 98%.
+        h = expected_harvest(100, 10, c=2.0)
+        assert 0.95 < h < 1.0
+
+    def test_expected_harvest_saturates(self):
+        assert expected_harvest(10, 5, c=2.0) == 1.0
+
+    def test_costs_double_per_op(self, rng):
+        algo = Randomized(make_servers(40), r=5, c=2.0, rng=rng)
+        algo.place(generate_objects(10, rng))
+        plan = algo.schedule(idle_estimator, rng=rng)
+        assert len(plan) == 16  # c * n/r = 2 * 8
+
+    def test_change_r(self, rng):
+        algo = Randomized(make_servers(20), r=4, c=2.0, rng=rng)
+        algo.place(generate_objects(20, rng, size=10))
+        moved = algo.change_r(6)
+        assert moved > 0
+        for obj in algo.objects:
+            assert len(algo.replica_holders(obj)) == 12
+
+
+class TestDualVariants:
+    def test_dual_ptn_one_replica_per_cluster(self, rng):
+        algo = DualPTN(make_servers(12), r=3, rng=rng)
+        objs = generate_objects(30, rng)
+        algo.place(objs)
+        for obj in objs:
+            assert len(algo.replica_holders(obj)) == 3
+
+    def test_dual_ptn_full_harvest(self, rng):
+        algo = DualPTN(make_servers(12), r=3, rng=rng)
+        algo.place(generate_objects(100, rng))
+        plan = algo.schedule(idle_estimator)
+        assert algo.harvest(plan) == 1.0
+        # Query runs inside exactly one cluster.
+        assert len(plan) == 4
+
+    def test_dual_sw_equidistant_replicas(self, rng):
+        algo = DualSW(make_servers(12), r=3, rng=rng)
+        objs = generate_objects(20, rng)
+        algo.place(objs)
+        for obj in objs:
+            assert len(set(algo.replica_holders(obj))) >= 1
+
+    def test_dual_sw_full_harvest(self, rng):
+        algo = DualSW(make_servers(12), r=3, rng=rng)
+        algo.place(generate_objects(100, rng))
+        plan = algo.schedule(idle_estimator)
+        assert algo.harvest(plan) == 1.0
+
+    def test_dual_sw_change_r_relocates(self, rng):
+        algo = DualSW(make_servers(12), r=3, rng=rng)
+        algo.place(generate_objects(60, rng, size=10))
+        moved = algo.change_r(4)
+        assert moved > 60 * 10 * 0  # new replicas + relocation
+        assert algo.r == 4
+
+
+class TestRoarAdapter:
+    def test_full_harvest(self, rng):
+        algo = RoarAlgorithm(make_servers(12), p=4, rng=rng)
+        algo.place(generate_objects(100, rng))
+        plan = algo.schedule(idle_estimator)
+        assert len(plan) == 4
+        assert algo.harvest(plan) == 1.0
+
+    def test_average_replication_near_r(self, rng):
+        algo = RoarAlgorithm(make_servers(12), p=4, rng=rng)
+        objs = generate_objects(300, rng)
+        algo.place(objs)
+        mean_replicas = sum(len(algo.replica_holders(o)) for o in objs) / len(objs)
+        # An arc of 1/p intersects r full ranges plus the node straddling
+        # its start: D/p + D*g per node (Section 4.6) => r+1 on average.
+        r = 12 / 4
+        assert r <= mean_replicas <= r + 1.01
+
+    def test_two_rings_stores_both(self, rng):
+        algo = RoarAlgorithm(make_servers(12), p=3, rng=rng, n_rings=2)
+        objs = generate_objects(100, rng)
+        algo.place(objs)
+        ring_sets = [
+            {node.name for node in ring} for ring in algo.rings
+        ]
+        for obj in objs[:20]:
+            holders = set(algo.replica_holders(obj))
+            for ring_names in ring_sets:
+                assert holders & ring_names, "object missing from one ring"
+
+    def test_change_p_down_moves_data(self, rng):
+        algo = RoarAlgorithm(make_servers(12), p=4, rng=rng)
+        algo.place(generate_objects(200, rng, size=10))
+        moved = algo.change_p(2)
+        assert moved > 0
+
+    def test_change_p_up_is_free(self, rng):
+        algo = RoarAlgorithm(make_servers(12), p=3, rng=rng)
+        algo.place(generate_objects(100, rng, size=10))
+        assert algo.change_p(6) == 0
+
+    def test_choice_counts(self, rng):
+        single = RoarAlgorithm(make_servers(12), p=4, rng=rng)
+        double = RoarAlgorithm(make_servers(12), p=4, rng=rng, n_rings=2)
+        assert single.choice_count() == 3.0
+        assert double.choice_count() > single.choice_count()

@@ -1,0 +1,106 @@
+"""Tests for result assembly and ranking (repro.pps.results)."""
+
+import random
+
+import pytest
+
+from repro.pps.results import ScoredMatch, bucket_scorer, local_top_k, merge_top_k
+
+
+class TestLocalTopK:
+    def test_keeps_best_k(self):
+        matches = [(f"doc{i}", float(i)) for i in range(10)]
+        top = local_top_k(matches, 3)
+        assert [m.payload for m in top] == ["doc9", "doc8", "doc7"]
+
+    def test_fewer_matches_than_k(self):
+        top = local_top_k([("a", 1.0)], 5)
+        assert len(top) == 1
+
+    def test_sorted_best_first(self):
+        rng = random.Random(1)
+        matches = [(i, rng.random()) for i in range(100)]
+        top = local_top_k(matches, 10)
+        scores = [m.score for m in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ties_stable_by_arrival(self):
+        matches = [("first", 1.0), ("second", 1.0)]
+        top = local_top_k(matches, 2)
+        assert top[0].payload == "first"
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            local_top_k([], 0)
+
+
+class TestMergeTopK:
+    def test_global_exactness(self):
+        """Two-level top-k equals direct top-k over the union."""
+        rng = random.Random(2)
+        servers = [
+            [(f"s{s}-d{i}", rng.random()) for i in range(50)] for s in range(4)
+        ]
+        k = 10
+        locals_ = [local_top_k(matches, k) for matches in servers]
+        merged = merge_top_k(locals_, k)
+        everything = [m for server in servers for m in server]
+        direct = local_top_k(everything, k)
+        assert [m.score for m in merged] == pytest.approx(
+            [m.score for m in direct]
+        )
+
+    def test_empty_inputs(self):
+        assert merge_top_k([[], []], 5) == []
+
+    def test_k_larger_than_total(self):
+        lists = [local_top_k([("a", 1.0)], 3), local_top_k([("b", 2.0)], 3)]
+        merged = merge_top_k(lists, 10)
+        assert [m.payload for m in merged] == ["b", "a"]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            merge_top_k([], 0)
+
+
+class TestBucketScorer:
+    def test_tightest_bucket_wins(self):
+        # doc ranks: doc "hot" is within top-1; "warm" within top-10 only.
+        membership = {
+            ("hot", 1): True,
+            ("warm", 1): False,
+            ("warm", 5): False,
+            ("warm", 10): True,
+            ("cold", 1): False,
+            ("cold", 5): False,
+            ("cold", 10): False,
+        }
+        scorer = bucket_scorer(
+            [1, 5, 10], lambda doc, t: membership.get((doc, t), False)
+        )
+        assert scorer("hot") == 1.0
+        assert scorer("warm") == pytest.approx(0.1)
+        assert scorer("cold") == 0.0
+        assert scorer("hot") > scorer("warm") > scorer("cold")
+
+    def test_with_real_ranked_scheme(self, key):
+        """End-to-end: ranked PPS scheme membership drives the scorer."""
+        from repro.pps.schemes import RankedScheme
+
+        scheme = RankedScheme(key, thresholds=(1, 5, 10), max_keywords=15)
+        docs = {
+            "top": scheme.encrypt_metadata(["target"] + [f"x{i}" for i in range(9)]),
+            "mid": scheme.encrypt_metadata([f"x{i}" for i in range(4)] + ["target"]),
+            "low": scheme.encrypt_metadata([f"x{i}" for i in range(9)] + ["target"]),
+        }
+        queries = {
+            t: scheme.encrypt_query(("target", t)) for t in (1, 5, 10)
+        }
+        scorer = bucket_scorer(
+            [1, 5, 10], lambda doc, t: scheme.match(docs[doc], queries[t])
+        )
+        assert scorer("top") > scorer("mid") > scorer("low") > 0.0
+
+    def test_empty_thresholds(self):
+        with pytest.raises(ValueError):
+            bucket_scorer([], lambda d, t: True)

@@ -1,0 +1,140 @@
+"""Tests for the ROAR ring structure (repro.core.ring)."""
+
+import pytest
+
+from repro.core import Ring, RingNode
+from repro.core.ids import Arc
+
+
+class TestConstruction:
+    def test_uniform_ranges(self):
+        ring = Ring.uniform(4)
+        for node in ring:
+            assert ring.range_of(node).length == pytest.approx(0.25)
+
+    def test_uniform_with_speeds(self):
+        ring = Ring.uniform(3, speeds=[1.0, 2.0, 3.0])
+        assert [n.speed for n in ring.nodes()] == [1.0, 2.0, 3.0]
+
+    def test_uniform_speed_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Ring.uniform(3, speeds=[1.0])
+
+    def test_proportional_ranges_match_speed(self):
+        ring = Ring.proportional([1.0, 3.0])
+        lengths = {n.name: ring.range_of(n).length for n in ring}
+        assert lengths["node-0"] == pytest.approx(0.25)
+        assert lengths["node-1"] == pytest.approx(0.75)
+
+    def test_proportional_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            Ring.proportional([0.0, 0.0])
+
+    def test_validate_passes(self):
+        Ring.uniform(10).validate()
+        Ring.proportional([1, 2, 3, 4]).validate()
+
+
+class TestLookups:
+    def test_node_in_charge_basic(self):
+        ring = Ring.uniform(4)  # starts at 0, .25, .5, .75
+        assert ring.node_in_charge(0.1).name == "node-0"
+        assert ring.node_in_charge(0.3).name == "node-1"
+        assert ring.node_in_charge(0.99).name == "node-3"
+
+    def test_node_in_charge_at_boundary(self):
+        ring = Ring.uniform(4)
+        assert ring.node_in_charge(0.25).name == "node-1"
+
+    def test_node_in_charge_wraps_before_first(self):
+        ring = Ring(
+            [RingNode("a", 0.2), RingNode("b", 0.7)]
+        )
+        # Point 0.1 is before the first start: owned by the last node.
+        assert ring.node_in_charge(0.1).name == "b"
+
+    def test_node_in_charge_empty_raises(self):
+        with pytest.raises(LookupError):
+            Ring().node_in_charge(0.5)
+
+    def test_successor_predecessor_cycle(self):
+        ring = Ring.uniform(5)
+        node = ring.get("node-2")
+        assert ring.successor(node).name == "node-3"
+        assert ring.predecessor(node).name == "node-1"
+        assert ring.successor(ring.get("node-4")).name == "node-0"
+
+    def test_get_missing(self):
+        with pytest.raises(KeyError):
+            Ring.uniform(2).get("nope")
+
+
+class TestEdits:
+    def test_add_node_shrinks_previous_owner(self):
+        ring = Ring.uniform(2)  # node-0 at 0, node-1 at 0.5
+        ring.add_node(RingNode("new", 0.25))
+        assert ring.range_of(ring.get("node-0")).length == pytest.approx(0.25)
+        assert ring.range_of(ring.get("new")).length == pytest.approx(0.25)
+        ring.validate()
+
+    def test_add_duplicate_position_raises(self):
+        ring = Ring.uniform(2)
+        with pytest.raises(ValueError):
+            ring.add_node(RingNode("dup", 0.0))
+
+    def test_remove_node_absorbed_by_predecessor(self):
+        ring = Ring.uniform(4)
+        victim = ring.get("node-2")
+        ring.remove_node(victim)
+        assert len(ring) == 3
+        assert ring.range_of(ring.get("node-1")).length == pytest.approx(0.5)
+        ring.validate()
+
+    def test_move_start_changes_ranges(self):
+        ring = Ring.uniform(4)
+        node = ring.get("node-1")  # at 0.25
+        ring.move_start(node, 0.30)
+        assert ring.range_of(ring.get("node-0")).length == pytest.approx(0.30)
+        assert ring.range_of(node).length == pytest.approx(0.20)
+        ring.validate()
+
+    def test_move_start_cannot_cross_neighbour(self):
+        ring = Ring.uniform(4)
+        node = ring.get("node-1")
+        with pytest.raises(ValueError):
+            ring.move_start(node, 0.6)  # past node-2 at 0.5
+
+    def test_single_node_owns_everything(self):
+        ring = Ring([RingNode("solo", 0.4)])
+        assert ring.range_of(ring.get("solo")).length == 1.0
+        assert ring.node_in_charge(0.99).name == "solo"
+        assert ring.node_in_charge(0.0).name == "solo"
+
+
+class TestDerived:
+    def test_total_speed_excludes_dead(self):
+        ring = Ring.uniform(3, speeds=[1.0, 2.0, 4.0])
+        ring.get("node-1").alive = False
+        assert ring.total_speed() == pytest.approx(5.0)
+
+    def test_nodes_covering_arc(self):
+        ring = Ring.uniform(4)
+        covering = ring.nodes_covering(Arc(0.2, 0.2))  # spans node-0 and node-1
+        names = {n.name for n in covering}
+        assert names == {"node-0", "node-1"}
+
+    def test_nodes_covering_wrapping_arc(self):
+        ring = Ring.uniform(4)
+        covering = ring.nodes_covering(Arc(0.9, 0.2))
+        names = {n.name for n in covering}
+        assert names == {"node-3", "node-0"}
+
+    def test_ranges_partition_circle(self):
+        ring = Ring.proportional([3, 1, 4, 1, 5, 9, 2, 6])
+        total = sum(ring.range_of(n).length for n in ring)
+        assert total == pytest.approx(1.0)
+
+    def test_alive_nodes_filter(self):
+        ring = Ring.uniform(3)
+        ring.get("node-0").alive = False
+        assert len(ring.alive_nodes()) == 2

@@ -1,0 +1,149 @@
+"""Tests for the scheduling algorithms (repro.core.scheduler)."""
+
+import random
+
+import pytest
+
+from repro.core import Ring, RingNode
+from repro.core.scheduler import (
+    assignment_at,
+    schedule_heap,
+    schedule_naive,
+    schedule_random,
+)
+
+
+class TestHeapEqualsNaive:
+    """Algorithm 1 must find the same optimum as the O(np) sweep."""
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8, 12])
+    def test_uniform_ring(self, p, work_estimator):
+        ring = Ring.uniform(24, speeds=[1 + (i % 5) for i in range(24)])
+        h = schedule_heap(ring, p, work_estimator)
+        n = schedule_naive(ring, p, work_estimator)
+        assert h.makespan == pytest.approx(n.makespan, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_proportional_rings(self, seed, work_estimator):
+        rng = random.Random(seed)
+        n = rng.randint(5, 30)
+        ring = Ring.proportional([rng.uniform(0.3, 3.0) for _ in range(n)])
+        p = rng.randint(1, n)
+        h = schedule_heap(ring, p, work_estimator)
+        nv = schedule_naive(ring, p, work_estimator)
+        assert h.makespan == pytest.approx(nv.makespan, rel=1e-9)
+
+    def test_multi_ring_heap_equals_naive(self, work_estimator):
+        rng = random.Random(3)
+        ring_a = Ring.proportional(
+            [rng.uniform(0.5, 2.0) for _ in range(8)], name_prefix="a", ring_id=0
+        )
+        ring_b = Ring.proportional(
+            [rng.uniform(0.5, 2.0) for _ in range(8)], name_prefix="b", ring_id=1
+        )
+        for node in ring_b:
+            node.ring_id = 1
+        h = schedule_heap([ring_a, ring_b], 4, work_estimator)
+        nv = schedule_naive([ring_a, ring_b], 4, work_estimator)
+        assert h.makespan == pytest.approx(nv.makespan, rel=1e-9)
+
+
+class TestScheduleProperties:
+    def test_p_subqueries_assigned(self, hetero_ring, work_estimator):
+        result = schedule_heap(hetero_ring, 3, work_estimator)
+        assert len(result.assignment) == 3
+        assert len(result.finishes) == 3
+
+    def test_start_id_within_first_window(self, hetero_ring, work_estimator):
+        result = schedule_heap(hetero_ring, 3, work_estimator)
+        assert 0.0 <= result.start_id < 1.0 / 3 + 1e-9
+
+    def test_makespan_is_max_finish(self, hetero_ring, work_estimator):
+        result = schedule_heap(hetero_ring, 3, work_estimator)
+        assert result.makespan == pytest.approx(max(result.finishes))
+
+    def test_iterations_bounded_by_n(self, work_estimator):
+        ring = Ring.uniform(40)
+        result = schedule_heap(ring, 8, work_estimator)
+        # One rotation event per node boundary crossing the sweep window.
+        assert result.iterations <= 40 + 8
+
+    def test_prefers_fast_servers(self, work_estimator):
+        # One very fast node; with p=1 the scheduler must pick it.
+        ring = Ring.uniform(6, speeds=[1, 1, 100, 1, 1, 1])
+        result = schedule_heap(ring, 1, work_estimator)
+        assert result.assignment[0].name == "node-2"
+
+    def test_p_must_be_positive(self, uniform_ring, work_estimator):
+        with pytest.raises(ValueError):
+            schedule_heap(uniform_ring, 0, work_estimator)
+
+    def test_empty_ring_raises(self, work_estimator):
+        with pytest.raises(LookupError):
+            schedule_heap(Ring(), 2, work_estimator)
+
+    def test_single_node_ring(self, work_estimator):
+        ring = Ring([RingNode("solo", 0.3, speed=2.0)])
+        result = schedule_heap(ring, 2, work_estimator)
+        assert all(n.name == "solo" for n in result.assignment)
+
+    def test_includes_dead_nodes_in_sweep(self, work_estimator):
+        """Section 4.4: the front-end ignores failures when choosing the
+        starting point; failed targets are replaced later."""
+        ring = Ring.uniform(4)
+        ring.get("node-1").alive = False
+        result = schedule_heap(ring, 4, work_estimator)
+        assert {n.name for n in result.assignment} == {
+            "node-0",
+            "node-1",
+            "node-2",
+            "node-3",
+        }
+
+
+class TestRandomScheduler:
+    def test_never_better_than_exhaustive(self, work_estimator):
+        rng = random.Random(1)
+        ring = Ring.proportional([rng.uniform(0.3, 3.0) for _ in range(15)])
+        best = schedule_naive(ring, 5, work_estimator).makespan
+        for k in (1, 3, 10):
+            r = schedule_random(ring, 5, work_estimator, k=k, rng=random.Random(7))
+            assert r.makespan >= best - 1e-12
+
+    def test_more_starts_never_hurt(self, work_estimator):
+        rng = random.Random(2)
+        ring = Ring.proportional([rng.uniform(0.3, 3.0) for _ in range(20)])
+        seeds = random.Random(11)
+        r1 = schedule_random(ring, 4, work_estimator, k=1, rng=random.Random(5))
+        r20 = schedule_random(ring, 4, work_estimator, k=20, rng=random.Random(5))
+        assert r20.makespan <= r1.makespan + 1e-12
+
+    def test_k_must_be_positive(self, uniform_ring, work_estimator):
+        with pytest.raises(ValueError):
+            schedule_random(uniform_ring, 2, work_estimator, k=0)
+
+
+class TestAssignmentAt:
+    def test_matches_owner_lookup(self, hetero_ring, work_estimator):
+        assignment, finishes = assignment_at([hetero_ring], 3, 0.05, work_estimator)
+        for i, node in enumerate(assignment):
+            point = (0.05 + i / 3) % 1.0
+            assert hetero_ring.node_in_charge(point) is node
+
+    def test_multi_ring_picks_faster(self, work_estimator):
+        slow = Ring([RingNode("slow", 0.0, speed=1.0, ring_id=0)])
+        fast = Ring([RingNode("fast", 0.0, speed=10.0, ring_id=1)])
+        assignment, _ = assignment_at([slow, fast], 2, 0.1, work_estimator)
+        assert all(n.name == "fast" for n in assignment)
+
+
+class TestComplexityCounters:
+    def test_heap_does_fewer_estimates_than_naive(self, work_estimator):
+        # Non-degenerate (random-position) ring: uniform rings collapse the
+        # naive sweep's rotation offsets onto a handful of values.
+        rng = random.Random(9)
+        ring = Ring.proportional([rng.uniform(0.5, 2.0) for _ in range(60)])
+        h = schedule_heap(ring, 20, work_estimator)
+        n = schedule_naive(ring, 20, work_estimator)
+        # O(n log p) + final p vs O(n*p): clear separation at this size.
+        assert h.estimates < n.estimates / 3

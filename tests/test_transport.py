@@ -1,0 +1,75 @@
+"""Tests for the TCP incast transport model (repro.sim.transport)."""
+
+import pytest
+
+from repro.sim.transport import IncastModel, TransportConfig
+
+
+class TestBurstLosses:
+    def test_small_bursts_lossless(self):
+        model = IncastModel()
+        assert model.burst_losses(4) == 0
+
+    def test_large_bursts_lose(self):
+        model = IncastModel()
+        assert model.burst_losses(500) > 0
+
+    def test_losses_monotone_in_p(self):
+        model = IncastModel()
+        losses = [model.burst_losses(p) for p in (10, 100, 400, 1000)]
+        assert losses == sorted(losses)
+
+    def test_bigger_buffer_fewer_losses(self):
+        small = IncastModel(TransportConfig(buffer_packets=64))
+        big = IncastModel(TransportConfig(buffer_packets=1024))
+        assert big.burst_losses(300) < small.burst_losses(300)
+
+    def test_threshold_consistent(self):
+        model = IncastModel()
+        threshold = model.incast_threshold()
+        assert model.burst_losses(threshold) == 0
+        assert model.burst_losses(threshold + 1) > 0
+
+
+class TestCollection:
+    def test_no_loss_single_round(self):
+        model = IncastModel()
+        result = model.collect(8)
+        assert result.rounds == 1
+        assert result.packets_lost == 0
+        assert result.collection_time < 0.01
+
+    def test_incast_pays_min_rto(self):
+        model = IncastModel()
+        p = model.incast_threshold() * 4
+        result = model.collect(p)
+        assert result.rounds > 1
+        assert result.collection_time >= model.config.min_rto
+
+    def test_small_min_rto_fixes_it(self):
+        """The paper's fix: reducing min RTO makes recovery take ~ms."""
+        slow = IncastModel(TransportConfig(min_rto=0.200))
+        fast = IncastModel(TransportConfig(min_rto=0.002))
+        p = slow.incast_threshold() * 4
+        t_slow = slow.mean_collection_time(p)
+        t_fast = fast.mean_collection_time(p)
+        assert t_fast < t_slow / 5
+
+    def test_collection_time_grows_with_p(self):
+        model = IncastModel()
+        times = [model.mean_collection_time(p) for p in (8, 64, 512)]
+        assert times == sorted(times)
+
+    def test_rounds_bounded(self):
+        model = IncastModel(TransportConfig(resync_fraction=1.0, max_rounds=10))
+        result = model.collect(100_000)
+        assert result.rounds <= 10
+
+    def test_no_resync_single_timeout(self):
+        model = IncastModel(TransportConfig(resync_fraction=0.0))
+        p = model.incast_threshold() * 2
+        result = model.collect(p)
+        # Stranded flows retransmit staggered after one timeout; nothing
+        # re-synchronises, so no further rounds are needed.
+        assert result.flows_lost > 0
+        assert result.collection_time >= model.config.min_rto
