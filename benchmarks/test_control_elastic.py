@@ -1,0 +1,60 @@
+"""Closed-loop elasticity under a flash crowd (control-plane benchmark).
+
+Beyond-paper scenario built from Section 4.5/4.9's machinery: a 4x query
+surge hits a comfortable 16-server deployment; the SLO elasticity and
+re-partitioning controllers react through live metrics.  The assertion is
+the whole point of the control plane: tail latency blows through the SLO
+during the crowd and *recovers after adaptation*.
+"""
+
+from conftest import print_series
+
+from repro.control import ScenarioConfig, run_scenario
+
+
+def run_flash_crowd():
+    return run_scenario(
+        ScenarioConfig(
+            scenario="flash-crowd",
+            n_servers=16,
+            p0=4,
+            duration=240.0,
+            slo_p99=1.0,
+            seed=1,
+        )
+    )
+
+
+def test_flash_crowd_p99_recovers(once, series_printer):
+    report = once(run_flash_crowd)
+
+    series_printer(
+        "Closed loop: flash crowd, SLO p99 = 1000 ms",
+        ["phase", "p99 (ms)"],
+        [
+            ("before", report.p99_before * 1000),
+            ("crisis", report.p99_crisis * 1000),
+            ("after", report.p99_after * 1000),
+        ],
+    )
+    series_printer(
+        "Control timeline (every 5th tick)",
+        ["t (s)", "pq", "p_store", "servers"],
+        [t for i, t in enumerate(report.timeline) if i % 5 == 0],
+    )
+
+    # The controller acted at least once mid-run (p and the server set).
+    assert report.adapted
+    kinds = {a.kind for a in report.actions}
+    assert "add_server" in kinds
+    assert "request_p" in kinds
+
+    # The crowd hurt: tail latency blew through the SLO.
+    assert report.p99_crisis > report.config.slo_p99
+
+    # Adaptation worked: p99 recovered after the controller reacted --
+    # back under the SLO, far below the crisis tail.
+    assert report.p99_after < 0.25 * report.p99_crisis
+    assert report.p99_after <= report.config.slo_p99
+    # and no query was dropped along the way
+    assert report.log.yield_fraction() == 1.0

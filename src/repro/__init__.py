@@ -14,8 +14,10 @@ Subpackages:
   Chapter 7 experimental rig).
 * :mod:`repro.analysis` -- closed-form models: bandwidth, delay bounds,
   availability, index-based-vs-PPS trade-off.
+* :mod:`repro.control` -- closed-loop control plane: live metrics windows,
+  SLO-driven elasticity, online re-partitioning, scenario runner.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["core", "rendezvous", "sim", "pps", "cluster", "analysis"]
+__all__ = ["core", "rendezvous", "sim", "pps", "cluster", "analysis", "control"]

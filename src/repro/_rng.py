@@ -1,0 +1,48 @@
+"""Deterministic randomness plumbing.
+
+Every stochastic component in this package accepts an optional
+``random.Random``.  Historically a missing generator fell back to
+``random.Random()`` -- seeded from the OS -- which made "run the same
+command twice" produce different rings, placements and failure splits.
+:func:`ensure_rng` replaces that fallback with a generator seeded from a
+fixed default, so unseeded runs are still *reproducible* runs.  Callers
+that genuinely want OS entropy can always pass ``random.Random()``
+explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+__all__ = ["DEFAULT_SEED", "ensure_rng"]
+
+#: Base seed used whenever a component is not handed an explicit generator
+#: (the paper's publication year, for want of a more principled constant).
+DEFAULT_SEED = 2009
+
+#: Each unseeded fallback gets its own stream: handing every component the
+#: *identical* stream would silently synchronise decisions that must stay
+#: decorrelated (e.g. decoupled front-ends sampling random rotations in
+#: lockstep -- see multifrontend.py).  The counter keeps construction-order
+#: determinism: the same program run twice draws the same sequences.
+_counter = itertools.count()
+
+#: Large odd stride so consecutive fallback seeds land far apart.
+_STRIDE = 0x9E3779B1
+
+
+def ensure_rng(
+    rng: random.Random | None, seed: int | None = None
+) -> random.Random:
+    """Return *rng* unchanged, or a freshly seeded generator.
+
+    *seed* pins the stream exactly; with neither argument the generator is
+    seeded from :data:`DEFAULT_SEED` plus a per-call counter -- reproducible
+    across runs, decorrelated across components.
+    """
+    if rng is not None:
+        return rng
+    if seed is not None:
+        return random.Random(seed)
+    return random.Random(DEFAULT_SEED + _STRIDE * next(_counter))

@@ -21,7 +21,14 @@ from typing import Sequence
 from ..sim.queueing import md1_delay
 from .delay import equal_split_bound
 
-__all__ = ["WorkloadSpec", "ConfigOption", "Recommendation", "recommend_configuration"]
+__all__ = [
+    "WorkloadSpec",
+    "ConfigOption",
+    "Recommendation",
+    "recommend_configuration",
+    "spec_from_metrics",
+    "recommend_from_metrics",
+]
 
 
 @dataclass(frozen=True)
@@ -136,3 +143,52 @@ def recommend_configuration(spec: WorkloadSpec) -> Recommendation:
         f"{chosen.utilisation:.0%})"
     )
     return Recommendation(chosen=chosen, options=options, reason=reason)
+
+
+def spec_from_metrics(
+    snapshot,
+    dataset_size: float,
+    speeds: Sequence[float],
+    target_delay: float,
+    fixed_overhead: float = 0.0,
+    update_rate: float = 0.0,
+    min_query_rate: float = 0.1,
+) -> WorkloadSpec:
+    """Build a :class:`WorkloadSpec` from a *measured* metrics snapshot.
+
+    The advisor was written for closed-form inputs ("we expect 5 qps"); the
+    control plane instead feeds it the live arrival rate observed by a
+    :class:`repro.control.MetricsCollector` snapshot (duck-typed: anything
+    with a ``qps`` attribute works).  The rate is floored at
+    *min_query_rate* so an idle window cannot produce a degenerate spec.
+    """
+    return WorkloadSpec(
+        dataset_size=dataset_size,
+        query_rate=max(float(snapshot.qps), min_query_rate),
+        update_rate=update_rate,
+        target_delay=target_delay,
+        speeds=list(speeds),
+        fixed_overhead=fixed_overhead,
+    )
+
+
+def recommend_from_metrics(
+    snapshot,
+    dataset_size: float,
+    speeds: Sequence[float],
+    target_delay: float,
+    fixed_overhead: float = 0.0,
+    update_rate: float = 0.0,
+) -> Recommendation:
+    """Run the Chapter 2 advisor on live measurements (see
+    :func:`spec_from_metrics`)."""
+    return recommend_configuration(
+        spec_from_metrics(
+            snapshot,
+            dataset_size=dataset_size,
+            speeds=speeds,
+            target_delay=target_delay,
+            fixed_overhead=fixed_overhead,
+            update_rate=update_rate,
+        )
+    )

@@ -65,6 +65,29 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--target-delay", type=float, default=0.5)
     plan.add_argument("--fixed-overhead", type=float, default=0.005)
 
+    ctrl = sub.add_parser(
+        "control", help="closed-loop control-plane scenario (elastic ROAR)"
+    )
+    ctrl.add_argument(
+        "--scenario",
+        default="flash-crowd",
+        choices=["flash-crowd", "diurnal", "rack-failure"],
+    )
+    ctrl.add_argument("--servers", type=int, default=16)
+    ctrl.add_argument("-p", type=int, default=4,
+                      help="initial partitioning level")
+    ctrl.add_argument("--duration", type=float, default=240.0,
+                      help="simulated seconds")
+    ctrl.add_argument("--rate", type=float, default=None,
+                      help="base queries/s (default: auto ~30%% load)")
+    ctrl.add_argument("--slo", type=float, default=1.0,
+                      help="p99 latency target in seconds")
+    ctrl.add_argument("--policies", default="elasticity,repartition",
+                      help="comma list: elasticity,repartition")
+    ctrl.add_argument("--planner", action="store_true",
+                      help="re-partitioning follows the live-metrics planner")
+    ctrl.add_argument("--seed", type=int, default=1)
+
     demo = sub.add_parser("pps-demo", help="encrypted search demo")
     demo.add_argument("--files", type=int, default=200)
     demo.add_argument("--keyword", default=None,
@@ -160,6 +183,27 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_control(args: argparse.Namespace) -> int:
+    from .control import ScenarioConfig, run_scenario
+
+    policies = tuple(x.strip() for x in args.policies.split(",") if x.strip())
+    report = run_scenario(
+        ScenarioConfig(
+            scenario=args.scenario,
+            n_servers=args.servers,
+            p0=args.p,
+            duration=args.duration,
+            base_rate=args.rate,
+            slo_p99=args.slo,
+            seed=args.seed,
+            policies=policies,
+            use_planner=args.planner,
+        )
+    )
+    print(report.summary())
+    return 0 if report.adapted else 1
+
+
 def _cmd_pps_demo(args: argparse.Namespace) -> int:
     import random
 
@@ -194,6 +238,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "deploy": _cmd_deploy,
         "plan": _cmd_plan,
+        "control": _cmd_control,
         "pps-demo": _cmd_pps_demo,
     }
     return handlers[args.command](args)

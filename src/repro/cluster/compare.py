@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from .._rng import ensure_rng
 from ..core.adjust import adjust_ranges, plan_from_schedule, split_slowest
 from ..core.ring import Ring, RingNode
 from ..core.scheduler import schedule_heap, schedule_naive, schedule_random
@@ -42,7 +43,7 @@ def heterogeneous_speeds(
     """
     if not 0.0 <= heterogeneity <= 1.0:
         raise ValueError("heterogeneity must be in [0, 1]")
-    rng = rng or random.Random()
+    rng = ensure_rng(rng)
     if heterogeneity == 0.0:
         return [mean] * n
     return [mean * rng.uniform(1.0 - heterogeneity, 1.0 + heterogeneity) for _ in range(n)]

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from ..core.failures import FailureCoverageError
 from ..core.frontend import FrontEnd, FrontEndConfig
 from ..core.membership import MembershipServer
 from ..core.node import RoarNode, SubQuery
@@ -127,6 +128,12 @@ class Deployment:
         #: known-dead bookkeeping: name -> time the front-end learned of it.
         self._known_dead: dict[str, float] = {}
 
+        #: callbacks invoked with each completed QueryRecord (metrics hooks).
+        self.query_listeners: list[Callable[[QueryRecord], None]] = []
+        #: servers drained out by elastic shrinking, kept for accounting.
+        self.retired: dict[str, SimServer] = {}
+        self._next_node_idx = len(models)
+
     # -- basic facts ------------------------------------------------------------
     @property
     def n(self) -> int:
@@ -157,9 +164,95 @@ class Deployment:
         t = self._known_dead.get(name)
         return t is not None and now >= t
 
+    # -- elasticity (driven by the control plane) ---------------------------------
+    def add_server(
+        self, model: ServerModel, now: float = 0.0, ring_id: int | None = None
+    ) -> str:
+        """Grow the pool: insert a fresh server at the hottest ring spot.
+
+        The membership server picks the placement (Section 4.9); if object
+        stores are enabled the newcomer downloads the replicas its range
+        requires before serving, and the transfer is charged to the
+        reconfigurator's ledger.  Returns the new server's name.
+        """
+        name = f"node-{self._next_node_idx}"
+        self._next_node_idx += 1
+        node = self.membership.add_server(
+            name, model.speed(self.config.in_memory), ring_id=ring_id
+        )
+        server = make_sim_server(name, model, self.config.in_memory)
+        if self.config.fixed_overhead is not None:
+            server.fixed_overhead = self.config.fixed_overhead
+        server.recover(now)  # no lane may start before the server exists
+        self.servers[name] = server
+        self.model_of[name] = model.name
+        self.frontend.stats_for(node)
+        primary = self.rings[0]
+        if self.reconfig is not None and node.ring_id == 0:
+            self.stores[name] = RoarNode(node)
+            self.reconfig.load_node_range(name, primary.range_of(node))
+        return name
+
+    def remove_server(self, name: str, now: float = 0.0) -> None:
+        """Shrink the pool: drain *name*; its predecessor absorbs the range.
+
+        With object stores enabled the predecessor downloads the absorbed
+        range's replicas (a controlled removal, not a failure).
+        """
+        owner_ring = None
+        node = None
+        for ring in self.rings:
+            try:
+                node = ring.get(name)
+            except KeyError:
+                continue
+            owner_ring = ring
+            break
+        if node is None or owner_ring is None:
+            raise KeyError(name)
+        if len(owner_ring) <= 1:
+            raise ValueError("cannot remove the last node of a ring")
+        pred = owner_ring.predecessor(node)
+        self.membership.remove_server(name)
+        if self.reconfig is not None and owner_ring is self.rings[0]:
+            self.stores.pop(name, None)
+            self.reconfig.node_departed(name)
+            self.reconfig.load_node_range(
+                pred.name, owner_ring.range_of(pred)
+            )
+        self.retired[name] = self.servers.pop(name)
+        self._known_dead.pop(name, None)
+        self.frontend.stats.pop(name, None)
+
+    def handle_long_term_failure(self, name: str, now: float = 0.0) -> None:
+        """Declare a dead node permanent: redistribute its range (Section 4.9).
+
+        The predecessor absorbs the range and re-replicates it, after which
+        failure fall-back no longer needs to route around the hole.
+        """
+        self.remove_server(name, now=now)
+
+    def max_dead_range(self) -> float:
+        """Widest ring range currently owned by a failed node.
+
+        Failure fall-back needs replacement width ``1/p`` to exceed this
+        (Section 4.4), so it caps how far re-partitioning may raise p.
+        """
+        worst = 0.0
+        for ring in self.rings:
+            for node in ring:
+                if not node.alive:
+                    worst = max(worst, ring.range_of(node).length)
+        return worst
+
     # -- queries -------------------------------------------------------------------
-    def run_query(self, now: float, pq: int | None = None) -> QueryRecord:
-        """Execute one query end-to-end; returns its timing record."""
+    def run_query(self, now: float, pq: int | None = None) -> Optional[QueryRecord]:
+        """Execute one query end-to-end; returns its timing record.
+
+        Returns ``None`` (and counts the query as dropped) when failure
+        fall-back cannot re-cover a dead node's range -- the objects are
+        unavailable until re-replication.
+        """
         pq = pq or self.config.p
         p_store = self.p_store
         if pq < p_store - 1e-9:
@@ -197,7 +290,14 @@ class Deployment:
             server = self.servers[node.name]
             if server.failed:
                 detect_at = max(submit_at, self._known_dead.get(node.name, submit_at))
-                replacements = self.frontend.resolve_failures([sub], p_store)
+                try:
+                    replacements = self.frontend.resolve_failures([sub], p_store)
+                except FailureCoverageError:
+                    # The dead range exceeds the replication arc: that data
+                    # is unavailable until re-replication.  The query is
+                    # dropped and charged against yield (Section 4.4).
+                    self.log.dropped += 1
+                    return None
                 self.ledger.record_query(len(replacements))
                 for rep_sub, rep_node in replacements:
                     pieces.append((rep_sub, rep_node, detect_at))
@@ -222,6 +322,8 @@ class Deployment:
             scheduling_delay=sched_wall,
         )
         self.log.add(record)
+        for listener in self.query_listeners:
+            listener(record)
         self.breakdowns.append(
             QueryBreakdown(
                 scheduling=sched_wall,

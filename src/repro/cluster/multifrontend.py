@@ -81,11 +81,53 @@ class MultiFrontEndDeployment:
         ]
         self.log = DelayLog()
         self._counter = 0
+        self._fe_seed = seed + n_frontends
+        #: callbacks invoked with each completed QueryRecord (metrics hooks).
+        self.query_listeners: list = []
 
     def _pick_frontend(self) -> FrontEnd:
         fe = self.frontends[self._counter % len(self.frontends)]
         self._counter += 1
         return fe
+
+    # -- front-end elasticity (driven by the control plane) ---------------------
+    @property
+    def n_frontends(self) -> int:
+        return len(self.frontends)
+
+    def add_frontend(self) -> FrontEnd:
+        """Add one more decoupled scheduler over the shared pool.
+
+        New front-ends start with catalogue speed estimates and an empty
+        outstanding-work view; the slow EWMAs converge them (Section 4.8.3).
+        """
+        self._fe_seed += 1
+        fe = FrontEnd(
+            self.ring,
+            self.dataset_size,
+            FrontEndConfig(
+                fixed_overhead=self.frontends[0].config.fixed_overhead,
+                ewma_alpha=self.frontends[0].config.ewma_alpha,
+                method="random" if not self.shared_view else "heap",
+                random_starts=3,
+            ),
+            rng=random.Random(self._fe_seed),
+        )
+        self.frontends.append(fe)
+        if not self.shared_view:
+            # A pool scaled up from a single front-end may still hold a
+            # deterministic heap scheduler; once decoupled peers exist,
+            # every member must sample randomised rotations or their
+            # synchronized choices pile load (see the constructor comment).
+            for existing in self.frontends:
+                existing.config.method = "random"
+        return fe
+
+    def remove_frontend(self) -> None:
+        """Retire one front-end (its in-flight statistics are discarded)."""
+        if len(self.frontends) <= 1:
+            raise ValueError("need at least one front-end")
+        self.frontends.pop()
 
     def run_query(self, now: float) -> QueryRecord:
         frontend = self._pick_frontend()
@@ -113,6 +155,8 @@ class MultiFrontEndDeployment:
             subqueries=len(plan.subs),
         )
         self.log.add(record)
+        for listener in self.query_listeners:
+            listener(record)
         return record
 
     def run(self, arrival_times: Sequence[float]) -> DelayLog:

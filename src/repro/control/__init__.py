@@ -1,0 +1,49 @@
+"""Closed-loop control plane: live metrics, SLO elasticity, online re-partitioning.
+
+The paper's mechanisms (ring edits, :mod:`repro.core.reconfig`, the heap
+scheduler) make ROAR *able* to change shape online; this subpackage adds the
+thing that *decides* to.  It observes a running deployment through sliding
+metric windows, and drives the two elastic knobs -- the server set and the
+partitioning level -- from SLO-style policies, with scenarios (flash crowds,
+diurnal cycles, correlated rack failures) to exercise the loop end-to-end.
+"""
+
+from .controllers import (
+    ControlAction,
+    Controller,
+    FrontendElasticityController,
+    RepartitionController,
+    SLOElasticityController,
+)
+from .metrics import (
+    LatencyHistogram,
+    MetricsCollector,
+    MetricsSnapshot,
+    SlidingWindow,
+)
+from .runner import (
+    SCENARIOS,
+    DeploymentActuator,
+    ScenarioConfig,
+    ScenarioReport,
+    ScenarioRunner,
+    run_scenario,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ControlAction",
+    "Controller",
+    "DeploymentActuator",
+    "FrontendElasticityController",
+    "LatencyHistogram",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "RepartitionController",
+    "SLOElasticityController",
+    "ScenarioConfig",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "SlidingWindow",
+    "run_scenario",
+]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import random
 
+from .._rng import ensure_rng
 from .ids import EPS, cw_distance, frac
 from .node import SubQuery
 from .ring import Ring, RingNode
@@ -69,7 +70,7 @@ def replacement_subqueries(
     specifies); if none are found within *max_attempts* the last candidate
     is returned anyway and the caller recurses on the dead pieces.
     """
-    rng = rng or random.Random()
+    rng = ensure_rng(rng)
     width = 1.0 / float(p_store) - delta
     fail_range = ring.range_of(failed)
     fail_lo = fail_range.start
@@ -141,7 +142,7 @@ def split_failed(
     to failed nodes are split via :func:`replacement_subqueries`, recursing
     (depth-limited) when replacements also land on dead nodes.
     """
-    rng = rng or random.Random()
+    rng = ensure_rng(rng)
     out: list[tuple[SubQuery, RingNode]] = []
 
     def resolve(sub: SubQuery, depth: int) -> None:

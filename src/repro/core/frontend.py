@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from .._rng import ensure_rng
 from .adjust import PlannedSub, QueryPlan, adjust_ranges, plan_from_schedule, split_slowest
 from .failures import split_failed
 from .ids import cw_distance, frac
@@ -86,7 +87,7 @@ class FrontEnd:
             raise ValueError("at least one ring required")
         self.dataset_size = float(dataset_size)
         self.config = config or FrontEndConfig()
-        self.rng = rng or random.Random()
+        self.rng = ensure_rng(rng)
         self.stats: dict[str, NodeStats] = {}
         for ring in self.rings:
             for node in ring:

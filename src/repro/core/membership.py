@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from .._rng import ensure_rng
 from .ids import Arc, cw_distance, frac
 from .ring import Ring, RingNode
 
@@ -41,7 +42,7 @@ class MembershipServer:
         self.rings: list[Ring] = [Ring() for _ in range(n_rings)]
         #: rings currently serving queries (diurnal scaling may park some).
         self.active: list[bool] = [True] * n_rings
-        self.rng = rng or random.Random()
+        self.rng = ensure_rng(rng)
         self._history: dict[str, _NodeRecord] = {}
         self.moves = 0
         self.inserts = 0

@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
+from .._rng import ensure_rng
 from .ids import Arc, frac
 
 __all__ = ["DataObject", "replication_range", "generate_objects", "ObjectCollection"]
@@ -58,7 +59,7 @@ def generate_objects(
 
     A seeded ``random.Random`` should be passed for reproducible experiments.
     """
-    rng = rng or random.Random()
+    rng = ensure_rng(rng)
     return [
         DataObject(oid=rng.random(), key=f"{key_prefix}-{i}", size=size)
         for i in range(count)

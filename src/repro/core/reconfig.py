@@ -169,13 +169,30 @@ class Reconfigurator:
 
     # -- membership-driven reloads ----------------------------------------------
     def load_node_range(self, node_name: str, new_range: Arc) -> int:
-        """Download the objects a (new or grown) node needs for *new_range*."""
+        """Download the objects a (new or grown) node needs for *new_range*.
+
+        Loads at the *safer* (smaller) of the stored and target levels so a
+        node joining mid-reconfiguration holds complete replicas for both --
+        its arcs at the smaller p are a superset of the larger p's.
+        """
         store = self.stores[node_name]
         before = store.bytes_downloaded
-        store.load_objects(self.objects, self.p_store, new_range)
+        level = min(self.p_store, self.p_target)
+        store.load_objects(self.objects, level, new_range)
         moved = store.bytes_downloaded - before
         self.bytes_moved += moved
         return moved
+
+    def node_departed(self, node_name: str) -> None:
+        """Stop waiting on a node that left the ring mid-reconfiguration.
+
+        Controlled removals hand the node's range (and its download/drop
+        obligation) to the predecessor, so an in-flight level change must
+        not block on the departed node forever.
+        """
+        self._pending.discard(node_name)
+        if self.phase != ReconfigPhase.STABLE and not self._pending:
+            self._complete()
 
     def expected_transfer(self, p_new: float) -> int:
         """Bytes ROAR must move for a stable p -> p_new change (lower bound).

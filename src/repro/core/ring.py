@@ -103,8 +103,14 @@ class Ring:
         """
         node.start = frac(node.start)
         idx = bisect.bisect_left(self._starts, node.start)
-        if idx < len(self._starts) and abs(self._starts[idx] - node.start) <= EPS:
-            raise ValueError(f"position {node.start} already occupied")
+        if self._starts:
+            # bisect only surfaces the next start; a start EPS *before* the
+            # new position -- including across the 0/1 wrap -- is just as
+            # much a collision (it would create a zero-width range).
+            for other in (self._starts[idx % len(self._starts)], self._starts[idx - 1]):
+                gap = abs(other - node.start)
+                if min(gap, 1.0 - gap) <= EPS:
+                    raise ValueError(f"position {node.start} already occupied")
         self._nodes.insert(idx, node)
         self._starts.insert(idx, node.start)
 

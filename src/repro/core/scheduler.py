@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from .._rng import ensure_rng
 from .ids import EPS, cw_distance, frac
 from .ring import Ring, RingNode
 
@@ -279,7 +280,7 @@ def schedule_random(
     if k < 1:
         raise ValueError("k must be >= 1")
     ring_list = [rings] if isinstance(rings, Ring) else list(rings)
-    rng = rng or random.Random()
+    rng = ensure_rng(rng)
     best: Optional[ScheduleResult] = None
     estimates = 0
     for _ in range(k):

@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
+from ..._rng import ensure_rng
 from ..bloom import BloomFilter, optimal_parameters
 from ..crypto import derive_key, prf, prf_int, random_nonce
 from .base import EncryptedMetadata, EncryptedQuery, PPSScheme
@@ -51,7 +52,7 @@ class BloomKeywordScheme(PPSScheme):
             derive_key(key, f"bloom-hash-{i}") for i in range(self.n_hashes)
         ]
         self.pad_filters = pad_filters
-        self._rng = rng or random.Random()
+        self._rng = ensure_rng(rng)
         #: instrumentation: PRF applications performed by match() so far.
         self.hash_invocations = 0
 

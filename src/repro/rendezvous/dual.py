@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
+from .._rng import ensure_rng
 from ..core.objects import DataObject
 from .base import Assignment, DelayEstimator, RendezvousAlgorithm, ServerInfo
 
@@ -38,7 +39,7 @@ class DualPTN(RendezvousAlgorithm):
         if not 1 <= r <= len(servers):
             raise ValueError(f"r must be in [1, n], got {r}")
         self.r = r
-        self.rng = rng or random.Random()
+        self.rng = ensure_rng(rng)
         # r clusters, round-robin by speed for balanced capacity.
         self.clusters: list[list[ServerInfo]] = [[] for _ in range(r)]
         for i, server in enumerate(sorted(servers, key=lambda s: -s.speed)):
@@ -128,7 +129,7 @@ class DualSW(RendezvousAlgorithm):
         if not 1 <= r <= n:
             raise ValueError(f"r must be in [1, n], got {r}")
         self.r = r
-        self.rng = rng or random.Random()
+        self.rng = ensure_rng(rng)
         self._pos_of_obj: list[float] = []
 
     @property

@@ -20,6 +20,7 @@ import math
 import random
 from typing import Iterable, Sequence
 
+from .._rng import ensure_rng
 from ..core.objects import DataObject
 from .base import Assignment, DelayEstimator, RendezvousAlgorithm, ServerInfo
 
@@ -40,7 +41,7 @@ class PTN(RendezvousAlgorithm):
         if not 1 <= p <= len(servers):
             raise ValueError(f"p must be in [1, n], got {p}")
         self.p = p
-        self.rng = rng or random.Random()
+        self.rng = ensure_rng(rng)
         self.balanced_clusters = balanced_clusters
         self.clusters: list[list[ServerInfo]] = []
         self._cluster_of_obj: list[int] = []

@@ -17,6 +17,7 @@ import math
 import random
 from typing import Iterable, Sequence
 
+from .._rng import ensure_rng
 from ..core.objects import DataObject
 from .base import Assignment, DelayEstimator, RendezvousAlgorithm, ServerInfo
 
@@ -59,7 +60,7 @@ class Randomized(RendezvousAlgorithm):
             raise ValueError("c must be positive")
         self.r = r
         self.c = c
-        self.rng = rng or random.Random()
+        self.rng = ensure_rng(rng)
         self._holders_of_obj: list[list[int]] = []
 
     @property

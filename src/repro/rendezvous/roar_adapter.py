@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
+from .._rng import ensure_rng
 from ..core.ids import Arc, cw_distance
 from ..core.objects import DataObject, replication_range
 from ..core.ring import Ring, RingNode
@@ -35,7 +36,7 @@ class RoarAlgorithm(RendezvousAlgorithm):
         if p < 1:
             raise ValueError("p must be >= 1")
         self.p = p
-        self.rng = rng or random.Random()
+        self.rng = ensure_rng(rng)
         self.rings = self._build_rings(n_rings, proportional)
         self._node_ranges: dict[str, Arc] = {}
         self._refresh_ranges()

@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
+from .._rng import ensure_rng
 from ..core.objects import DataObject
 from .base import Assignment, DelayEstimator, RendezvousAlgorithm, ServerInfo
 
@@ -41,7 +42,7 @@ class SlidingWindow(RendezvousAlgorithm):
                 f"discrete SW requires r | n for exact coverage (n={n}, r={r})"
             )
         self.r = r
-        self.rng = rng or random.Random()
+        self.rng = ensure_rng(rng)
         self._start_of_obj: list[int] = []
 
     @property

@@ -1,7 +1,7 @@
 """Discrete-event simulation substrate (the Chapter 6 evaluation model)."""
 
 from .energy import DEFAULT_PROFILES, EnergyReport, PowerProfile, measure_energy
-from .engine import Event, Simulation
+from .engine import Event, PeriodicEvent, Simulation
 from .network import NetworkModel, TrafficLedger
 from .queueing import md1_delay, md1_wait, min_p_for_delay, mm1_wait, utilisation
 from .server import SimServer, TaskRecord
@@ -9,7 +9,9 @@ from .tracing import DelayLog, QueryRecord, linear_fit, percentile
 from .transport import IncastModel, IncastResult, TransportConfig
 from .workload import (
     DiurnalTrace,
+    FlashCrowdTrace,
     PoissonArrivals,
+    RampTrace,
     StepTrace,
     UniformArrivals,
     arrivals_from_rate_fn,
@@ -21,13 +23,16 @@ __all__ = [
     "DiurnalTrace",
     "EnergyReport",
     "Event",
+    "FlashCrowdTrace",
     "IncastModel",
     "IncastResult",
     "TransportConfig",
     "NetworkModel",
+    "PeriodicEvent",
     "PoissonArrivals",
     "PowerProfile",
     "QueryRecord",
+    "RampTrace",
     "SimServer",
     "Simulation",
     "StepTrace",

@@ -19,6 +19,8 @@ delay.
 from __future__ import annotations
 
 import random
+
+from .._rng import ensure_rng
 from dataclasses import dataclass
 
 __all__ = ["TransportConfig", "IncastResult", "IncastModel"]
@@ -76,7 +78,7 @@ class IncastModel:
     def collect(self, p: int, rng: random.Random | None = None) -> IncastResult:
         """Simulate reply collection for a ``p``-way query."""
         cfg = self.config
-        rng = rng or random.Random()
+        rng = ensure_rng(rng)
         remaining = p
         time = 0.0
         rounds = 0

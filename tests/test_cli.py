@@ -59,6 +59,33 @@ class TestCommands:
         rc = main(["plan", "--servers", "2", "--target-delay", "0.0001"])
         assert rc == 1
 
+    def test_control_parser_defaults(self):
+        args = build_parser().parse_args(["control"])
+        assert args.scenario == "flash-crowd"
+        assert args.servers == 16
+        assert args.slo == 1.0
+
+    def test_control_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["control", "--scenario", "tsunami"])
+
+    def test_control_runs_closed_loop(self, capsys):
+        rc = main(
+            [
+                "control",
+                "--scenario", "flash-crowd",
+                "--servers", "8",
+                "-p", "3",
+                "--duration", "80",
+                "--seed", "3",
+            ]
+        )
+        assert rc == 0  # the controller adapted at least once
+        out = capsys.readouterr().out
+        assert "p99 before" in out
+        assert "p99 after" in out
+        assert "adapted        : True" in out
+
     def test_pps_demo(self, capsys):
         rc = main(["pps-demo", "--files", "60"])
         assert rc == 0

@@ -97,3 +97,56 @@ class TestRecommendation:
         rec = recommend_configuration(spec(query_rate=8.0))
         assert any(not o.feasible for o in rec.options)
         assert any(o.feasible for o in rec.options)
+
+
+class TestLiveMetricsAdvisor:
+    """The planner consuming measured metrics (repro.control integration)."""
+
+    def make_snapshot(self, qps):
+        from repro.control.metrics import MetricsCollector
+        from repro.sim.tracing import QueryRecord
+
+        c = MetricsCollector(window=10.0)
+        gap = 1.0 / qps
+        for i in range(int(qps * 10)):
+            t = i * gap
+            c.observe_query(QueryRecord(query_id=i, arrival=t, finish=t + 0.1))
+        return c.snapshot(10.0, record=False)
+
+    def test_spec_uses_measured_rate(self):
+        from repro.analysis.planner import spec_from_metrics
+
+        snapshot = self.make_snapshot(qps=8.0)
+        s = spec_from_metrics(
+            snapshot,
+            dataset_size=1e6,
+            speeds=[700_000.0] * 24,
+            target_delay=0.5,
+            fixed_overhead=0.005,
+        )
+        assert s.query_rate == pytest.approx(8.0, rel=0.1)
+
+    def test_idle_window_floors_rate(self):
+        from repro.analysis.planner import spec_from_metrics
+
+        class Empty:
+            qps = 0.0
+
+        s = spec_from_metrics(
+            Empty(), dataset_size=1e6, speeds=[7e5] * 4, target_delay=0.5
+        )
+        assert s.query_rate > 0.0
+
+    def test_recommend_from_metrics_tracks_load(self):
+        from repro.analysis.planner import recommend_from_metrics
+
+        kw = dict(
+            dataset_size=1e6,
+            speeds=[700_000.0] * 24,
+            target_delay=0.5,
+            fixed_overhead=0.005,
+        )
+        light = recommend_from_metrics(self.make_snapshot(qps=2.0), **kw)
+        heavy = recommend_from_metrics(self.make_snapshot(qps=9.0), **kw)
+        assert light.chosen is not None and heavy.chosen is not None
+        assert heavy.chosen.p >= light.chosen.p

@@ -138,3 +138,98 @@ class TestDerived:
         ring = Ring.uniform(3)
         ring.get("node-0").alive = False
         assert len(ring.alive_nodes()) == 2
+
+
+class TestEdgeCases:
+    """Boundary conditions for structural edits (control-plane elasticity
+    shrinks rings node by node, so the empty/near-empty cases matter)."""
+
+    def test_remove_last_node_leaves_empty_ring(self):
+        ring = Ring([RingNode("only", 0.3)])
+        ring.remove_node(ring.get("only"))
+        assert len(ring) == 0
+        ring.validate()  # empty partition is vacuously valid
+        with pytest.raises(LookupError):
+            ring.node_in_charge(0.5)
+
+    def test_remove_down_to_single_node_owns_circle(self):
+        ring = Ring.uniform(3)
+        ring.remove_node(ring.get("node-1"))
+        ring.remove_node(ring.get("node-2"))
+        survivor = ring.get("node-0")
+        assert ring.range_of(survivor).length == pytest.approx(1.0)
+        assert ring.node_in_charge(0.999) is survivor
+        ring.validate()
+
+    def test_readding_after_removal_restores_partition(self):
+        ring = Ring.uniform(4)
+        node = ring.get("node-2")
+        ring.remove_node(node)
+        ring.add_node(node)
+        assert len(ring) == 4
+        ring.validate()
+        assert ring.node_in_charge(0.5) is node
+
+    def test_insert_at_existing_start_rejected(self):
+        ring = Ring.uniform(4)
+        with pytest.raises(ValueError):
+            ring.add_node(RingNode("clash", 0.25))
+
+    def test_insert_within_eps_of_existing_start_rejected(self):
+        from repro.core.ids import EPS
+
+        ring = Ring.uniform(4)
+        with pytest.raises(ValueError):
+            ring.add_node(RingNode("clash", 0.25 + EPS / 2))
+
+    def test_insert_within_eps_across_wrap_rejected(self):
+        from repro.core.ids import EPS
+
+        ring = Ring.uniform(4)  # a node sits at start 0.0
+        with pytest.raises(ValueError):
+            ring.add_node(RingNode("clash", 1.0 - EPS / 2))
+
+    def test_insert_after_failed_insert_leaves_ring_intact(self):
+        ring = Ring.uniform(4)
+        with pytest.raises(ValueError):
+            ring.add_node(RingNode("clash", 0.5))
+        assert len(ring) == 4
+        ring.validate()
+
+    def test_move_start_crossing_successor_rejected(self):
+        ring = Ring.uniform(4)  # starts 0, .25, .5, .75
+        node = ring.get("node-1")
+        # moving node-1's start past node-2's start would reorder the ring
+        with pytest.raises(ValueError):
+            ring.move_start(node, 0.6)
+        ring.validate()
+        assert ring.get("node-1").start == pytest.approx(0.25)
+
+    def test_move_start_crossing_predecessor_rejected(self):
+        ring = Ring.uniform(4)
+        node = ring.get("node-1")
+        # moving counter-clockwise past node-0's start also reorders
+        with pytest.raises(ValueError):
+            ring.move_start(node, 0.95)
+        ring.validate()
+
+    def test_move_start_within_gap_allowed(self):
+        ring = Ring.uniform(4)
+        node = ring.get("node-1")
+        ring.move_start(node, 0.30)
+        assert ring.range_of(ring.get("node-0")).length == pytest.approx(0.30)
+        assert ring.range_of(node).length == pytest.approx(0.20)
+        ring.validate()
+
+    def test_move_start_single_node_ring(self):
+        ring = Ring([RingNode("only", 0.0)])
+        ring.move_start(ring.get("only"), 0.4)
+        assert ring.get("only").start == pytest.approx(0.4)
+        assert ring.range_of(ring.get("only")).length == pytest.approx(1.0)
+
+    def test_move_start_wraps_zero_boundary(self):
+        ring = Ring.uniform(4)
+        node = ring.get("node-0")
+        ring.move_start(node, 0.95)  # node-0's start slides behind 0
+        ring.validate()
+        assert ring.node_in_charge(0.97) is node
