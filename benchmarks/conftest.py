@@ -10,6 +10,20 @@ paper-vs-measured comparison.  Run with::
 
 import pytest
 
+from repro._rng import reset_default_streams
+
+
+@pytest.fixture(autouse=True)
+def _isolated_rng_streams():
+    """Benchmarks must be order-independent too (seed-leakage audit).
+
+    Components built without an explicit generator draw fallback streams
+    from a process-global counter; without a per-test reset, a benchmark's
+    numbers would depend on which benchmarks ran before it.
+    """
+    reset_default_streams()
+    yield
+
 
 def print_series(title, header, rows):
     """Render one figure's data as an aligned text table."""

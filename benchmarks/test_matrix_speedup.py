@@ -1,0 +1,102 @@
+"""Microbenchmark: batched fast path vs. per-query reference path.
+
+The acceptance bar for the batched query core (ISSUE 2): on a 200-server /
+100k-query run the batched path must be at least 5x faster than the
+per-query reference path *while producing identical per-query results*.
+Locally the observed ratio is ~7-8x.
+
+Marked ``perf``: excluded from tier-1 (pyproject addopts deselects it) and
+run by CI's non-blocking perf job -- wall-clock ratios are load-sensitive,
+so this must never gate the fast suite.
+"""
+
+import time
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.cluster import Deployment, DeploymentConfig, hen_testbed
+from repro.sim import batched_poisson_times
+
+N_SERVERS = 200
+N_QUERIES = 100_000
+RATE = 300.0
+PQ = 5
+
+
+def _build():
+    return Deployment(
+        DeploymentConfig(
+            models=hen_testbed(N_SERVERS),
+            p=PQ,
+            dataset_size=5e6,
+            seed=2,
+            charge_scheduling=False,
+        )
+    )
+
+
+@pytest.mark.perf
+def test_batched_path_5x_faster_and_identical(series_printer):
+    arrivals = list(batched_poisson_times(RATE, N_QUERIES, seed=4))
+
+    slow = _build()
+    t0 = time.perf_counter()
+    slow.run_queries(arrivals, PQ)
+    t_slow = time.perf_counter() - t0
+
+    fast = _build()
+    t0 = time.perf_counter()
+    result = fast.run_queries_fast(arrivals, PQ)
+    t_fast = time.perf_counter() - t0
+
+    series_printer(
+        f"Batched vs reference path ({N_SERVERS} servers, {N_QUERIES} queries)",
+        ("path", "wall (s)", "us/query", "queries"),
+        [
+            ("reference", t_slow, 1e6 * t_slow / N_QUERIES, N_QUERIES),
+            ("batched", t_fast, 1e6 * t_fast / N_QUERIES, N_QUERIES),
+            ("speedup", t_slow / t_fast, "", ""),
+        ],
+    )
+
+    # identical results -- the speedup is meaningless without this
+    assert result.completed == N_QUERIES
+    assert [r.delay for r in slow.log.records] == [
+        r.delay for r in fast.log.records
+    ]
+    assert slow.frontend.total_iterations == fast.frontend.total_iterations
+    for name in slow.servers:
+        assert slow.servers[name].busy_until == fast.servers[name].busy_until
+
+    assert t_slow / t_fast >= 5.0, (
+        f"batched path only {t_slow / t_fast:.1f}x faster "
+        f"({t_slow:.1f}s vs {t_fast:.1f}s)"
+    )
+
+
+@pytest.mark.perf
+def test_thousand_server_scale(series_printer):
+    """1k servers: the batched path holds ~100us/query; the reference
+    path's ~25ms/query would take hours for the same trace."""
+    dep = Deployment(
+        DeploymentConfig(
+            models=hen_testbed(1000),
+            p=PQ,
+            dataset_size=5e6,
+            seed=2,
+            charge_scheduling=False,
+        )
+    )
+    arrivals = list(batched_poisson_times(1500.0, 50_000, seed=4))
+    t0 = time.perf_counter()
+    result = dep.run_queries_fast(arrivals, PQ)
+    wall = time.perf_counter() - t0
+    series_printer(
+        "Batched path at 1k servers",
+        ("queries", "wall (s)", "us/query"),
+        [(50_000, wall, 1e6 * wall / 50_000)],
+    )
+    assert result.completed == 50_000
+    assert wall < 60.0

@@ -15,7 +15,7 @@ from __future__ import annotations
 import itertools
 import random
 
-__all__ = ["DEFAULT_SEED", "ensure_rng"]
+__all__ = ["DEFAULT_SEED", "ensure_rng", "reset_default_streams"]
 
 #: Base seed used whenever a component is not handed an explicit generator
 #: (the paper's publication year, for want of a more principled constant).
@@ -46,3 +46,18 @@ def ensure_rng(
     if seed is not None:
         return random.Random(seed)
     return random.Random(DEFAULT_SEED + _STRIDE * next(_counter))
+
+
+def reset_default_streams() -> None:
+    """Rewind the unseeded-fallback seed sequence to its initial state.
+
+    The per-call counter makes unseeded components reproducible *within* a
+    process, but it is process-global: which streams a component receives
+    then depends on how many fallbacks ran before it.  In a test session
+    that means earlier tests change later tests' streams -- classic seed
+    leakage, and the reason suites pass in file order but fail under
+    reordering.  The test harnesses call this in an autouse fixture so every
+    test starts from stream zero regardless of what ran before it.
+    """
+    global _counter
+    _counter = itertools.count()

@@ -88,6 +88,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="re-partitioning follows the live-metrics planner")
     ctrl.add_argument("--seed", type=int, default=1)
 
+    mtx = sub.add_parser(
+        "matrix", help="sweep the scenario matrix and print a comparison table"
+    )
+    mtx.add_argument("--list", action="store_true",
+                     help="list built-in scenarios and exit")
+    mtx.add_argument("--scenario", action="append", default=None,
+                     metavar="NAME",
+                     help="run only the named scenario (repeatable)")
+    mtx.add_argument("--servers", type=int, default=20)
+    mtx.add_argument("-p", type=int, default=4,
+                     help="stored partitioning level")
+    mtx.add_argument("--duration", type=float, default=40.0,
+                     help="simulated seconds per scenario")
+    mtx.add_argument("--rate", type=float, default=None,
+                     help="base queries/s (default: auto ~35%% load)")
+    mtx.add_argument("--dataset", type=float, default=2e6)
+    mtx.add_argument("--engine", default="batched",
+                     choices=["batched", "reference"],
+                     help="batched fast path or per-query reference path")
+    mtx.add_argument("--seed", type=int, default=1)
+    mtx.add_argument("--csv", default=None, metavar="PATH",
+                     help="also write the table as CSV")
+
     demo = sub.add_parser("pps-demo", help="encrypted search demo")
     demo.add_argument("--files", type=int, default=200)
     demo.add_argument("--keyword", default=None,
@@ -204,6 +227,46 @@ def _cmd_control(args: argparse.Namespace) -> int:
     return 0 if report.adapted else 1
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from .scenarios import builtin_scenarios, run_matrix
+
+    scenarios = builtin_scenarios(
+        n_servers=args.servers,
+        duration=args.duration,
+        p=args.p,
+        dataset_size=args.dataset,
+        seed=args.seed,
+        rate=args.rate,
+    )
+    if args.list:
+        for s in scenarios:
+            print(f"{s.name:16s} {s.description}")
+        return 0
+    if args.scenario:
+        wanted = set(args.scenario)
+        known = {s.name for s in scenarios}
+        missing = wanted - known
+        if missing:
+            print(f"unknown scenario(s): {sorted(missing)}; "
+                  f"known: {sorted(known)}", file=sys.stderr)
+            return 2
+        scenarios = [s for s in scenarios if s.name in wanted]
+
+    def progress(scenario, result):
+        print(f"[{scenario.name}] {result.offered} queries, "
+              f"yield {result.yield_fraction:.1%}, "
+              f"p99 {result.p99_delay * 1000:.0f} ms, "
+              f"{result.wall_seconds:.2f}s wall", file=sys.stderr)
+
+    res = run_matrix(scenarios, engine=args.engine, progress=progress)
+    print(res.table())
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(res.to_csv())
+        print(f"\ncsv written to {args.csv}")
+    return 0
+
+
 def _cmd_pps_demo(args: argparse.Namespace) -> int:
     import random
 
@@ -239,6 +302,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "deploy": _cmd_deploy,
         "plan": _cmd_plan,
         "control": _cmd_control,
+        "matrix": _cmd_matrix,
         "pps-demo": _cmd_pps_demo,
     }
     return handlers[args.command](args)

@@ -61,6 +61,11 @@ class DeploymentConfig:
     n_objects_stored: int = 2000
     #: object update cost in seconds of server time per replica.
     update_cost: float = 0.002
+    #: charge the scheduler's real wall-clock into query latency (the
+    #: Fig 7.11 accounting).  Turn off for bit-reproducible runs: latency
+    #: then contains simulated components only, which is what the golden
+    #: regression tests and the batched/per-query differential tests pin.
+    charge_scheduling: bool = True
 
 
 @dataclass
@@ -133,6 +138,9 @@ class Deployment:
         #: servers drained out by elastic shrinking, kept for accounting.
         self.retired: dict[str, SimServer] = {}
         self._next_node_idx = len(models)
+        #: precomputed ring-cover tables for the batched query path, keyed
+        #: by (pq, ring versions); lazily created by run_queries_fast.
+        self.cover_tables = None
 
     # -- basic facts ------------------------------------------------------------
     @property
@@ -163,6 +171,18 @@ class Deployment:
     def _is_known_dead(self, name: str, now: float) -> bool:
         t = self._known_dead.get(name)
         return t is not None and now >= t
+
+    def recover_node(self, name: str, now: float) -> None:
+        """Bring a failed (but not removed) server back into service."""
+        server = self.servers[name]
+        server.recover(now)
+        self._known_dead.pop(name, None)
+        for ring in self.rings:
+            try:
+                node = ring.get(name)
+            except KeyError:
+                continue
+            self.frontend.mark_recovered(node, now)
 
     # -- elasticity (driven by the control plane) ---------------------------------
     def add_server(
@@ -233,16 +253,30 @@ class Deployment:
         self.remove_server(name, now=now)
 
     def max_dead_range(self) -> float:
-        """Widest ring range currently owned by a failed node.
+        """Widest contiguous run of ring range owned by failed nodes.
 
         Failure fall-back needs replacement width ``1/p`` to exceed this
         (Section 4.4), so it caps how far re-partitioning may raise p.
+        Adjacent dead nodes act as one combined hole -- the fall-back splits
+        around the whole run -- so the cap must measure runs, not single
+        nodes.
         """
         worst = 0.0
         for ring in self.rings:
-            for node in ring:
+            run = 0.0
+            first_run = None  # run starting at index 0, may wrap via the end
+            for node in ring.nodes():
                 if not node.alive:
-                    worst = max(worst, ring.range_of(node).length)
+                    run += ring.range_of(node).length
+                    worst = max(worst, run)
+                else:
+                    if first_run is None:
+                        first_run = run
+                    run = 0.0
+            if first_run is None:  # every node dead: the whole circle
+                worst = max(worst, 1.0)
+            elif run > 0.0:  # wrap: tail run joins the head run
+                worst = max(worst, run + first_run)
         return worst
 
     # -- queries -------------------------------------------------------------------
@@ -312,7 +346,7 @@ class Deployment:
             finish = max(finish, f + rtt / 2.0)
             self.ledger.record_result(1)
 
-        total = finish - now + sched_wall
+        total = finish - now + (sched_wall if self.config.charge_scheduling else 0.0)
         record = QueryRecord(
             query_id=qid,
             arrival=now,
@@ -349,17 +383,36 @@ class Deployment:
             self.run_query(t, pq)
         return self.log
 
+    def run_queries_fast(
+        self,
+        arrival_times: Sequence[float],
+        pq_fn: Callable[[float], int] | int | None = None,
+        record_assignments: bool = False,
+    ):
+        """Run an arrival trace through the batched query path.
+
+        Produces state (logs, server counters, front-end statistics)
+        identical to :meth:`run_queries`, several times faster; see
+        :func:`repro.sim.fastpath.run_queries_fast`.
+        """
+        from ..sim.fastpath import run_queries_fast
+
+        return run_queries_fast(
+            self, arrival_times, pq_fn, record_assignments=record_assignments
+        )
+
     # -- updates (Fig 7.4) ------------------------------------------------------------
-    def apply_update(self, now: float) -> None:
+    def apply_update(self, now: float, at: float | None = None) -> None:
         """One object update: every replica holder pays the update cost.
 
         With replication level ``r = n/p`` an update lands on ~r servers; we
-        model it as r fixed-cost tasks on the nodes covering a random
-        replication arc.
+        model it as r fixed-cost tasks on the nodes covering a replication
+        arc starting at *at* (default: uniform random -- scenario workloads
+        pass Zipf-skewed positions to model hot objects).
         """
         r = max(1, round(self.n / self.p_store))
         primary = self.rings[0]
-        start = self.rng.random()
+        start = self.rng.random() if at is None else at
         nodes = primary.alive_nodes()
         if not nodes:
             return

@@ -7,6 +7,7 @@ and membership management.
 
 from .adjust import PlannedSub, QueryPlan, adjust_ranges, plan_from_schedule, split_slowest
 from .balance import BalanceConfig, LoadBalancer, load_imbalance
+from .covertable import CoverTable, CoverTableCache
 from .failures import FailureCoverageError, replacement_subqueries, split_failed
 from .frontend import FrontEnd, FrontEndConfig, NodeStats
 from .ids import Arc, ccw_distance, cw_distance, frac, in_arc
@@ -28,6 +29,8 @@ from .scheduler import (
 __all__ = [
     "Arc",
     "BalanceConfig",
+    "CoverTable",
+    "CoverTableCache",
     "DataObject",
     "FailureCoverageError",
     "FrontEnd",

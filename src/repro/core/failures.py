@@ -15,10 +15,16 @@ range:
    other sub-queries -- and each stays within ``1/p`` behind its delivery
    point, so the receiving nodes are guaranteed to store it.
 
+Adjacent failures are handled by treating the maximal contiguous run of
+dead nodes as the failed range (splitting around each dead node separately
+would push the delivery point beyond the window's replication reach).
 Because each piece again satisfies the *window within 1/p of delivery point*
 invariant, the construction recurses cleanly when a replacement itself lands
 on a dead node (possible under mass failures); ``split_failed`` performs
-that recursion with a depth limit.
+that recursion with a depth limit, and every piece is checked against the
+storage-reach guarantee so mass failures surface as
+:class:`FailureCoverageError` (a dropped query in the deployment's yield
+accounting), never as a silent partial harvest.
 
 ``delta`` captures uncertainty in ``1/p`` during reconfigurations: it is
 chosen so ``1/p - delta < 1/p_old`` for all recently used storage levels.
@@ -72,15 +78,42 @@ def replacement_subqueries(
     """
     rng = ensure_rng(rng)
     width = 1.0 / float(p_store) - delta
-    fail_range = ring.range_of(failed)
-    fail_lo = fail_range.start
-    fail_hi = fail_range.end  # exclusive upper bound of the failed range
+
+    # The effective failed range is the maximal *contiguous run* of dead
+    # nodes around the target.  Anchoring to the single dead node is wrong
+    # when its neighbour is dead too: the recursion would then shift the
+    # delivery point a further `width` clockwise past the second dead range,
+    # beyond the window's replication reach, and the receiving node would
+    # silently match nothing.  With the combined range, either a valid
+    # placement exists (run shorter than the replication arc) or the data is
+    # genuinely unavailable and we raise -- no silent partial harvests.
+    lo_node = failed
+    while True:
+        pred = ring.predecessor(lo_node)
+        if pred.alive or pred is failed:
+            break
+        lo_node = pred
+    hi_node = failed
+    while True:
+        succ = ring.successor(hi_node)
+        if succ.alive or succ is failed:
+            break
+        hi_node = succ
+    if not ring.predecessor(lo_node).alive and lo_node is not failed:
+        raise FailureCoverageError("every node on the ring has failed")
+    fail_lo = lo_node.start
+    fail_hi = ring.range_of(hi_node).end  # exclusive upper bound of the run
+    run_length = (
+        cw_distance(fail_lo, fail_hi)
+        if hi_node is not ring.predecessor(lo_node)
+        else 1.0
+    )
 
     # Valid placements for idq1: (fail_hi - width, fail_lo).
-    span = width - fail_range.length
+    span = width - run_length
     if span <= EPS:
         raise FailureCoverageError(
-            f"failed range {fail_range.length:.4f} exceeds replacement "
+            f"failed range {run_length:.4f} exceeds replacement "
             f"width {width:.4f}; objects unavailable until re-replication"
         )
 
@@ -125,6 +158,20 @@ def replacement_subqueries(
             index=original.index,
         )
     )
+    # Storage-reach guarantee: every object in a piece's window must have a
+    # replication arc covering the delivery point, i.e. the window may reach
+    # at most 1/p_store behind it.  The construction satisfies this by
+    # design; the check closes the one residual hole (recursive splitting
+    # under mass failures when no alive placement was found) by converting a
+    # would-be silent partial harvest into an honest coverage failure.
+    reach = 1.0 / float(p_store) + EPS
+    for piece in pieces:
+        window_start = frac(piece.dedup_origin - piece.dedup_width)
+        if cw_distance(window_start, piece.dest) > reach:
+            raise FailureCoverageError(
+                f"replacement window at {piece.dest:.4f} reaches beyond the "
+                "replication arc; objects unavailable until re-replication"
+            )
     return pieces
 
 

@@ -65,10 +65,21 @@ class Ring:
     def __init__(self, nodes: Iterable[RingNode] = ()) -> None:
         self._nodes: list[RingNode] = []
         self._starts: list[float] = []
+        #: monotonically increasing structure-version counter.  Bumped on
+        #: every edit that changes range ownership (add/remove/move), so
+        #: derived lookup structures (e.g. the batched scheduler's
+        #: precomputed cover tables) can cache against it and invalidate on
+        #: reconfiguration without subscribing to individual edits.
+        self._version: int = 0
         for node in nodes:
             self.add_node(node)
 
     # -- introspection ----------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Structure version; changes whenever range ownership changes."""
+        return self._version
+
     def __len__(self) -> int:
         return len(self._nodes)
 
@@ -113,12 +124,14 @@ class Ring:
                     raise ValueError(f"position {node.start} already occupied")
         self._nodes.insert(idx, node)
         self._starts.insert(idx, node.start)
+        self._version += 1
 
     def remove_node(self, node: RingNode) -> None:
         """Remove *node*; its predecessor's range implicitly absorbs its arc."""
         idx = self.index_of(node)
         del self._nodes[idx]
         del self._starts[idx]
+        self._version += 1
 
     def move_start(self, node: RingNode, new_start: float) -> None:
         """Move a node's range boundary (used by load balancing).

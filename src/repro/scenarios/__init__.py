@@ -1,0 +1,41 @@
+"""Declarative scenario matrix over the ROAR deployment and control plane.
+
+A :class:`Scenario` is a single declarative description of an environment --
+fleet composition, workload shape, object popularity, failures, churn, and
+(optionally) the closed-loop control policies -- that the runner executes
+uniformly over the deployment, control, and analysis layers, on either the
+batched fast path or the per-query reference path.  The matrix module sweeps
+grids of scenarios and renders comparable metric tables (``repro matrix``).
+"""
+
+from .spec import (
+    ChurnSpec,
+    ControlSpec,
+    EventSpec,
+    Scenario,
+    UpdateSpec,
+    WorkloadSpec,
+)
+from .runner import ScenarioResult, build_deployment, run_scenario_spec
+from .matrix import (
+    MatrixResult,
+    builtin_scenarios,
+    render_table,
+    run_matrix,
+)
+
+__all__ = [
+    "ChurnSpec",
+    "ControlSpec",
+    "EventSpec",
+    "MatrixResult",
+    "Scenario",
+    "ScenarioResult",
+    "UpdateSpec",
+    "WorkloadSpec",
+    "build_deployment",
+    "builtin_scenarios",
+    "render_table",
+    "run_matrix",
+    "run_scenario_spec",
+]

@@ -1,0 +1,529 @@
+"""Executes a declarative :class:`~repro.scenarios.spec.Scenario`.
+
+One runner drives every layer the same way regardless of what the scenario
+throws at it: the deployment serves the arrival trace (on the batched fast
+path by default, or the per-query reference path), timed events and churn
+edit the membership, Zipf-skewed updates heat replica holders, and -- when a
+:class:`ControlSpec` is present -- the PR-1 control plane (metrics collector,
+SLO elasticity, online re-partitioning) closes the loop at its tick
+interval, actuating through the same
+:class:`~repro.control.runner.DeploymentActuator` the closed-loop runner
+uses.
+
+Execution is segment-batched: the timeline is cut at every action instant
+(event, churn tick, control tick, update batch), queries between two cuts
+run as one batch, then the due actions apply.  Actions therefore take effect
+at batch granularity -- at most ``UpdateSpec.batch_interval`` (default 1 s)
+late for updates, exact for everything else -- which is what makes
+million-query scenario sweeps affordable.  Every random choice derives from
+``Scenario.seed``; two runs of one scenario are identical.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Optional, Sequence
+
+import numpy as _np
+
+from ..cluster.deployment import Deployment, DeploymentConfig
+from ..cluster.models import MODEL_CATALOGUE, ServerModel, ec2_fleet, hen_testbed
+from ..control.controllers import (
+    Controller,
+    RepartitionController,
+    SLOElasticityController,
+)
+from ..control.metrics import MetricsCollector
+from ..control.runner import DeploymentActuator
+from ..core.reconfig import ReconfigPhase
+from ..sim.engine import Simulation
+from ..sim.energy import PowerProfile
+from ..sim.workload import batched_arrivals_from_rate_fn
+from .spec import Scenario
+
+__all__ = [
+    "ScenarioResult",
+    "auto_rate",
+    "build_deployment",
+    "build_models",
+    "generate_arrivals",
+    "run_scenario_spec",
+]
+
+ENGINES = ("batched", "reference")
+
+
+# -- fleet construction -------------------------------------------------------
+def build_models(scenario: Scenario) -> list[ServerModel]:
+    if scenario.fleet == "hen":
+        return hen_testbed(scenario.n_servers)
+    if scenario.fleet == "ec2":
+        return ec2_fleet(scenario.n_servers, seed=scenario.seed + 17)
+    if scenario.fleet == "uniform":
+        return [MODEL_CATALOGUE["dell-1950"]] * scenario.n_servers
+    # custom: explicit per-server speeds (cores=1 so speed() == match_rate).
+    base = MODEL_CATALOGUE["dell-1950"]
+    return [
+        ServerModel(
+            name=f"custom-{i}",
+            cores=1,
+            match_rate=speed,
+            disk_rate=speed,
+            fixed_overhead=base.fixed_overhead,
+            power=PowerProfile(idle_watts=200.0, busy_watts=300.0),
+        )
+        for i, speed in enumerate(scenario.speeds or ())
+    ]
+
+
+def auto_rate(
+    models: Sequence[ServerModel],
+    p: int,
+    dataset_size: float,
+    target_util: float = 0.35,
+) -> float:
+    """Arrival rate putting the pool at roughly *target_util* utilisation."""
+    mean_speed = sum(m.speed(True) for m in models) / len(models)
+    mean_fixed = sum(m.fixed_overhead for m in models) / len(models)
+    service = mean_fixed + (dataset_size / p) / mean_speed
+    return target_util * len(models) / (p * service)
+
+
+def build_deployment(scenario: Scenario) -> Deployment:
+    return Deployment(
+        DeploymentConfig(
+            models=build_models(scenario),
+            p=scenario.p,
+            n_rings=scenario.n_rings,
+            dataset_size=scenario.dataset_size,
+            seed=scenario.seed,
+            store_objects=scenario.needs_stores,
+            n_objects_stored=scenario.n_objects_stored,
+            charge_scheduling=False,  # scenarios pin simulated latency only
+        )
+    )
+
+
+# -- workload -----------------------------------------------------------------
+def _vector_rate_fn(scenario: Scenario):
+    """Array-capable rate(t) for the batched thinning sampler."""
+    w = scenario.workload
+    d = w.duration
+    if w.kind == "poisson":
+        rate = w.rate
+        return (lambda t: _np.full_like(_np.asarray(t, dtype=float), rate)), rate
+    if w.kind == "diurnal":
+        amp = (w.peak_to_trough - 1.0) / (w.peak_to_trough + 1.0)
+        base = w.rate
+
+        def rate_fn(t):
+            # start at the trough, peak mid-run (the control runner's phase)
+            return base * (
+                1.0 + amp * _np.sin(2.0 * _np.pi * _np.asarray(t) / d - _np.pi / 2.0)
+            )
+
+        return rate_fn, base * (1.0 + amp)
+    if w.kind == "flash-crowd":
+        base = w.rate
+        peak = base * w.surge_factor
+        t0 = w.surge_start_frac * d
+        t1 = t0 + w.surge_duration_frac * d
+        decay = max(w.decay_frac * d, 1e-9)
+
+        def rate_fn(t):
+            t = _np.asarray(t, dtype=float)
+            after = base + (peak - base) * _np.exp(-(t - t1) / decay)
+            return _np.where(t < t0, base, _np.where(t <= t1, peak, after))
+
+        return rate_fn, peak
+    if w.kind == "ramp":
+        end = w.end_rate if w.end_rate is not None else 2.0 * w.rate
+
+        def rate_fn(t):
+            t = _np.asarray(t, dtype=float)
+            fracs = _np.clip(t / d, 0.0, 1.0)
+            return w.rate + fracs * (end - w.rate)
+
+        return rate_fn, max(w.rate, end)
+    raise ValueError(f"no rate function for workload kind {w.kind!r}")
+
+
+def generate_arrivals(scenario: Scenario) -> "_np.ndarray":
+    """The scenario's full arrival trace (identical for either engine)."""
+    w = scenario.workload
+    if w.kind == "replay":
+        return _np.asarray(sorted(w.trace or ()), dtype=float)
+    if w.kind == "uniform":
+        n = max(1, int(round(w.rate * w.duration)))
+        gap = 1.0 / w.rate
+        return gap * _np.arange(1, n + 1)
+    rate_fn, max_rate = _vector_rate_fn(scenario)
+    return batched_arrivals_from_rate_fn(
+        rate_fn, horizon=w.duration, max_rate=max_rate, seed=scenario.seed + 101
+    )
+
+
+def _generate_updates(scenario: Scenario, horizon: float):
+    """Zipf-skewed (time, ring position) update stream."""
+    spec = scenario.updates
+    if spec is None:
+        return []
+    rng = _np.random.default_rng(scenario.seed + 211)
+    gaps = rng.exponential(
+        1.0 / spec.rate, size=max(1, int(horizon * spec.rate * 1.2) + 8)
+    )
+    times = _np.cumsum(gaps)
+    times = times[times <= horizon]
+    ranks = _np.arange(1, spec.hotspots + 1, dtype=float)
+    weights = ranks ** (-spec.zipf_s)
+    weights /= weights.sum()
+    centers = rng.random(spec.hotspots)
+    idx = rng.choice(spec.hotspots, size=times.size, p=weights)
+    pos = (centers[idx] + rng.uniform(-spec.jitter, spec.jitter, times.size)) % 1.0
+    return list(zip(times.tolist(), pos.tolist()))
+
+
+# -- results ------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    """Comparable metrics for one scenario run."""
+
+    scenario: Scenario
+    engine: str
+    offered: int
+    completed: int
+    dropped: int
+    yield_fraction: float
+    mean_delay: float
+    p99_delay: float
+    max_delay: float
+    throughput: float
+    mean_utilisation: float
+    servers_start: int
+    servers_end: int
+    p_store_end: float
+    pq_end: int
+    updates_applied: int
+    events_applied: int
+    control_actions: int
+    #: what the Chapter 2 capacity advisor would have picked for this load.
+    planned_p: int | None
+    wall_seconds: float
+    fast_fraction: float
+    notes: list[str] = field(default_factory=list)
+
+
+# -- execution ----------------------------------------------------------------
+class _Timeline:
+    """Actions indexed by time; merged and applied between query batches."""
+
+    def __init__(self) -> None:
+        self._by_time: dict[float, list[tuple[float, int, str, object]]] = {}
+
+    def add(self, t: float, priority: int, kind: str, payload: object) -> None:
+        self._by_time.setdefault(t, []).append((t, priority, kind, payload))
+
+    def boundaries(self, horizon: float) -> list[float]:
+        times = sorted(t for t in self._by_time if t <= horizon)
+        if not times or times[-1] < horizon:
+            times.append(horizon)
+        return times
+
+    def due(self, t: float):
+        out = list(self._by_time.get(t, ()))
+        out.sort(key=lambda a: (a[1],))
+        return out
+
+
+def run_scenario_spec(scenario: Scenario, engine: str = "batched") -> ScenarioResult:
+    """Execute one scenario end to end and summarise it."""
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
+    wall_start = time.perf_counter()
+    deployment = build_deployment(scenario)
+    servers_start = len(deployment.servers)
+    arrivals = generate_arrivals(scenario)
+    horizon = float(scenario.workload.horizon)
+    sim = Simulation()
+    event_rng = random.Random(scenario.seed + 31)
+    notes: list[str] = []
+
+    # control plane (optional)
+    collector: Optional[MetricsCollector] = None
+    controllers: list[Controller] = []
+    actuator: Optional[DeploymentActuator] = None
+    ctl = scenario.control
+    if ctl is not None:
+        collector = MetricsCollector(window=ctl.metrics_window).attach(deployment)
+        shim = SimpleNamespace(
+            p0=scenario.p,
+            drop_seconds=ctl.drop_seconds,
+            grow_seconds=ctl.grow_seconds,
+            growth_model=ctl.growth_model,
+        )
+        actuator = DeploymentActuator(deployment, sim, shim)
+        if scenario.pq is not None:
+            actuator.set_pq(scenario.pq)
+        if "elasticity" in ctl.policies:
+            controllers.append(
+                SLOElasticityController(
+                    actuator,
+                    slo_p99=ctl.slo_p99,
+                    min_servers=ctl.min_servers or max(2, scenario.n_servers // 2),
+                    max_servers=ctl.max_servers or 2 * scenario.n_servers,
+                    cooldown=2 * ctl.interval,
+                )
+            )
+        if "repartition" in ctl.policies:
+            controllers.append(
+                RepartitionController(
+                    actuator,
+                    slo_p99=ctl.slo_p99,
+                    p_min=ctl.p_min or max(1, scenario.p - 2),
+                    p_max=ctl.p_max
+                    or max(scenario.p, min(4 * scenario.p, scenario.n_servers)),
+                    cooldown=3 * ctl.interval,
+                )
+            )
+
+    # assemble the timeline
+    timeline = _Timeline()
+    for e in scenario.events:
+        timeline.add(e.at, 0, "event", e)
+    if scenario.churn is not None:
+        c = scenario.churn
+        stop = c.stop if c.stop is not None else horizon
+        t = c.start + c.interval
+        while t <= min(stop, horizon):
+            timeline.add(t, 1, "churn", c)
+            t += c.interval
+    if ctl is not None:
+        t = ctl.interval
+        while t <= horizon:
+            timeline.add(t, 2, "control", None)
+            t += ctl.interval
+    updates = _generate_updates(scenario, horizon)
+    updates_applied = 0
+    if updates:
+        batch = scenario.updates.batch_interval
+        grouped: dict[float, list] = {}
+        for t_u, pos in updates:
+            key = min(horizon, math.ceil(t_u / batch) * batch)
+            grouped.setdefault(key, []).append((t_u, pos))
+        for key, items in grouped.items():
+            timeline.add(key, -1, "updates", items)
+
+    current_pq = scenario.pq or scenario.p
+    events_applied = 0
+    fast_n = delegated_n = 0
+
+    def pq_now() -> int:
+        return actuator.pq if actuator is not None else current_pq
+
+    def run_batch(times) -> None:
+        nonlocal fast_n, delegated_n
+        if len(times) == 0:
+            return
+        if engine == "batched":
+            batch = deployment.run_queries_fast(times, pq_now())
+            fast_n += batch.fast_scheduled
+            delegated_n += batch.delegated
+        else:
+            deployment.run_queries(times, pq_now())
+            delegated_n += len(times)
+
+    def apply_event(e, now: float) -> None:
+        nonlocal current_pq, events_applied
+        events_applied += 1
+        alive = sorted(
+            n for n, s in deployment.servers.items() if not s.failed
+        )
+        if e.action == "fail":
+            names = [e.target] if e.target else event_rng.sample(
+                alive, min(e.count, len(alive))
+            )
+            for name in names:
+                deployment.fail_node(name, now)
+        elif e.action == "fail-rack":
+            by_idx = sorted(alive, key=lambda n: int(n.split("-")[-1]))
+            hi = max(1, len(by_idx) - e.count)
+            start = e.value if e.value is not None else event_rng.randrange(hi)
+            for name in by_idx[start : start + e.count]:
+                deployment.fail_node(name, now)
+        elif e.action == "rebuild":
+            dead = [n for n, s in deployment.servers.items() if s.failed]
+            for name in [e.target] if e.target else dead:
+                if name in deployment.servers and deployment.servers[name].failed:
+                    try:
+                        deployment.handle_long_term_failure(name, now=now)
+                    except ValueError:
+                        notes.append(f"rebuild skipped last node {name}")
+        elif e.action == "recover":
+            dead = [n for n, s in deployment.servers.items() if s.failed]
+            for name in [e.target] if e.target else dead:
+                if name in deployment.servers:
+                    deployment.recover_node(name, now)
+        elif e.action == "add-server":
+            for _ in range(e.count):
+                deployment.add_server(MODEL_CATALOGUE[e.model], now=now)
+        elif e.action == "remove-server":
+            for _ in range(e.count):
+                if e.target and e.target in deployment.servers:
+                    name = e.target
+                else:
+                    cool = deployment.membership.coolest_node(deployment.rings[0])
+                    name = cool.name if cool else None
+                if name is None:
+                    break
+                try:
+                    deployment.remove_server(name, now=now)
+                except ValueError:
+                    notes.append("remove-server skipped (last ring node)")
+                    break
+        elif e.action == "rebalance":
+            deployment.membership.move_cool_to_hot(0)
+        elif e.action == "set-pq":
+            current_pq = max(
+                int(e.value), int(math.ceil(deployment.p_store - 1e-9))
+            )
+            if actuator is not None:
+                actuator.set_pq(int(e.value))
+        elif e.action == "repartition":
+            if actuator is not None:
+                if actuator.request_p(int(e.value)):
+                    actuator.set_pq(max(actuator.pq, int(e.value)))
+            else:
+                _repartition_inline(deployment, sim, int(e.value), notes)
+                # raising p shrinks arcs: pq must follow immediately
+                # (Section 4.5); lowering p leaves pq at the old floor until
+                # the downloads complete.
+                current_pq = max(current_pq, int(e.value))
+
+    def apply_updates(items) -> None:
+        nonlocal updates_applied
+        for t_u, pos in items:
+            deployment.apply_update(t_u, at=pos)
+            updates_applied += 1
+
+    # drive it
+    qi = 0
+    for b in timeline.boundaries(horizon):
+        sim.run(until=b)  # fire pending reconfiguration steps
+        j = int(_np.searchsorted(arrivals, b, side="right"))
+        run_batch(arrivals[qi:j])
+        qi = j
+        for t, _prio, kind, payload in timeline.due(b):
+            if kind == "event":
+                apply_event(payload, t)
+            elif kind == "churn":
+                c = payload
+                events_applied += 1
+                for _ in range(c.add):
+                    deployment.add_server(MODEL_CATALOGUE[c.model], now=t)
+                for _ in range(c.remove):
+                    cool = deployment.membership.coolest_node(deployment.rings[0])
+                    if cool is None or len(deployment.rings[0]) <= max(
+                        2, scenario.p
+                    ):
+                        break
+                    try:
+                        deployment.remove_server(cool.name, now=t)
+                    except ValueError:
+                        break
+            elif kind == "updates":
+                apply_updates(payload)
+            elif kind == "control":
+                assert collector is not None
+                collector.sample_servers(t, deployment.servers)
+                snapshot = collector.snapshot(t)
+                for controller in controllers:
+                    controller.step(t, snapshot)
+    if qi < len(arrivals):  # replay traces may end exactly at the horizon
+        run_batch(arrivals[qi:])
+
+    # summarise
+    log = deployment.log
+    delays = log.delays()
+    completed = len(delays)
+    offered = completed + log.dropped
+    mean_delay = (sum(delays) / completed) if completed else math.nan
+    control_actions = sum(len(c.actions) for c in controllers)
+    planned = _planned_p(scenario, deployment, offered, horizon)
+    elapsed = max(horizon, 1e-9)
+    return ScenarioResult(
+        scenario=scenario,
+        engine=engine,
+        offered=offered,
+        completed=completed,
+        dropped=log.dropped,
+        yield_fraction=log.yield_fraction(),
+        mean_delay=mean_delay,
+        p99_delay=log.percentile_delay(99) if completed else math.nan,
+        max_delay=max(delays) if completed else math.nan,
+        throughput=completed / elapsed,
+        mean_utilisation=deployment.mean_cpu_load(elapsed),
+        servers_start=servers_start,
+        servers_end=len(deployment.servers),
+        p_store_end=deployment.p_store,
+        pq_end=pq_now(),
+        updates_applied=updates_applied,
+        events_applied=events_applied,
+        control_actions=control_actions,
+        planned_p=planned,
+        wall_seconds=time.perf_counter() - wall_start,
+        fast_fraction=fast_n / max(fast_n + delegated_n, 1),
+        notes=notes,
+    )
+
+
+def _repartition_inline(
+    deployment: Deployment, sim: Simulation, p_new: int, notes: list[str]
+) -> None:
+    """Event-driven p change without a control actuator (spread over 5 s)."""
+    rc = deployment.reconfig
+    if rc is None:
+        notes.append("repartition skipped: scenario has no object stores")
+        return
+    if rc.phase != ReconfigPhase.STABLE or p_new == rc.p_target:
+        notes.append(f"repartition to {p_new} skipped (not stable or no-op)")
+        return
+    rc.request_p(p_new)
+    names = sorted(node.name for node in rc.ring)
+    for i, name in enumerate(names):
+        sim.schedule(5.0 * (i + 1) / len(names), lambda n=name: rc.node_step(n))
+
+
+def _planned_p(
+    scenario: Scenario, deployment: Deployment, offered: int, horizon: float
+) -> int | None:
+    """The analysis layer's recommendation for the load this scenario saw."""
+    try:
+        from ..analysis.planner import WorkloadSpec as PlannerSpec
+        from ..analysis.planner import recommend_configuration
+
+        speeds = [s.speed for s in deployment.servers.values() if not s.failed]
+        if not speeds or offered == 0:
+            return None
+        target = (
+            scenario.control.slo_p99 / 2.0 if scenario.control is not None else 0.5
+        )
+        rec = recommend_configuration(
+            PlannerSpec(
+                dataset_size=scenario.dataset_size,
+                query_rate=offered / max(horizon, 1e-9),
+                update_rate=scenario.updates.rate if scenario.updates else 0.0,
+                target_delay=target,
+                speeds=speeds,
+                fixed_overhead=sum(
+                    s.fixed_overhead for s in deployment.servers.values()
+                )
+                / len(deployment.servers),
+            )
+        )
+        return rec.chosen.p if rec.chosen is not None else None
+    except Exception:  # pragma: no cover - advisory column only
+        return None

@@ -2,6 +2,7 @@
 
 from .energy import DEFAULT_PROFILES, EnergyReport, PowerProfile, measure_energy
 from .engine import Event, PeriodicEvent, Simulation
+from .fastpath import BatchResult, run_queries_fast
 from .network import NetworkModel, TrafficLedger
 from .queueing import md1_delay, md1_wait, min_p_for_delay, mm1_wait, utilisation
 from .server import SimServer, TaskRecord
@@ -15,9 +16,12 @@ from .workload import (
     StepTrace,
     UniformArrivals,
     arrivals_from_rate_fn,
+    batched_arrivals_from_rate_fn,
+    batched_poisson_times,
 )
 
 __all__ = [
+    "BatchResult",
     "DEFAULT_PROFILES",
     "DelayLog",
     "DiurnalTrace",
@@ -40,7 +44,10 @@ __all__ = [
     "TrafficLedger",
     "UniformArrivals",
     "arrivals_from_rate_fn",
+    "batched_arrivals_from_rate_fn",
+    "batched_poisson_times",
     "linear_fit",
+    "run_queries_fast",
     "md1_delay",
     "md1_wait",
     "measure_energy",

@@ -1,0 +1,361 @@
+"""The batched query execution path over a :class:`~repro.cluster.Deployment`.
+
+``Deployment.run_query`` costs milliseconds of interpreter time per query:
+it re-syncs every node's statistics, rebuilds owner views, and walks the
+rotation sweep heap with a Python estimator closure.  That caps simulations
+at thousands of queries.  This module replays the *same* semantics with the
+per-query work reduced to a few vectorised numpy operations:
+
+* scheduling goes through a precomputed
+  :class:`~repro.core.covertable.CoverTable` (invalidated on ring
+  reconfiguration) instead of the per-query heap sweep;
+* node statistics live in float64 arrays, updated incrementally for the few
+  servers each query touches instead of re-synced across the fleet;
+* latencies and outcomes accumulate into preallocated arrays
+  (:class:`BatchResult`), with the familiar ``DelayLog`` records still
+  produced for downstream consumers.
+
+The batched path is only landable because it is *provably the same system*:
+for equal seeds it produces bit-identical per-query server sets, latencies,
+traces, statistics, and scheduler work counters as the per-query reference
+path -- ``tests/test_fastpath.py`` holds that line.  Queries whose schedule
+touches a failed server are delegated, one at a time, to the reference path
+so the (rare, rng-consuming) failure fall-back machinery stays the single
+source of truth.
+
+Requires the deployment's front-end to run the default configuration
+(``method="heap"``, no range adjustment, no splitting); other configurations
+raise and should use :meth:`Deployment.run_queries`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
+from ..core.covertable import CoverTableCache, require_numpy
+from ..core.ids import cw_distance, frac
+from ..sim.tracing import QueryRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.deployment import Deployment
+
+__all__ = ["BatchResult", "run_queries_fast"]
+
+
+@dataclass
+class BatchResult:
+    """Array-backed account of one batched run.
+
+    ``latencies`` holds NaN for dropped queries (failure fall-back could not
+    re-cover a dead range); ``query_ids`` holds -1 there.
+    """
+
+    arrivals: "np.ndarray"
+    latencies: "np.ndarray"
+    finishes: "np.ndarray"
+    query_ids: "np.ndarray"
+    pqs: "np.ndarray"
+    completed: int
+    dropped: int
+    #: per-query server name tuples, populated when record_assignments=True.
+    assignments: Optional[list[tuple[str, ...]]]
+    #: queries scheduled through the cover table vs. delegated to the
+    #: per-query reference path (failure handling).
+    fast_scheduled: int
+    delegated: int
+    wall_seconds: float
+
+    def completed_latencies(self) -> "np.ndarray":
+        return self.latencies[~np.isnan(self.latencies)]
+
+    def mean_latency(self) -> float:
+        done = self.completed_latencies()
+        return float(done.mean()) if done.size else float("nan")
+
+    def percentile_latency(self, q: float) -> float:
+        done = self.completed_latencies()
+        return float(np.percentile(done, q)) if done.size else float("nan")
+
+
+class _RingState:
+    """Mutable per-ring mirrors aligned with the ring's node order."""
+
+    __slots__ = (
+        "nodes",
+        "names",
+        "busy",
+        "speed",
+        "stats",
+        "servers",
+        "est_buf",
+        "div_buf",
+    )
+
+    def __init__(self, deployment: "Deployment", nodes) -> None:
+        fe = deployment.frontend
+        self.nodes = nodes
+        self.names = [n.name for n in nodes]
+        self.stats = [fe.stats_for(n) for n in nodes]
+        self.servers = [deployment.servers[n.name] for n in nodes]
+        self.busy = np.array([s.busy_until for s in self.servers], dtype=np.float64)
+        self.speed = np.array(
+            [st.speed_estimate for st in self.stats], dtype=np.float64
+        )
+        self.est_buf = np.empty_like(self.busy)
+        self.div_buf = np.empty_like(self.busy)
+
+
+def run_queries_fast(
+    deployment: "Deployment",
+    arrival_times: Sequence[float],
+    pq_fn: Callable[[float], int] | int | None = None,
+    record_assignments: bool = False,
+) -> BatchResult:
+    """Run a whole arrival trace through the batched path.
+
+    Mirrors :meth:`Deployment.run_queries` (including per-query ``pq_fn``
+    support) and leaves the deployment in the same state the reference path
+    would have.
+    """
+    require_numpy()
+    wall_start = time.perf_counter()
+    fe = deployment.frontend
+    cfg = deployment.config
+    fecfg = fe.config
+    if fecfg.method != "heap" or fecfg.adjust_ranges or fecfg.max_splits > 0:
+        raise ValueError(
+            "the batched path supports the default front-end configuration "
+            "(method='heap', adjust_ranges=False, max_splits=0); use "
+            "Deployment.run_queries for other configurations"
+        )
+    if deployment.cover_tables is None:
+        deployment.cover_tables = CoverTableCache()
+    cache: CoverTableCache = deployment.cover_tables
+
+    rings = deployment.rings
+    dataset = fe.dataset_size
+    fixed = fecfg.fixed_overhead
+    network = deployment.network
+    ledger = deployment.ledger
+    log = deployment.log
+    servers = deployment.servers
+    charge = cfg.charge_scheduling
+
+    n_q = len(arrival_times)
+    arrivals = np.asarray(arrival_times, dtype=np.float64)
+    latencies = np.full(n_q, np.nan, dtype=np.float64)
+    finishes = np.full(n_q, np.nan, dtype=np.float64)
+    query_ids = np.full(n_q, -1, dtype=np.int64)
+    pqs = np.zeros(n_q, dtype=np.int64)
+    assignments: Optional[list[tuple[str, ...]]] = [] if record_assignments else None
+
+    # Per-(table) ring mirrors; rebuilt when the cover table changes (ring
+    # reconfiguration or a different pq) and re-synced after delegated
+    # queries, whose failure splitting may touch arbitrary servers.  Ring
+    # structure cannot change mid-batch (membership edits happen between
+    # batches), so per-pq tables and mirrors are resolved once.
+    table = None
+    #: one mirror per ring, shared by every pq's table (ring node order is
+    #: version-stable, so all tables built this batch agree on it).
+    states = [_RingState(deployment, ring.nodes()) for ring in rings]
+    positions = {
+        name: (st, j) for st in states for j, name in enumerate(st.names)
+    }
+    tables_by_pq: dict[int, object] = {}
+    any_failed = any(s.failed for s in servers.values())
+    completed = dropped = fast_scheduled = delegated = 0
+    #: nodes the *last* fast query reserved; their NodeStats.busy_until must
+    #: keep the reservation value at batch end (reference-path parity).
+    last_reserved: Optional[set[str]] = None
+
+    from ..cluster.deployment import QueryBreakdown
+
+    for q_i in range(n_q):
+        now = float(arrivals[q_i])
+        if callable(pq_fn):
+            pq = pq_fn(now)
+        else:
+            pq = pq_fn
+        pq = pq or cfg.p
+        pqs[q_i] = pq
+        p_store = deployment.p_store
+        if pq < p_store - 1e-9:
+            raise ValueError(
+                f"pq={pq} below stored partitioning level {p_store}; "
+                "reconfigure first (Section 4.5)"
+            )
+
+        table = tables_by_pq.get(pq)
+        if table is None:
+            table = cache.get(rings, pq)
+            for st, rt in zip(states, table.ring_tables):
+                if st.names != [n.name for n in rt.nodes]:  # pragma: no cover
+                    raise RuntimeError(
+                        "ring structure changed mid-batch; run events between "
+                        "run_queries_fast calls, not during them"
+                    )
+            tables_by_pq[pq] = table
+
+        sched_start = time.perf_counter()
+        wd = table.work * dataset
+        # Same float-op order as FrontEnd.make_estimator:
+        # (backlog + fixed) + ((work * dataset) / speed).
+        estimates = []
+        for st in states:
+            buf = np.subtract(st.busy, now, out=st.est_buf)
+            np.maximum(buf, 0.0, out=buf)
+            np.add(buf, fixed, out=buf)
+            np.divide(wd, st.speed, out=st.div_buf)
+            np.add(buf, st.div_buf, out=buf)
+            estimates.append(buf)
+        result = table.schedule(estimates)
+        sched_wall = time.perf_counter() - sched_start
+
+        if any_failed and any(servers[n.name].failed for n in result.assignment):
+            # Failure fall-back (splitting, rng draws, drop accounting) stays
+            # on the reference path; it re-schedules identically and leaves
+            # exact reference-path state behind.
+            if assignments is not None:
+                pre_lens = {
+                    name: len(s.trace)
+                    for name, s in servers.items()
+                    if s.keep_trace
+                }
+            record = deployment.run_query(now, pq)
+            delegated += 1
+            last_reserved = None
+            for st in states:
+                for j, server in enumerate(st.servers):
+                    st.busy[j] = server.busy_until
+                    st.speed[j] = st.stats[j].speed_estimate
+            if record is None:
+                dropped += 1
+            else:
+                completed += 1
+                query_ids[q_i] = record.query_id
+                finishes[q_i] = record.finish
+                latencies[q_i] = record.delay
+            if assignments is not None:
+                # Delegated schedules (plus failure replacements) are only
+                # observable through server traces; only this query ran, so
+                # the executors are exactly the servers whose traces grew.
+                if record is not None:
+                    executed = tuple(
+                        name
+                        for name, before in pre_lens.items()
+                        if len(servers[name].trace) > before
+                    )
+                else:
+                    executed = ()
+                assignments.append(executed)
+            continue
+
+        # -- commit the batched schedule (identical to run_query) ----------
+        fe.total_iterations += result.iterations
+        fe.total_estimates += result.estimates
+        fe.queries_scheduled += 1
+        qid = fe.next_query_id()
+        deployment.scheduling_wallclock += sched_wall
+        fast_scheduled += 1
+
+        start_id = result.start_id
+        assignment = result.assignment
+        dests = [frac(start_id + i / pq) for i in range(pq)]
+        widths = [
+            cw_distance(frac(start_id + (i - 1) / pq), dests[i]) for i in range(pq)
+        ]
+
+        # reserve(): same order, same floats as FrontEnd.reserve, with the
+        # per-node busy_until sync the reference path does before scheduling.
+        synced: set[str] = set()
+        for i in range(pq):
+            node = assignment[i]
+            st = fe.stats[node.name]
+            if node.name not in synced:
+                st.busy_until = servers[node.name].busy_until
+                synced.add(node.name)
+            service = fixed + (widths[i] * dataset) / max(st.speed_estimate, 1e-9)
+            st.busy_until = max(st.busy_until, now) + service
+            st.outstanding += 1
+        last_reserved = synced
+
+        ledger.record_query(pq)
+        finish = now
+        max_wait = 0.0
+        max_service = 0.0
+        rtt = network.sample_rtt()
+        for i in range(pq - 1, -1, -1):  # the reference path pops LIFO
+            node = assignment[i]
+            server = servers[node.name]
+            work = widths[i] * cfg.dataset_size
+            wait = server.queue_backlog(now)
+            f = server.submit(now + rtt / 2.0, work, query_id=qid)
+            service = server.service_time(work)
+            fe.observe_completion(node, work, service, f)
+            max_wait = max(max_wait, wait)
+            max_service = max(max_service, service)
+            finish = max(finish, f + rtt / 2.0)
+            ledger.record_result(1)
+
+        # incremental mirror refresh: only touched servers changed.
+        for name in synced:
+            st, j = positions[name]
+            st.busy[j] = st.servers[j].busy_until
+            st.speed[j] = st.stats[j].speed_estimate
+
+        total = finish - now + (sched_wall if charge else 0.0)
+        record = QueryRecord(
+            query_id=qid,
+            arrival=now,
+            finish=now + total,
+            pq=pq,
+            subqueries=pq,
+            scheduling_delay=sched_wall,
+        )
+        log.add(record)
+        for listener in deployment.query_listeners:
+            listener(record)
+        deployment.breakdowns.append(
+            QueryBreakdown(
+                scheduling=sched_wall,
+                network=rtt,
+                queueing=max_wait,
+                service=max_service,
+                total=total,
+            )
+        )
+        completed += 1
+        query_ids[q_i] = qid
+        finishes[q_i] = record.finish
+        latencies[q_i] = record.delay
+        if assignments is not None:
+            assignments.append(tuple(n.name for n in assignment))
+
+    # Reference-path parity for NodeStats.busy_until at batch end: every
+    # node reads the live server value except the last query's reservations.
+    if last_reserved is not None:
+        for st in states:
+            for j, name in enumerate(st.names):
+                if name not in last_reserved:
+                    st.stats[j].busy_until = st.servers[j].busy_until
+
+    return BatchResult(
+        arrivals=arrivals,
+        latencies=latencies,
+        finishes=finishes,
+        query_ids=query_ids,
+        pqs=pqs,
+        completed=completed,
+        dropped=dropped,
+        assignments=assignments,
+        fast_scheduled=fast_scheduled,
+        delegated=delegated,
+        wall_seconds=time.perf_counter() - wall_start,
+    )

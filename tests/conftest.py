@@ -4,8 +4,23 @@ import random
 
 import pytest
 
+from repro._rng import reset_default_streams
 from repro.core import Ring, RingNode
 from repro.pps.crypto import keygen_deterministic
+
+
+@pytest.fixture(autouse=True)
+def _isolated_rng_streams():
+    """Each test starts from fallback-stream zero.
+
+    Without this, components that fall back to :func:`repro._rng.ensure_rng`
+    draw streams from a process-global counter, so results depend on how
+    many unseeded constructions earlier tests performed -- i.e. on test
+    *order*.  Resetting per test makes every test deterministic under
+    arbitrary reordering (pytest -p no:randomly style).
+    """
+    reset_default_streams()
+    yield
 
 
 @pytest.fixture

@@ -1,0 +1,136 @@
+"""Golden regression tests: seeded outputs of representative experiments.
+
+The benchmark suite (`benchmarks/test_fig*`) asserts the paper's *shapes*
+(orderings, trends); nothing pins the *values*, so a refactor could silently
+drift every reproduced curve while all shape assertions keep passing.  These
+tests pin a small set of representative seeded runs to checked-in numbers.
+
+Tolerances: each pin uses rel=1e-6.  Every ingredient is deterministic given
+the seed (the wall-clock scheduling charge is disabled via
+``charge_scheduling=False``); the slack only absorbs cross-platform libm
+differences in ``sin``/``exp``/``log``.  A *legitimate* change to scheduling
+or simulation semantics will move these numbers: re-run the exact seeded
+configurations below, paste the new constants, and justify the drift in the
+PR that causes it (regeneration recipe: README, "Scenario matrix & testing
+strategy").
+"""
+
+import pytest
+
+from repro.cluster import (
+    ComparisonConfig,
+    Deployment,
+    DeploymentConfig,
+    hen_testbed,
+    run_comparison,
+)
+from repro.core.frontend import FrontEndConfig
+from repro.sim import PoissonArrivals
+
+REL = 1e-6
+
+
+class TestGoldenComparison:
+    """Fig 6.1-style Chapter 6 algorithm comparison (n=90, p=9, seed=11)."""
+
+    BASE = dict(
+        n_servers=90, p=9, dataset_size=1e6, query_rate=12.0,
+        n_queries=500, seed=11,
+    )
+    EXPECTED = {
+        # algorithm: (raw mean delay s, p99 delay s, utilisation)
+        "roar": (0.3583616905501358, 0.39522224264384404, 0.2610944671741061),
+        "ptn": (0.17801821647271637, 0.24854146227599205, 0.20017827589846895),
+        "sw": (0.3771124366959658, 0.44396058329834176, 0.28479982581165025),
+    }
+
+    @pytest.mark.parametrize("algo", sorted(EXPECTED))
+    def test_pinned(self, algo):
+        res = run_comparison(ComparisonConfig(algorithm=algo, **self.BASE))
+        mean, p99, util = self.EXPECTED[algo]
+        assert res.raw_mean_delay == pytest.approx(mean, rel=REL)
+        assert res.p99_delay == pytest.approx(p99, rel=REL)
+        assert res.server_utilisation == pytest.approx(util, rel=REL)
+
+
+class TestGoldenDeployment:
+    """Fig 7.1-style deployment point (hen 47, p=5, pq=10, opts on)."""
+
+    def test_pinned(self):
+        dep = Deployment(
+            DeploymentConfig(
+                models=hen_testbed(47),
+                p=5,
+                dataset_size=5e6,
+                seed=3,
+                fixed_overhead=0.004,
+                frontend=FrontEndConfig(adjust_ranges=True, max_splits=1),
+                charge_scheduling=False,
+            )
+        )
+        dep.run_queries(PoissonArrivals(2.0, seed=1).times(60), pq_fn=10)
+        assert dep.log.raw_mean_delay() == pytest.approx(
+            0.2201653666873522, rel=REL
+        )
+        assert dep.log.percentile_delay(99) == pytest.approx(
+            0.4542026287663308, rel=REL
+        )
+        # scheduler work is integer-exact: any sweep change shows up here
+        assert dep.frontend.total_iterations == 2760
+
+
+class TestGoldenFailureRun:
+    """Fig 7.6-style run: two sudden failures mid-trace (seed 5/7)."""
+
+    def test_pinned(self):
+        dep = Deployment(
+            DeploymentConfig(
+                models=hen_testbed(16),
+                p=4,
+                dataset_size=2e6,
+                seed=5,
+                charge_scheduling=False,
+            )
+        )
+        arrivals = PoissonArrivals(10.0, seed=7).times(300)
+        mid = arrivals[150]
+        for t in arrivals[:150]:
+            dep.run_query(t, 5)
+        dep.fail_node("node-2", mid)
+        dep.fail_node("node-9", mid)
+        for t in arrivals[150:]:
+            dep.run_query(t, 5)
+        assert not dep.log.is_exploding()
+        assert len(dep.log.records) == 300
+        assert dep.log.yield_fraction() == 1.0
+        assert dep.log.raw_mean_delay() == pytest.approx(
+            0.44921685835669195, rel=REL
+        )
+        assert dep.log.percentile_delay(99) == pytest.approx(
+            0.8500445872167736, rel=REL
+        )
+
+
+class TestGoldenScenarios:
+    """Scenario-matrix points (batched engine), pinned end to end."""
+
+    EXPECTED = {
+        # name: (offered, mean delay s, p99 delay s)
+        "steady": (80, 0.30675853285793275, 0.880953625602088),
+        "flash-crowd": (152, 1.2045498401538217, 2.4113885470428404),
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_pinned(self, name):
+        from repro.scenarios import builtin_scenarios, run_scenario_spec
+
+        scens = {
+            s.name: s
+            for s in builtin_scenarios(n_servers=12, duration=15.0, p=4, seed=2)
+        }
+        res = run_scenario_spec(scens[name])
+        offered, mean, p99 = self.EXPECTED[name]
+        assert res.offered == offered
+        assert res.dropped == 0
+        assert res.mean_delay == pytest.approx(mean, rel=REL)
+        assert res.p99_delay == pytest.approx(p99, rel=REL)

@@ -213,6 +213,152 @@ class TestFailureFallback:
         assert set(matched.values()) <= {1}
 
 
+class TestMembershipChurnInvariants:
+    """Invariants under adversarial interleavings of membership operations.
+
+    For random sequences of add_server / remove_server / fail / recover /
+    rebuild / reconfigure(p) against a live deployment with real object
+    stores:
+
+    * the ring always partitions [0, 1) exactly (no gaps, no overlap);
+    * whenever reconfiguration is stable, every node holds exactly the
+      replicas its range demands at the stored level -- nothing beyond the
+      replication intent;
+    * every query either achieves full single-match coverage of the object
+      set, or the failure fall-back raises and the deployment drops the
+      query into the yield accounting -- never silent partial results.
+    """
+
+    OPS = ("add", "remove", "fail", "recover", "rebuild", "reconfig")
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(OPS), st.integers(min_value=0, max_value=2**16)
+            ),
+            min_size=3,
+            max_size=8,
+        ),
+    )
+    def test_churn_preserves_partition_and_coverage(self, seed, ops):
+        from repro.cluster import Deployment, DeploymentConfig, hen_testbed
+        from repro.core.failures import FailureCoverageError
+        from repro.core.reconfig import ReconfigPhase
+
+        rng = random.Random(seed)
+        dep = Deployment(
+            DeploymentConfig(
+                models=hen_testbed(8),
+                p=3,
+                dataset_size=1e6,
+                seed=seed,
+                store_objects=True,
+                n_objects_stored=60,
+                charge_scheduling=False,
+            )
+        )
+        now = 0.0
+        for op, op_seed in ops:
+            now += 1.0
+            op_rng = random.Random(op_seed)
+            self._apply(dep, op, op_rng, now)
+            for ring_obj in dep.rings:
+                ring_obj.validate()  # exact partition, sorted, no duplicates
+            rc = dep.reconfig
+            if rc is not None and rc.phase == ReconfigPhase.STABLE:
+                self._check_replication_intent(dep)
+            self._check_query_coverage_or_drop(dep, op_rng, now)
+
+    def _apply(self, dep, op, rng, now):
+        from repro.cluster.models import MODEL_CATALOGUE
+        from repro.core.reconfig import ReconfigPhase
+
+        ring = dep.rings[0]
+        if op == "add":
+            dep.add_server(MODEL_CATALOGUE["dell-1850"], now=now)
+        elif op == "remove":
+            alive = [n.name for n in ring if dep.servers[n.name].failed is False]
+            if len(ring) > 4 and alive:
+                dep.remove_server(rng.choice(sorted(alive)), now=now)
+        elif op == "fail":
+            alive = sorted(
+                name for name, s in dep.servers.items() if not s.failed
+            )
+            if len(alive) > 2:
+                dep.fail_node(rng.choice(alive), now)
+        elif op == "recover":
+            dead = sorted(name for name, s in dep.servers.items() if s.failed)
+            if dead:
+                dep.recover_node(rng.choice(dead), now)
+        elif op == "rebuild":
+            dead = sorted(name for name, s in dep.servers.items() if s.failed)
+            if dead and len(ring) > 4:
+                dep.handle_long_term_failure(dead[0], now=now)
+        elif op == "reconfig":
+            rc = dep.reconfig
+            if rc is not None and rc.phase == ReconfigPhase.STABLE:
+                p_new = rng.randint(2, max(2, min(len(ring), 5)))
+                if p_new != rc.p_target:
+                    rc.request_p(p_new)
+                    for node in list(rc.ring):
+                        rc.node_step(node.name)
+
+    def _check_replication_intent(self, dep):
+        # Replicas may exceed the intent transiently (Section 4.5: surplus
+        # is dropped lazily after range shrinks), but an object the stored
+        # level demands must NEVER be missing -- that would break coverage.
+        ring = dep.rings[0]
+        rc = dep.reconfig
+        p_store = rc.p_store
+        for node in ring:
+            store = dep.stores[node.name]
+            expected = {
+                obj.key
+                for obj in rc.objects
+                if store.should_store(obj, p_store, ring.range_of(node))
+            }
+            actual = {obj.key for obj in store.store}
+            assert expected <= actual, (
+                f"{node.name} is missing replicas its range demands at "
+                f"p={p_store:g}: {expected - actual}"
+            )
+
+    def _check_query_coverage_or_drop(self, dep, rng, now):
+        from repro.core.failures import FailureCoverageError
+
+        ring = dep.rings[0]
+        rc = dep.reconfig
+        pq = int(math.ceil(rc.safe_pq - 1e-9))
+        start = rng.random()
+        subs = [
+            SubQuery.normal(1, frac(start + i / pq), pq, index=i)
+            for i in range(pq)
+        ]
+        try:
+            resolved = split_failed(ring, subs, rc.p_store, rng=rng)
+        except FailureCoverageError:
+            # The probe raising is placement-dependent (its own rng and
+            # start); only a *structural* hole -- a contiguous dead run at
+            # least one replication arc wide, which every query's sub-query
+            # grid must hit and no placement can bridge -- guarantees the
+            # deployment drops.  There, the yield-accounting path must
+            # drop the query, never serve partial results.
+            if dep.max_dead_range() >= 1.0 / rc.p_store:
+                dropped_before = dep.log.dropped
+                assert dep.run_query(now, pq) is None
+                assert dep.log.dropped == dropped_before + 1
+            return
+        matched: dict = {}
+        for sub, node in resolved:
+            assert node.alive, "fall-back routed a sub-query to a dead node"
+            for obj in dep.stores[node.name].execute(sub):
+                matched[obj.key] = matched.get(obj.key, 0) + 1
+        assert len(matched) == len(rc.objects), "incomplete harvest"
+        assert set(matched.values()) <= {1}, "object matched more than once"
+
+
 class TestPRPProperty:
     @settings(max_examples=15, deadline=None)
     @given(
