@@ -3,11 +3,15 @@
 The acceptance bar for the batched query core (ISSUE 2): on a 200-server /
 100k-query run the batched path must be at least 5x faster than the
 per-query reference path *while producing identical per-query results*.
-Locally the observed ratio is ~7-8x.
+With the chunked accounting engine (ISSUE 3) the observed ratio is ~15x at
+200 servers and ~50x at 1k servers.
 
 Marked ``perf``: excluded from tier-1 (pyproject addopts deselects it) and
 run by CI's non-blocking perf job -- wall-clock ratios are load-sensitive,
-so this must never gate the fast suite.
+so this must never gate the fast suite.  The *gating* performance check is
+the separate bench-trajectory job (`repro bench --check
+benchmarks/baseline.json`), which compares machine-independent speedup
+ratios only.
 """
 
 import time
@@ -78,8 +82,8 @@ def test_batched_path_5x_faster_and_identical(series_printer):
 
 @pytest.mark.perf
 def test_thousand_server_scale(series_printer):
-    """1k servers: the batched path holds ~100us/query; the reference
-    path's ~25ms/query would take hours for the same trace."""
+    """1k servers: the chunked engine holds ~30us/query; the reference
+    path's ~1.7ms/query would take minutes for the same trace."""
     dep = Deployment(
         DeploymentConfig(
             models=hen_testbed(1000),
@@ -95,8 +99,10 @@ def test_thousand_server_scale(series_printer):
     wall = time.perf_counter() - t0
     series_printer(
         "Batched path at 1k servers",
-        ("queries", "wall (s)", "us/query"),
-        [(50_000, wall, 1e6 * wall / 50_000)],
+        ("queries", "wall (s)", "us/query", "chunks"),
+        [(50_000, wall, 1e6 * wall / 50_000, len(result.chunk_sizes))],
     )
     assert result.completed == 50_000
-    assert wall < 60.0
+    assert result.fast_scheduled == 50_000  # no failures: zero delegation
+    assert sum(result.chunk_sizes) == 50_000
+    assert wall < 30.0

@@ -1,0 +1,292 @@
+"""The benchmark trajectory: standard sweeps, machine-readable results, CI gate.
+
+``repro bench`` runs the repo's two standard performance sweeps -- the
+200-server/100k-query run and the 1k-server run -- on both the batched
+engine (full trace) and the per-query reference path (a timed subset,
+extrapolated to us/query), and emits a ``BENCH_<rev>.json`` snapshot:
+us/query per engine, speedup vs reference, and the chunked engine's
+chunk-size histogram.  Committing one snapshot per optimisation PR gives
+the repo a *trajectory* -- the numbers that justify each engine change stay
+reproducible instead of living in PR descriptions.
+
+``repro bench --check benchmarks/baseline.json`` is the CI gate.  Absolute
+us/query is machine-dependent (shared CI runners differ wildly), so the
+gate compares **speedup-vs-reference ratios**, which divide the machine
+out: both engines run in the same process on the same host, so their ratio
+is stable across hardware.  The gate fails when
+
+* a sweep's speedup falls below the hard floor (5x, the ISSUE-2 acceptance
+  bar), or
+* a sweep's speedup regresses more than ``--max-regression`` (default 30%)
+  relative to the committed baseline, or
+* the batched engine's sampled results stop matching the reference path
+  (a speedup with wrong answers is not a speedup).
+
+Refresh the baseline after a *justified* performance change with::
+
+    repro bench --profile full --out benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "PROFILES",
+    "SweepSpec",
+    "run_sweep",
+    "collect",
+    "check_against_baseline",
+    "render_report",
+]
+
+#: Hard floor on batched-vs-reference speedup (the ISSUE-2 acceptance bar,
+#: enforced by CI on every sweep).
+MIN_SPEEDUP = 5.0
+
+#: Default tolerated relative speedup regression vs the committed baseline.
+MAX_REGRESSION = 0.30
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One standard sweep configuration."""
+
+    name: str
+    servers: int
+    queries: int
+    rate: float
+    pq: int
+    #: reference-path queries actually executed (us/query extrapolates);
+    #: the full trace through the reference path would take minutes.
+    ref_queries: int
+    dataset: float = 5e6
+    seed: int = 2
+
+
+#: The standard sweeps.  ``full`` is the committed-trajectory profile;
+#: ``quick`` is for development iteration; ``smoke`` keeps the unit tests
+#: and CLI coverage fast.
+PROFILES: dict[str, tuple[SweepSpec, ...]] = {
+    "full": (
+        SweepSpec("200-server", 200, 100_000, 300.0, 5, 1500),
+        SweepSpec("1k-server", 1000, 50_000, 1500.0, 5, 300),
+    ),
+    "quick": (
+        SweepSpec("200-server", 200, 30_000, 300.0, 5, 800),
+        SweepSpec("1k-server", 1000, 10_000, 1500.0, 5, 200),
+    ),
+    "smoke": (
+        SweepSpec("200-server", 16, 500, 40.0, 4, 120),
+        SweepSpec("1k-server", 24, 500, 60.0, 4, 120),
+    ),
+}
+
+
+def _chunk_histogram(chunk_sizes) -> dict[str, int]:
+    """Power-of-two buckets: {"<=64": n, "<=128": n, ...}."""
+    hist: dict[str, int] = {}
+    for size in chunk_sizes:
+        bucket = 64
+        while size > bucket:
+            bucket *= 2
+        key = f"<={bucket}"
+        hist[key] = hist.get(key, 0) + 1
+    return dict(sorted(hist.items(), key=lambda kv: int(kv[0][2:])))
+
+
+def run_sweep(spec: SweepSpec) -> dict:
+    """Run one sweep; returns the JSON-ready result dict."""
+    from .cluster import Deployment, DeploymentConfig, hen_testbed
+    from .sim import batched_poisson_times
+
+    def build():
+        return Deployment(
+            DeploymentConfig(
+                models=hen_testbed(spec.servers),
+                p=spec.pq,
+                dataset_size=spec.dataset,
+                seed=spec.seed,
+                charge_scheduling=False,
+            )
+        )
+
+    arrivals = batched_poisson_times(spec.rate, spec.queries, seed=4).tolist()
+
+    fast = build()
+    t0 = time.perf_counter()
+    result = fast.run_queries_fast(arrivals, spec.pq)
+    fast_wall = time.perf_counter() - t0
+    fast_us = 1e6 * fast_wall / spec.queries
+
+    ref = build()
+    n_ref = min(spec.ref_queries, spec.queries)
+    t0 = time.perf_counter()
+    ref.run_queries(arrivals[:n_ref], spec.pq)
+    ref_wall = time.perf_counter() - t0
+    ref_us = 1e6 * ref_wall / n_ref
+
+    # the speedup is meaningless unless the engines agree: compare the
+    # reference subset's delays against the batched run, bit for bit
+    identical = [r.delay for r in ref.log.records] == [
+        r.delay for r in fast.log.records[:n_ref]
+    ]
+
+    return {
+        "servers": spec.servers,
+        "queries": spec.queries,
+        "rate": spec.rate,
+        "pq": spec.pq,
+        "ref_queries": n_ref,
+        "fast_us_per_query": round(fast_us, 3),
+        "ref_us_per_query": round(ref_us, 3),
+        "speedup_vs_reference": round(ref_us / fast_us, 2),
+        "identical_sample": identical,
+        "completed": result.completed,
+        "delegated": result.delegated,
+        "chunks": len(result.chunk_sizes),
+        "chunk_size_histogram": _chunk_histogram(result.chunk_sizes),
+    }
+
+
+def _revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def collect(profile: str = "full", progress=None) -> dict:
+    """Run every sweep of *profile* and assemble the snapshot dict."""
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; pick one of {sorted(PROFILES)}"
+        )
+    sweeps = {}
+    for spec in PROFILES[profile]:
+        sweeps[spec.name] = run_sweep(spec)
+        if progress is not None:
+            progress(spec.name, sweeps[spec.name])
+    return {
+        "schema": 1,
+        "revision": _revision(),
+        "profile": profile,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sweeps": sweeps,
+    }
+
+
+def check_against_baseline(
+    current: dict,
+    baseline: dict,
+    max_regression: float = MAX_REGRESSION,
+    min_speedup: float = MIN_SPEEDUP,
+) -> list[str]:
+    """Gate *current* against *baseline*; returns the list of violations.
+
+    Only machine-independent ratios gate: us/query numbers are recorded
+    for the trajectory but never compared across runs.
+    """
+    problems = []
+    for name, base in baseline.get("sweeps", {}).items():
+        cur = current.get("sweeps", {}).get(name)
+        if cur is None:
+            problems.append(f"{name}: sweep missing from current run")
+            continue
+        if not cur.get("identical_sample", False):
+            problems.append(
+                f"{name}: batched results diverged from the reference sample"
+            )
+        speedup = cur.get("speedup_vs_reference", 0.0)
+        if speedup < min_speedup:
+            problems.append(
+                f"{name}: speedup {speedup:.2f}x below the {min_speedup:g}x floor"
+            )
+        # a "30% regression" means losing 30% of the baseline's speedup
+        floor = base.get("speedup_vs_reference", 0.0) * (1.0 - max_regression)
+        if speedup < floor:
+            problems.append(
+                f"{name}: speedup {speedup:.2f}x regressed more than "
+                f"{100 * max_regression:.0f}% vs baseline "
+                f"{base['speedup_vs_reference']:.2f}x (floor {floor:.2f}x)"
+            )
+    return problems
+
+
+def render_report(snapshot: dict, baseline: Optional[dict] = None) -> str:
+    lines = [
+        f"bench @ {snapshot['revision']} (profile={snapshot['profile']}, "
+        f"py{snapshot['python']}/{snapshot['machine']})",
+        f"{'sweep':12s} {'servers':>7s} {'queries':>8s} {'fast us/q':>10s} "
+        f"{'ref us/q':>10s} {'speedup':>8s} {'chunks':>7s} {'ok':>3s}",
+    ]
+    for name, s in snapshot["sweeps"].items():
+        base = ""
+        if baseline is not None:
+            b = baseline.get("sweeps", {}).get(name)
+            if b:
+                base = f"  (baseline {b['speedup_vs_reference']:.1f}x)"
+        lines.append(
+            f"{name:12s} {s['servers']:>7d} {s['queries']:>8d} "
+            f"{s['fast_us_per_query']:>10.1f} {s['ref_us_per_query']:>10.1f} "
+            f"{s['speedup_vs_reference']:>7.1f}x {s['chunks']:>7d} "
+            f"{'yes' if s['identical_sample'] else 'NO':>3s}{base}"
+        )
+    return "\n".join(lines)
+
+
+def main_bench(args) -> int:
+    """Handler behind ``repro bench`` (see :mod:`repro.cli`)."""
+    import sys
+
+    def progress(name, s):
+        print(
+            f"[{name}] fast {s['fast_us_per_query']:.1f} us/q, "
+            f"ref {s['ref_us_per_query']:.1f} us/q, "
+            f"{s['speedup_vs_reference']:.1f}x",
+            file=sys.stderr,
+        )
+
+    # read the baseline *before* the sweeps run, so a bad path fails in
+    # milliseconds instead of after minutes of benchmarking
+    baseline = None
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+    snapshot = collect(args.profile, progress=progress)
+    print(render_report(snapshot, baseline))
+
+    out = args.out or f"BENCH_{snapshot['revision']}.json"
+    with open(out, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nsnapshot written to {out}")
+
+    if baseline is not None:
+        problems = check_against_baseline(
+            snapshot, baseline, max_regression=args.max_regression
+        )
+        if problems:
+            print("\nBENCH GATE FAILED:", file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        print(
+            f"\nbench gate ok (speedups within {100 * args.max_regression:.0f}% "
+            f"of baseline, all >= {MIN_SPEEDUP:g}x)"
+        )
+    return 0

@@ -111,6 +111,24 @@ def build_parser() -> argparse.ArgumentParser:
     mtx.add_argument("--csv", default=None, metavar="PATH",
                      help="also write the table as CSV")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the standard benchmark sweeps, emit BENCH_<rev>.json "
+             "(optionally gate against a committed baseline)",
+    )
+    bench.add_argument("--profile", default="full",
+                       choices=["full", "quick", "smoke"],
+                       help="sweep sizes: full (the committed trajectory), "
+                            "quick (development), smoke (tests)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="snapshot path (default BENCH_<rev>.json)")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="gate speedup ratios against this baseline JSON; "
+                            "exits 1 on regression")
+    bench.add_argument("--max-regression", type=float, default=0.30,
+                       help="tolerated relative speedup regression vs the "
+                            "baseline (default 0.30)")
+
     demo = sub.add_parser("pps-demo", help="encrypted search demo")
     demo.add_argument("--files", type=int, default=200)
     demo.add_argument("--keyword", default=None,
@@ -267,6 +285,12 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import main_bench
+
+    return main_bench(args)
+
+
 def _cmd_pps_demo(args: argparse.Namespace) -> int:
     import random
 
@@ -303,6 +327,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "plan": _cmd_plan,
         "control": _cmd_control,
         "matrix": _cmd_matrix,
+        "bench": _cmd_bench,
         "pps-demo": _cmd_pps_demo,
     }
     return handlers[args.command](args)

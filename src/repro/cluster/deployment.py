@@ -68,7 +68,7 @@ class DeploymentConfig:
     charge_scheduling: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryBreakdown:
     """Fig 7.11's delay decomposition for one query."""
 
@@ -388,17 +388,25 @@ class Deployment:
         arrival_times: Sequence[float],
         pq_fn: Callable[[float], int] | int | None = None,
         record_assignments: bool = False,
+        actions: Sequence | None = None,
     ):
         """Run an arrival trace through the batched query path.
 
         Produces state (logs, server counters, front-end statistics)
         identical to :meth:`run_queries`, several times faster; see
-        :func:`repro.sim.fastpath.run_queries_fast`.
+        :func:`repro.sim.fastpath.run_queries_fast`.  *actions* schedules
+        :class:`~repro.sim.fastpath.Action` callbacks (events, updates,
+        control ticks) to land between two specific queries with exact
+        event-time semantics.
         """
         from ..sim.fastpath import run_queries_fast
 
         return run_queries_fast(
-            self, arrival_times, pq_fn, record_assignments=record_assignments
+            self,
+            arrival_times,
+            pq_fn,
+            record_assignments=record_assignments,
+            actions=actions,
         )
 
     # -- updates (Fig 7.4) ------------------------------------------------------------

@@ -10,13 +10,20 @@ interval, actuating through the same
 :class:`~repro.control.runner.DeploymentActuator` the closed-loop runner
 uses.
 
-Execution is segment-batched: the timeline is cut at every action instant
-(event, churn tick, control tick, update batch), queries between two cuts
-run as one batch, then the due actions apply.  Actions therefore take effect
-at batch granularity -- at most ``UpdateSpec.batch_interval`` (default 1 s)
-late for updates, exact for everything else -- which is what makes
-million-query scenario sweeps affordable.  Every random choice derives from
-``Scenario.seed``; two runs of one scenario are identical.
+Execution has **exact event-time semantics**: every stimulus (event, churn
+tick, control tick, individual update) is compiled to an
+:class:`~repro.sim.fastpath.Action` bound to the precise query index where
+its timestamp falls, and the batched engine fires it *between those two
+queries* with fully materialised deployment state.  A mid-batch update is
+therefore visible to the very next query -- the old segment-batched runner's
+"updates land up to ``batch_interval`` late" caveat is gone, at full batch
+speed.  The ``engine="reference"`` backend replays the same action schedule
+through the per-query path, so both engines agree on *when* every stimulus
+lands.  Discrete-event work scheduled on the internal
+:class:`~repro.sim.engine.Simulation` (reconfiguration node steps, delayed
+elastic grows) is pumped at every action instant, exactly as often as the
+old boundary scheme and at the same timestamps.  Every random choice derives
+from ``Scenario.seed``; two runs of one scenario are identical.
 """
 
 from __future__ import annotations
@@ -42,7 +49,12 @@ from ..control.runner import DeploymentActuator
 from ..core.reconfig import ReconfigPhase
 from ..sim.engine import Simulation
 from ..sim.energy import PowerProfile
-from ..sim.workload import batched_arrivals_from_rate_fn
+from ..sim.fastpath import Action, run_queries_reference
+from ..sim.workload import (
+    batched_arrivals_from_rate_fn,
+    batched_uniform_times,
+    zipf_update_times,
+)
 from .spec import Scenario
 
 __all__ = [
@@ -158,9 +170,7 @@ def generate_arrivals(scenario: Scenario) -> "_np.ndarray":
     if w.kind == "replay":
         return _np.asarray(sorted(w.trace or ()), dtype=float)
     if w.kind == "uniform":
-        n = max(1, int(round(w.rate * w.duration)))
-        gap = 1.0 / w.rate
-        return gap * _np.arange(1, n + 1)
+        return batched_uniform_times(w.rate, w.duration)
     rate_fn, max_rate = _vector_rate_fn(scenario)
     return batched_arrivals_from_rate_fn(
         rate_fn, horizon=w.duration, max_rate=max_rate, seed=scenario.seed + 101
@@ -172,19 +182,14 @@ def _generate_updates(scenario: Scenario, horizon: float):
     spec = scenario.updates
     if spec is None:
         return []
-    rng = _np.random.default_rng(scenario.seed + 211)
-    gaps = rng.exponential(
-        1.0 / spec.rate, size=max(1, int(horizon * spec.rate * 1.2) + 8)
+    return zipf_update_times(
+        spec.rate,
+        horizon,
+        hotspots=spec.hotspots,
+        zipf_s=spec.zipf_s,
+        jitter=spec.jitter,
+        seed=scenario.seed + 211,
     )
-    times = _np.cumsum(gaps)
-    times = times[times <= horizon]
-    ranks = _np.arange(1, spec.hotspots + 1, dtype=float)
-    weights = ranks ** (-spec.zipf_s)
-    weights /= weights.sum()
-    centers = rng.random(spec.hotspots)
-    idx = rng.choice(spec.hotspots, size=times.size, p=weights)
-    pos = (centers[idx] + rng.uniform(-spec.jitter, spec.jitter, times.size)) % 1.0
-    return list(zip(times.tolist(), pos.tolist()))
 
 
 # -- results ------------------------------------------------------------------
@@ -218,27 +223,6 @@ class ScenarioResult:
 
 
 # -- execution ----------------------------------------------------------------
-class _Timeline:
-    """Actions indexed by time; merged and applied between query batches."""
-
-    def __init__(self) -> None:
-        self._by_time: dict[float, list[tuple[float, int, str, object]]] = {}
-
-    def add(self, t: float, priority: int, kind: str, payload: object) -> None:
-        self._by_time.setdefault(t, []).append((t, priority, kind, payload))
-
-    def boundaries(self, horizon: float) -> list[float]:
-        times = sorted(t for t in self._by_time if t <= horizon)
-        if not times or times[-1] < horizon:
-            times.append(horizon)
-        return times
-
-    def due(self, t: float):
-        out = list(self._by_time.get(t, ()))
-        out.sort(key=lambda a: (a[1],))
-        return out
-
-
 def run_scenario_spec(scenario: Scenario, engine: str = "batched") -> ScenarioResult:
     """Execute one scenario end to end and summarise it."""
     if engine not in ENGINES:
@@ -290,51 +274,44 @@ def run_scenario_spec(scenario: Scenario, engine: str = "batched") -> ScenarioRe
                 )
             )
 
-    # assemble the timeline
-    timeline = _Timeline()
+    # -- compile the stimulus timeline to exact query indices --------------
+    # Each entry becomes an Action at the index of the first query arriving
+    # strictly after its timestamp, so it lands between two specific
+    # queries.  Same-time entries keep the old boundary ordering
+    # (updates, then events, then churn, then control).
+    entries: list[tuple[float, int, int, str, object]] = []  # (t, prio, seq, kind, payload)
+    seq = 0
+
+    def add_entry(t: float, prio: int, kind: str, payload: object) -> None:
+        nonlocal seq
+        entries.append((t, prio, seq, kind, payload))
+        seq += 1
+
     for e in scenario.events:
-        timeline.add(e.at, 0, "event", e)
+        if e.at <= horizon:
+            add_entry(e.at, 0, "event", e)
     if scenario.churn is not None:
         c = scenario.churn
         stop = c.stop if c.stop is not None else horizon
         t = c.start + c.interval
         while t <= min(stop, horizon):
-            timeline.add(t, 1, "churn", c)
+            add_entry(t, 1, "churn", c)
             t += c.interval
     if ctl is not None:
         t = ctl.interval
         while t <= horizon:
-            timeline.add(t, 2, "control", None)
+            add_entry(t, 2, "control", None)
             t += ctl.interval
-    updates = _generate_updates(scenario, horizon)
-    updates_applied = 0
-    if updates:
-        batch = scenario.updates.batch_interval
-        grouped: dict[float, list] = {}
-        for t_u, pos in updates:
-            key = min(horizon, math.ceil(t_u / batch) * batch)
-            grouped.setdefault(key, []).append((t_u, pos))
-        for key, items in grouped.items():
-            timeline.add(key, -1, "updates", items)
+    for t_u, pos in _generate_updates(scenario, horizon):
+        add_entry(t_u, -1, "update", (t_u, pos))
 
+    updates_applied = 0
     current_pq = scenario.pq or scenario.p
     events_applied = 0
     fast_n = delegated_n = 0
 
     def pq_now() -> int:
         return actuator.pq if actuator is not None else current_pq
-
-    def run_batch(times) -> None:
-        nonlocal fast_n, delegated_n
-        if len(times) == 0:
-            return
-        if engine == "batched":
-            batch = deployment.run_queries_fast(times, pq_now())
-            fast_n += batch.fast_scheduled
-            delegated_n += batch.delegated
-        else:
-            deployment.run_queries(times, pq_now())
-            delegated_n += len(times)
 
     def apply_event(e, now: float) -> None:
         nonlocal current_pq, events_applied
@@ -403,47 +380,110 @@ def run_scenario_spec(scenario: Scenario, engine: str = "batched") -> ScenarioRe
                 # the downloads complete.
                 current_pq = max(current_pq, int(e.value))
 
+    def apply_churn(c, t: float) -> None:
+        nonlocal events_applied
+        events_applied += 1
+        for _ in range(c.add):
+            deployment.add_server(MODEL_CATALOGUE[c.model], now=t)
+        for _ in range(c.remove):
+            cool = deployment.membership.coolest_node(deployment.rings[0])
+            if cool is None or len(deployment.rings[0]) <= max(2, scenario.p):
+                break
+            try:
+                deployment.remove_server(cool.name, now=t)
+            except ValueError:
+                break
+
     def apply_updates(items) -> None:
         nonlocal updates_applied
         for t_u, pos in items:
             deployment.apply_update(t_u, at=pos)
             updates_applied += 1
 
-    # drive it
-    qi = 0
-    for b in timeline.boundaries(horizon):
-        sim.run(until=b)  # fire pending reconfiguration steps
-        j = int(_np.searchsorted(arrivals, b, side="right"))
-        run_batch(arrivals[qi:j])
-        qi = j
-        for t, _prio, kind, payload in timeline.due(b):
+    def apply_control(t: float) -> None:
+        assert collector is not None
+        collector.sample_servers(t, deployment.servers)
+        snapshot = collector.snapshot(t)
+        for controller in controllers:
+            controller.step(t, snapshot)
+
+    # Scope tells the batched engine how much mirror state an action may
+    # have invalidated.  The simulation pump can fire delayed elastic
+    # grow/shrink callbacks whenever a control loop is active, so every
+    # action is conservatively "membership" in that case.
+    # set-pq mutates no server state itself, but its fire() still pumps the
+    # simulation, which can complete an in-flight repartition -- "busy"
+    # re-reads p_store (and queues) so the engine's mirror stays exact.
+    _EVENT_SCOPES = {
+        "fail": "values",
+        "recover": "values",
+        "fail-rack": "values",
+        "set-pq": "busy",
+    }
+
+    def make_action(t: float, kind: str, payload: object, index: int) -> Action:
+        def fire(now: float) -> int:
+            sim.run(until=now)  # fire pending reconfiguration steps
             if kind == "event":
-                apply_event(payload, t)
+                apply_event(payload, now)
             elif kind == "churn":
-                c = payload
-                events_applied += 1
-                for _ in range(c.add):
-                    deployment.add_server(MODEL_CATALOGUE[c.model], now=t)
-                for _ in range(c.remove):
-                    cool = deployment.membership.coolest_node(deployment.rings[0])
-                    if cool is None or len(deployment.rings[0]) <= max(
-                        2, scenario.p
-                    ):
-                        break
-                    try:
-                        deployment.remove_server(cool.name, now=t)
-                    except ValueError:
-                        break
+                apply_churn(payload, now)
             elif kind == "updates":
                 apply_updates(payload)
             elif kind == "control":
-                assert collector is not None
-                collector.sample_servers(t, deployment.servers)
-                snapshot = collector.snapshot(t)
-                for controller in controllers:
-                    controller.step(t, snapshot)
-    if qi < len(arrivals):  # replay traces may end exactly at the horizon
-        run_batch(arrivals[qi:])
+                apply_control(now)
+            return pq_now()
+
+        if ctl is not None:
+            scope = "membership"
+        elif kind == "event":
+            scope = _EVENT_SCOPES.get(payload.action, "membership")
+        elif kind == "updates":
+            scope = "busy"
+        else:
+            scope = "membership"
+        return Action(index=index, time=t, fn=fire, scope=scope)
+
+    # merge sort (time, then old boundary priority), then bind to indices;
+    # consecutive same-index updates coalesce into one action.
+    entries.sort(key=lambda en: (en[0], en[1], en[2]))
+    if entries:
+        idx_of = _np.searchsorted(
+            arrivals, _np.array([en[0] for en in entries]), side="right"
+        ).tolist()
+    else:
+        idx_of = []
+    actions: list[Action] = []
+    k = 0
+    while k < len(entries):
+        t, _prio, _seq, kind, payload = entries[k]
+        index = int(idx_of[k])
+        if kind == "update":
+            batch = [payload]
+            while (
+                k + 1 < len(entries)
+                and entries[k + 1][3] == "update"
+                and int(idx_of[k + 1]) == index
+            ):
+                k += 1
+                batch.append(entries[k][4])
+            actions.append(make_action(t, "updates", batch, index))
+        else:
+            actions.append(make_action(t, kind, payload, index))
+        k += 1
+
+    # drive it: one engine call, stimuli land at exact query indices
+    if engine == "batched":
+        batch_result = deployment.run_queries_fast(
+            arrivals, pq_now(), actions=actions
+        )
+    else:
+        batch_result = run_queries_reference(
+            deployment, arrivals, pq_now(), actions=actions
+        )
+    fast_n += batch_result.fast_scheduled
+    delegated_n += batch_result.delegated
+    sim.run(until=horizon)  # drain sim work scheduled after the last action
 
     # summarise
     log = deployment.log

@@ -101,13 +101,20 @@ class UpdateSpec:
     heats up.  This is the write-skew half of "object popularity": the
     replica holders of hot arcs pay the update cost and show up as load
     imbalance for the balancer / repartition policies to handle.
+
+    Updates land with **exact event-time semantics**: the runner compiles
+    each one to an action at the precise query index where its timestamp
+    falls, so an update is visible to the very next query on either engine.
     """
 
     rate: float = 20.0
     zipf_s: float = 1.1
     hotspots: int = 16
     jitter: float = 0.01
-    #: actions are applied between query batches at this granularity.
+    #: legacy knob of the segment-batched runner (updates used to apply at
+    #: batch boundaries, up to this many seconds late).  The exact-time
+    #: action queue made it obsolete; it is kept so existing scenario
+    #: definitions still construct, and ignored by the runner.
     batch_interval: float = 1.0
 
     def __post_init__(self) -> None:
@@ -149,6 +156,10 @@ class EventSpec:
     ``remove-server``, ``rebalance`` (membership moves the coolest node to
     the hottest spot), ``set-pq``, and ``repartition`` (walk the stored p
     online via the reconfigurator; requires object stores).
+
+    ``at`` is honoured exactly: the event fires between the last query
+    arriving at or before ``at`` and the first one after it, on both the
+    batched and the reference engine.
     """
 
     at: float

@@ -2,7 +2,7 @@
 
 from .energy import DEFAULT_PROFILES, EnergyReport, PowerProfile, measure_energy
 from .engine import Event, PeriodicEvent, Simulation
-from .fastpath import BatchResult, run_queries_fast
+from .fastpath import Action, BatchResult, run_queries_fast, run_queries_reference
 from .network import NetworkModel, TrafficLedger
 from .queueing import md1_delay, md1_wait, min_p_for_delay, mm1_wait, utilisation
 from .server import SimServer, TaskRecord
@@ -18,9 +18,12 @@ from .workload import (
     arrivals_from_rate_fn,
     batched_arrivals_from_rate_fn,
     batched_poisson_times,
+    batched_uniform_times,
+    zipf_update_times,
 )
 
 __all__ = [
+    "Action",
     "BatchResult",
     "DEFAULT_PROFILES",
     "DelayLog",
@@ -46,8 +49,11 @@ __all__ = [
     "arrivals_from_rate_fn",
     "batched_arrivals_from_rate_fn",
     "batched_poisson_times",
+    "batched_uniform_times",
     "linear_fit",
     "run_queries_fast",
+    "run_queries_reference",
+    "zipf_update_times",
     "md1_delay",
     "md1_wait",
     "measure_energy",

@@ -2,18 +2,35 @@
 
 ``Deployment.run_query`` costs milliseconds of interpreter time per query:
 it re-syncs every node's statistics, rebuilds owner views, and walks the
-rotation sweep heap with a Python estimator closure.  That caps simulations
-at thousands of queries.  This module replays the *same* semantics with the
-per-query work reduced to a few vectorised numpy operations:
+rotation sweep heap with a Python estimator closure.  PR 2 replaced the
+sweep with a precomputed :class:`~repro.core.covertable.CoverTable`, which
+made *scheduling* nearly free but left ~70 us/query of per-query Python in
+the accounting loop (reserve/submit/EWMA).  This module removes that loop:
 
-* scheduling goes through a precomputed
-  :class:`~repro.core.covertable.CoverTable` (invalidated on ring
-  reconfiguration) instead of the per-query heap sweep;
-* node statistics live in float64 arrays, updated incrementally for the few
-  servers each query touches instead of re-synced across the fleet;
-* latencies and outcomes accumulate into preallocated arrays
-  (:class:`BatchResult`), with the familiar ``DelayLog`` records still
-  produced for downstream consumers.
+* **Always-fresh mirrors.**  Every quantity scheduling depends on lives in
+  flat arrays ordered by ring position: ``busy`` (live server queues) and
+  ``speed`` (EWMA speed estimates), shadowed by plain Python lists so the
+  per-query closed-form updates cost scalar float arithmetic, not numpy
+  scalar boxing.  The next query's estimates are therefore always exact --
+  freshness is what makes the batched schedule provably bit-identical.
+
+* **Chunked accounting.**  The expensive half of the old loop -- writing
+  ``SimServer``/``NodeStats`` objects, building ``QueryRecord``s, feeding
+  listeners and the traffic ledger -- commutes into per-server reductions.
+  Queries accumulate into flat chunk buffers; a chunk is flushed with a
+  handful of numpy ops (``np.add.at`` preserves per-server float addition
+  order, so even busy-time sums are bit-exact) whenever an action fires, a
+  failure-window query must be delegated, the buffer cap is reached, or the
+  batch ends.  The topological cut points of the arrival order are exactly
+  the points where some consumer could observe intermediate state.
+
+* **Exact-time action queue.**  :class:`Action` schedules a callback to run
+  *between two specific queries* (before ``arrival_times[index]``).  The
+  engine flushes and materialises full object state before each callback --
+  so a mid-batch update, failure, membership change, or control tick sees
+  precisely the state the per-query reference path would have produced, and
+  is visible to the very next query.  This removes the scenario runner's
+  old "updates land at batch boundaries, up to 1 s late" caveat.
 
 The batched path is only landable because it is *provably the same system*:
 for equal seeds it produces bit-identical per-query server sets, latencies,
@@ -30,8 +47,10 @@ raise and should use :meth:`Deployment.run_queries`.
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 try:
@@ -40,13 +59,65 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None  # type: ignore[assignment]
 
 from ..core.covertable import CoverTableCache, require_numpy
-from ..core.ids import cw_distance, frac
 from ..sim.tracing import QueryRecord
+from .server import TaskRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.deployment import Deployment
 
-__all__ = ["BatchResult", "run_queries_fast"]
+__all__ = [
+    "Action",
+    "ACTION_SCOPES",
+    "BatchResult",
+    "run_queries_fast",
+    "run_queries_reference",
+]
+
+#: Queries buffered before a chunk is force-flushed (bounds buffer memory;
+#: the flush itself is O(chunk) numpy work, so larger is mildly better).
+CHUNK_CAP = 8192
+
+#: How much of the deployment an action callback may have touched, from the
+#: engine's point of view -- picks the cheapest sufficient mirror refresh.
+ACTION_SCOPES = ("none", "busy", "values", "membership")
+
+
+@dataclass
+class Action:
+    """A callback scheduled between two specific queries of a batch.
+
+    Fires immediately before ``arrival_times[index]`` (an index of
+    ``len(arrival_times)`` or beyond fires after the last query).  The
+    engine flushes pending accounting and materialises exact object state
+    first, so ``fn`` observes precisely what the reference path would show
+    at that point in the arrival order.  ``fn`` receives ``time`` and may
+    return an ``int`` to change the partitioning level ``pq`` for
+    subsequent queries (honoured when ``pq_fn`` is not a callable).
+
+    ``scope`` declares what ``fn`` may have mutated so the engine can
+    refresh its mirrors minimally:
+
+    * ``"none"``       -- nothing the engine mirrors (e.g. pure logging);
+    * ``"busy"``       -- server queues/work counters and the stored
+      partitioning level (e.g. object updates, set-pq with a possible
+      in-flight repartition completing under the sim pump);
+    * ``"values"``     -- per-server values: queues, failure flags, speed
+      estimates, counters (e.g. fail/recover, estimate perturbation);
+    * ``"membership"`` -- anything, including ring membership (default).
+    """
+
+    index: int
+    time: float
+    fn: Callable[[float], Optional[int]]
+    scope: str = "membership"
+
+    def __post_init__(self) -> None:
+        if self.scope not in ACTION_SCOPES:
+            raise ValueError(
+                f"unknown action scope {self.scope!r}; pick one of {ACTION_SCOPES}"
+            )
+        if self.index < 0:
+            raise ValueError("action index must be >= 0")
 
 
 @dataclass
@@ -71,6 +142,11 @@ class BatchResult:
     fast_scheduled: int
     delegated: int
     wall_seconds: float
+    #: sizes of the accounting chunks that were flushed (cut at actions,
+    #: delegations, the buffer cap, and batch end).
+    chunk_sizes: list[int] = field(default_factory=list)
+    #: actions fired from the exact-time queue during this run.
+    actions_applied: int = 0
 
     def completed_latencies(self) -> "np.ndarray":
         return self.latencies[~np.isnan(self.latencies)]
@@ -84,32 +160,682 @@ class BatchResult:
         return float(np.percentile(done, q)) if done.size else float("nan")
 
 
-class _RingState:
-    """Mutable per-ring mirrors aligned with the ring's node order."""
+def _sorted_actions(actions) -> list[Action]:
+    acts = list(actions or ())
+    for a in acts:
+        if not isinstance(a, Action):
+            raise TypeError(f"actions must be Action instances, got {a!r}")
+    # stable: equal indices keep caller order
+    acts.sort(key=lambda a: a.index)
+    return acts
+
+
+class _PqTable:
+    """Per-(rings, pq) static data resolved once per batch segment."""
 
     __slots__ = (
-        "nodes",
-        "names",
-        "busy",
-        "speed",
-        "stats",
-        "servers",
-        "est_buf",
-        "div_buf",
+        "table",
+        "owners",
+        "noeval",
+        "csi",
+        "offs",
+        "off0",
+        "wd",
+        "Q",
+        "iterations",
+        "estimates",
     )
 
-    def __init__(self, deployment: "Deployment", nodes) -> None:
-        fe = deployment.frontend
-        self.nodes = nodes
-        self.names = [n.name for n in nodes]
-        self.stats = [fe.stats_for(n) for n in nodes]
-        self.servers = [deployment.servers[n.name] for n in nodes]
-        self.busy = np.array([s.busy_until for s in self.servers], dtype=np.float64)
-        self.speed = np.array(
-            [st.speed_estimate for st in self.stats], dtype=np.float64
+    def __init__(self, table, pq: int, dataset: float, spd: "np.ndarray") -> None:
+        self.table = table
+        #: per-ring (pq, n_configs) owner timelines, ring-local indices.
+        self.owners = [rt.owner_timeline for rt in table.ring_tables]
+        self.noeval = np.nonzero(~table.evaluated)[0]
+        self.csi = table.config_start_id.tolist()
+        self.offs = [i / pq for i in range(pq)]
+        self.off0 = -1.0 / pq
+        self.wd = table.work * dataset
+        #: wd / speed_estimate, maintained scatter-wise on EWMA updates so
+        #: the per-query estimate is two adds on top of the backlog clip.
+        self.Q = np.divide(self.wd, spd)
+        self.iterations = table.iterations
+        self.estimates = table.estimates
+
+
+class _Engine:
+    """One batched run: mirrors, chunk buffers, and the action queue."""
+
+    def __init__(
+        self,
+        deployment: "Deployment",
+        arrivals: "np.ndarray",
+        pq_fn,
+        record_assignments: bool,
+        actions: Sequence[Action],
+    ) -> None:
+        self.dep = deployment
+        self.fe = deployment.frontend
+        self.cfg = deployment.config
+        self.network = deployment.network
+        self.ledger = deployment.ledger
+        self.log = deployment.log
+        self.servers = deployment.servers
+        self.charge = self.cfg.charge_scheduling
+        self.dataset = self.fe.dataset_size
+        self.fe_fixed = self.fe.config.fixed_overhead
+        self.alpha = self.fe.config.ewma_alpha
+        self.one_minus_alpha = 1.0 - self.alpha
+        self.pq_fn = pq_fn
+        self.pq_override: Optional[int] = None
+        self.record_assignments = record_assignments
+        self.actions = actions
+
+        if deployment.cover_tables is None:
+            deployment.cover_tables = CoverTableCache()
+        self.cache: CoverTableCache = deployment.cover_tables
+
+        n_q = len(arrivals)
+        self.arrivals = arrivals
+        self.arr_l = arrivals.tolist()
+        self.latencies = np.full(n_q, np.nan, dtype=np.float64)
+        self.finishes = np.full(n_q, np.nan, dtype=np.float64)
+        self.query_ids = np.full(n_q, -1, dtype=np.int64)
+        self.pqs = np.zeros(n_q, dtype=np.int64)
+        self.assignments: Optional[list[tuple[str, ...]]] = (
+            [] if record_assignments else None
         )
-        self.est_buf = np.empty_like(self.busy)
-        self.div_buf = np.empty_like(self.busy)
+
+        self.completed = 0
+        self.dropped = 0
+        self.fast_scheduled = 0
+        self.delegated = 0
+        self.actions_applied = 0
+        self.chunk_sizes: list[int] = []
+
+        #: NodeStats.busy_until reservation of the *last* fast query -- the
+        #: one piece of front-end state the reference path leaves holding a
+        #: prediction rather than a synced server value.
+        self.last_res: Optional[list[tuple[int, float]]] = None
+        self.st_sync_pending = False
+
+        self._build()
+        self._reset_buffers()
+
+    # -- mirrors -----------------------------------------------------------
+    def _build(self) -> None:
+        """(Re)build every mirror from live objects (membership scope)."""
+        dep, fe = self.dep, self.fe
+        self.rings = dep.rings
+        nodes_flat = []
+        self.ring_lo: list[int] = []
+        self.ring_hi: list[int] = []
+        self.ring_starts: list[list[float]] = []
+        for ring in self.rings:
+            nodes = ring.nodes()
+            self.ring_lo.append(len(nodes_flat))
+            nodes_flat.extend(nodes)
+            self.ring_hi.append(len(nodes_flat))
+            self.ring_starts.append([nd.start for nd in nodes])
+        self.nodes_flat = nodes_flat
+        self.names_flat = [nd.name for nd in nodes_flat]
+        self.stats_flat = [fe.stats_for(nd) for nd in nodes_flat]
+        self.servers_flat = [dep.servers[nd.name] for nd in nodes_flat]
+        self.single_ring = len(self.rings) == 1
+        self.trace_any = any(s.keep_trace for s in dep.servers.values())
+        self.multi_lane = any(s.cores != 1 for s in self.servers_flat)
+
+        n = len(nodes_flat)
+        self.busy_l = [s.busy_until for s in self.servers_flat]
+        self.spd_l = [st.speed_estimate for st in self.stats_flat]
+        self.srv_speed_l = [s.speed for s in self.servers_flat]
+        self.srv_fixed_l = [s.fixed_overhead for s in self.servers_flat]
+        self.failed_l = [s.failed for s in self.servers_flat]
+        self.busy = np.array(self.busy_l, dtype=np.float64)
+        self.spd = np.array(self.spd_l, dtype=np.float64)
+        self.est = np.empty(n, dtype=np.float64)
+        # absolute per-server accumulator mirrors (flushed chunks land here,
+        # materialise copies them back onto the objects)
+        self.bt = np.array([s.busy_time for s in self.servers_flat])
+        self.om = np.array([s.objects_matched for s in self.servers_flat])
+        self.tasks = np.array(
+            [s.tasks_run for s in self.servers_flat], dtype=np.int64
+        )
+        self.cc = np.array(
+            [st.completed for st in self.stats_flat], dtype=np.int64
+        )
+        self.ls = np.array([st.last_seen for st in self.stats_flat])
+        self.touched = np.zeros(n, dtype=bool)
+
+        self.tables: dict[int, _PqTable] = {}
+        self.any_failed = any(s.failed for s in dep.servers.values())
+        self.p_store_cur = dep.p_store
+        self.qid_last = fe._query_counter
+        self.it_acc = 0
+        self.est_acc = 0
+        self.qs_acc = 0
+        self.wall_acc = 0.0
+        self.led_qmsg = 0
+        self.led_rmsg = 0
+
+    def _refresh_busy(self) -> None:
+        """Re-read server queues *and* execution counters (a "busy"-scoped
+        action submits work, which moves busy_time/tasks_run/objects too).
+        Also re-reads p_store: any action may pump the discrete-event
+        simulation, which can complete an in-flight repartition."""
+        self.busy_l = [s.busy_until for s in self.servers_flat]
+        self.busy[:] = self.busy_l
+        self.bt[:] = [s.busy_time for s in self.servers_flat]
+        self.om[:] = [s.objects_matched for s in self.servers_flat]
+        self.tasks[:] = [s.tasks_run for s in self.servers_flat]
+        self.p_store_cur = self.dep.p_store
+
+    def _refresh_values(self) -> None:
+        self._refresh_busy()
+        self.spd_l = [st.speed_estimate for st in self.stats_flat]
+        self.spd[:] = self.spd_l
+        self.failed_l = [s.failed for s in self.servers_flat]
+        self.cc[:] = [st.completed for st in self.stats_flat]
+        self.ls[:] = [st.last_seen for st in self.stats_flat]
+        for entry in self.tables.values():
+            np.divide(entry.wd, self.spd, out=entry.Q)
+        self.any_failed = any(s.failed for s in self.dep.servers.values())
+        self.p_store_cur = self.dep.p_store
+
+    # -- chunk buffers -----------------------------------------------------
+    def _reset_buffers(self) -> None:
+        #: per sub-query rows ``(g, service, work, finish, start)``,
+        #: flattened across the chunk's queries in submit order.
+        self.subs: list[tuple] = []
+        #: per query rows ``(q_i, now, pq, qid, rtt, sched, total, mw, ms)``.
+        self.qrows: list[tuple] = []
+
+    def _flush(self) -> None:
+        """Account the buffered chunk with array reductions + one record pass."""
+        nq = len(self.qrows)
+        if nq == 0:
+            return
+        sg_t, ssv_t, swk_t, sf_t, sst_t = zip(*self.subs)
+        sg = np.array(sg_t, dtype=np.intp)
+        ssv = np.array(ssv_t)
+        swk = np.array(swk_t)
+        sf = np.array(sf_t)
+        # np.add.at applies unbuffered, element-by-element in index order,
+        # so repeated-server float sums keep the reference addition order.
+        np.add.at(self.bt, sg, ssv)
+        np.add.at(self.om, sg, swk)
+        counts = np.bincount(sg, minlength=len(self.tasks))
+        self.tasks += counts
+        self.cc += counts
+        # per-server finishes are monotone, so last-in-order == max
+        np.maximum.at(self.ls, sg, sf)
+        self.touched[sg] = True
+
+        qidx_t, qnow_t, qpq_t, qqid_t, qrtt_t, qsched_t, qtotal_t, qmw_t, qms_t = zip(
+            *self.qrows
+        )
+        qidx = np.array(qidx_t, dtype=np.intp)
+        qnow = np.array(qnow_t)
+        qtotal = np.array(qtotal_t)
+        fr = qnow + qtotal
+        delay = fr - qnow
+        self.latencies[qidx] = delay
+        self.finishes[qidx] = fr
+        self.query_ids[qidx] = np.array(qqid_t, dtype=np.int64)
+        self.pqs[qidx] = np.array(qpq_t, dtype=np.int64)
+
+        dep = self.dep
+        listeners = dep.query_listeners
+        breakdowns = dep.breakdowns
+        records = self.log.records
+        fr_l = fr.tolist()
+        from ..cluster.deployment import QueryBreakdown
+
+        for k in range(nq):
+            record = QueryRecord(
+                query_id=qqid_t[k],
+                arrival=qnow_t[k],
+                finish=fr_l[k],
+                pq=qpq_t[k],
+                subqueries=qpq_t[k],
+                scheduling_delay=qsched_t[k],
+            )
+            records.append(record)
+            for listener in listeners:
+                listener(record)
+            breakdowns.append(
+                QueryBreakdown(
+                    scheduling=qsched_t[k],
+                    network=qrtt_t[k],
+                    queueing=qmw_t[k],
+                    service=qms_t[k],
+                    total=qtotal_t[k],
+                )
+            )
+
+        if self.trace_any:
+            off = 0
+            for k in range(nq):
+                pq = qpq_t[k]
+                arr_t = qnow_t[k] + qrtt_t[k] / 2.0
+                qid = qqid_t[k]
+                for j in range(off, off + pq):
+                    server = self.servers_flat[sg_t[j]]
+                    if server.keep_trace:
+                        server.trace.append(
+                            TaskRecord(qid, arr_t, sst_t[j], sf_t[j], swk_t[j])
+                        )
+                off += pq
+
+        fe = self.fe
+        fe.total_iterations += self.it_acc
+        fe.total_estimates += self.est_acc
+        fe.queries_scheduled += self.qs_acc
+        fe._query_counter = self.qid_last
+        self.it_acc = self.est_acc = self.qs_acc = 0
+        dep.scheduling_wallclock += self.wall_acc
+        self.wall_acc = 0.0
+        # accumulate through the ledger's own methods so the per-message
+        # byte constants live in exactly one place (network.py)
+        self.ledger.record_query(self.led_qmsg)
+        self.ledger.record_result(self.led_rmsg)
+        self.led_qmsg = self.led_rmsg = 0
+
+        self.chunk_sizes.append(nq)
+        self._reset_buffers()
+
+    def _materialise(self) -> None:
+        """Flush, then write exact object state (servers + node stats)."""
+        self._flush()
+        self.fe._query_counter = self.qid_last
+        idx = np.nonzero(self.touched)[0]
+        if idx.size:
+            for g in idx.tolist():
+                server = self.servers_flat[g]
+                server._lane_busy_until[0] = self.busy_l[g]
+                server.busy_time = float(self.bt[g])
+                server.tasks_run = int(self.tasks[g])
+                server.objects_matched = float(self.om[g])
+                st = self.stats_flat[g]
+                st.speed_estimate = self.spd_l[g]
+                st.completed = int(self.cc[g])
+                st.last_seen = float(self.ls[g])
+            self.touched[:] = False
+        # NodeStats.busy_until parity: after the last fast query, every node
+        # reads the live server value except that query's reservations,
+        # which keep the reserve prediction (reference-path behaviour).
+        if self.st_sync_pending and self.last_res is not None:
+            for g, st in enumerate(self.stats_flat):
+                st.busy_until = self.busy_l[g]
+            for g, val in self.last_res:
+                self.stats_flat[g].busy_until = val
+            self.st_sync_pending = False
+
+    # -- actions -----------------------------------------------------------
+    def _fire(self, action: Action) -> None:
+        self._materialise()
+        new_pq = action.fn(action.time)
+        if new_pq is not None:
+            self.pq_override = int(new_pq)
+        if action.scope == "membership":
+            self._build()
+        elif action.scope == "values":
+            self._refresh_values()
+        elif action.scope == "busy":
+            self._refresh_busy()
+        self.actions_applied += 1
+
+    # -- tables ------------------------------------------------------------
+    def _table_for(self, pq: int) -> _PqTable:
+        entry = self.tables.get(pq)
+        if entry is None:
+            table = self.cache.get(self.rings, pq)
+            for lo, hi, rt in zip(self.ring_lo, self.ring_hi, table.ring_tables):
+                if self.names_flat[lo:hi] != [
+                    n.name for n in rt.nodes
+                ]:  # pragma: no cover
+                    raise RuntimeError(
+                        "ring structure changed mid-batch; schedule membership "
+                        "edits through the action queue, not around it"
+                    )
+            entry = _PqTable(table, pq, self.dataset, self.spd)
+            self.tables[pq] = entry
+        return entry
+
+    # -- the hot loop ------------------------------------------------------
+    def run(self) -> BatchResult:
+        wall_start = time.perf_counter()
+        cfg = self.cfg
+        dataset = self.dataset
+        fe_fixed = self.fe_fixed
+        alpha = self.alpha
+        om_alpha = self.one_minus_alpha
+        fmod = math.fmod
+        perf = time.perf_counter
+        inf = math.inf
+        pq_fn = self.pq_fn
+        pq_callable = callable(pq_fn)
+        charge = self.charge
+        sample_rtt = self.network.sample_rtt
+        record_assignments = self.assignments is not None
+        arr = self.arr_l
+        n_q = len(arr)
+
+        acts = self.actions
+        n_act = len(acts)
+        ai = 0
+
+        # aliases refreshed whenever mirrors rebuild (actions, delegation)
+        def local_state():
+            return (
+                self.busy_l,
+                self.spd_l,
+                self.busy,
+                self.spd,
+                self.est,
+                self.srv_fixed_l,
+                self.srv_speed_l,
+                self.any_failed,
+                self.failed_l,
+                self.single_ring,
+                self.trace_any,
+            )
+
+        (
+            busy_l,
+            spd_l,
+            busy_np,
+            spd_np,
+            est,
+            srv_fixed_l,
+            srv_speed_l,
+            any_failed,
+            failed_l,
+            single_ring,
+            trace_any,
+        ) = local_state()
+        last_pq = -1
+        entry = None
+
+        for q_i in range(n_q):
+            if ai < n_act and acts[ai].index <= q_i:
+                while ai < n_act and acts[ai].index <= q_i:
+                    self._fire(acts[ai])
+                    ai += 1
+                (
+                    busy_l,
+                    spd_l,
+                    busy_np,
+                    spd_np,
+                    est,
+                    srv_fixed_l,
+                    srv_speed_l,
+                    any_failed,
+                    failed_l,
+                    single_ring,
+                    trace_any,
+                ) = local_state()
+                last_pq = -1
+            now = arr[q_i]
+            if pq_callable:
+                pq = pq_fn(now)
+            else:
+                pq = self.pq_override if self.pq_override is not None else pq_fn
+            pq = pq or cfg.p
+            if pq != last_pq:
+                if pq < self.p_store_cur - 1e-9:
+                    self._materialise()
+                    raise ValueError(
+                        f"pq={pq} below stored partitioning level "
+                        f"{self.p_store_cur}; reconfigure first (Section 4.5)"
+                    )
+                entry = self._table_for(pq)
+                last_pq = pq
+
+            t0 = perf()
+            # -- estimates: (backlog + fixed) + (work*dataset/speed), same
+            # float-op order as FrontEnd.make_estimator -------------------
+            np.subtract(busy_np, now, out=est)
+            np.maximum(est, 0.0, out=est)
+            np.add(est, fe_fixed, out=est)
+            np.add(est, entry.Q, out=est)
+
+            # -- the precomputed sweep: gather owners, min over rings, max
+            # over points, first-wins argmin over evaluated configs --------
+            if single_ring:
+                fin = est[entry.owners[0]]
+            else:
+                fin = est[self.ring_lo[0] : self.ring_hi[0]][entry.owners[0]]
+                for r in range(1, len(self.rings)):
+                    other = est[self.ring_lo[r] : self.ring_hi[r]][entry.owners[r]]
+                    np.minimum(fin, other, out=fin)
+            mk = fin.max(axis=0)
+            if entry.noeval.size:
+                mk[entry.noeval] = np.inf
+            best = int(mk.argmin())
+            start_id = entry.csi[best]
+
+            # -- final assignment re-derived at start_id (binary search per
+            # point, min-estimate ring wins strictly-first) ----------------
+            pts = []
+            for off in entry.offs:
+                v = fmod(start_id + off, 1.0)
+                if v < 0.0:
+                    v += 1.0
+                if v >= 1.0:
+                    v -= 1.0
+                pts.append(v)
+            if single_ring:
+                starts = self.ring_starts[0]
+                last = len(starts) - 1
+                g_list = [
+                    idx if (idx := bisect_right(starts, v) - 1) >= 0 else last
+                    for v in pts
+                ]
+            else:
+                g_list = []
+                for v in pts:
+                    best_g = -1
+                    best_fin = inf
+                    for r in range(len(self.rings)):
+                        starts = self.ring_starts[r]
+                        idx = bisect_right(starts, v) - 1
+                        if idx < 0:
+                            idx = len(starts) - 1
+                        g = self.ring_lo[r] + idx
+                        fin_v = float(est[g])
+                        if fin_v < best_fin:
+                            best_fin = fin_v
+                            best_g = g
+                    g_list.append(best_g)
+            sched_wall = perf() - t0
+
+            # -- failure window: the reference path owns the fall-back -----
+            if any_failed and any(failed_l[g] for g in g_list):
+                self._delegate(q_i, now, pq)
+                (
+                    busy_l,
+                    spd_l,
+                    busy_np,
+                    spd_np,
+                    est,
+                    srv_fixed_l,
+                    srv_speed_l,
+                    any_failed,
+                    failed_l,
+                    single_ring,
+                    trace_any,
+                ) = local_state()
+                continue
+
+            # -- commit (identical arithmetic to run_query) ----------------
+            self.qid_last += 1
+            qid = self.qid_last
+            self.wall_acc += sched_wall
+            rtt = sample_rtt()
+
+            # widths + reserve (FIFO over sub-queries, first occurrence
+            # syncs the live queue, repeats accumulate)
+            v = fmod(start_id + entry.off0, 1.0)
+            if v < 0.0:
+                v += 1.0
+            if v >= 1.0:
+                v -= 1.0
+            prev = v
+            w_list = []
+            res: dict[int, float] = {}
+            res_get = res.get
+            for i in range(pq):
+                d = pts[i]
+                w = fmod(d - prev, 1.0)
+                if w < 0.0:
+                    w += 1.0
+                if w >= 1.0:
+                    w -= 1.0
+                w_list.append(w)
+                prev = d
+                g = g_list[i]
+                spd_g = spd_l[g]
+                service = fe_fixed + (w * dataset) / (
+                    spd_g if spd_g > 1e-9 else 1e-9
+                )
+                base = res_get(g)
+                if base is None:
+                    base = busy_l[g]
+                res[g] = (base if base > now else now) + service
+            self.last_res = list(res.items())
+            self.st_sync_pending = True
+
+            finish = now
+            mw = 0.0
+            ms = 0.0
+            half = rtt / 2.0
+            arr_t = now + half
+            subs = self.subs
+            subs_append = subs.append
+            # submit + EWMA observe (LIFO: the reference path pops)
+            for i in range(pq - 1, -1, -1):
+                g = g_list[i]
+                work = w_list[i] * dataset
+                b = busy_l[g]
+                wait = b - now
+                if wait < 0.0:
+                    wait = 0.0
+                start = arr_t if arr_t > b else b
+                service = srv_fixed_l[g] + work / srv_speed_l[g]
+                f = start + service
+                busy_l[g] = f
+                subs_append((g, service, work, f, start))
+                eff = service - fe_fixed
+                if eff > 0.0 and work > 0.0:
+                    spd_l[g] = om_alpha * spd_l[g] + alpha * (work / eff)
+                fh = f + half
+                if fh > finish:
+                    finish = fh
+                if wait > mw:
+                    mw = wait
+                if service > ms:
+                    ms = service
+
+            # write-through the final per-server values (only the last
+            # value per server matters to the next query's estimates)
+            tables = self.tables
+            one_table = entry if len(tables) == 1 else None
+            for g in res:
+                busy_np[g] = busy_l[g]
+                s_g = spd_l[g]
+                if spd_np[g] != s_g:
+                    spd_np[g] = s_g
+                    if one_table is not None:
+                        one_table.Q[g] = one_table.wd / s_g
+                    else:
+                        for tb in tables.values():
+                            tb.Q[g] = tb.wd / s_g
+
+            total = finish - now + (sched_wall if charge else 0.0)
+            self.qrows.append(
+                (q_i, now, pq, qid, rtt, sched_wall, total, mw, ms)
+            )
+            self.completed += 1
+            self.fast_scheduled += 1
+            self.led_qmsg += pq
+            self.led_rmsg += pq
+            self.it_acc += entry.iterations
+            self.est_acc += entry.estimates
+            self.qs_acc += 1
+            if record_assignments:
+                names = self.names_flat
+                self.assignments.append(tuple(names[g] for g in g_list))
+            if len(self.qrows) >= CHUNK_CAP:
+                self._flush()
+
+        while ai < n_act:
+            self._fire(acts[ai])
+            ai += 1
+        self._materialise()
+
+        return BatchResult(
+            arrivals=self.arrivals,
+            latencies=self.latencies,
+            finishes=self.finishes,
+            query_ids=self.query_ids,
+            pqs=self.pqs,
+            completed=self.completed,
+            dropped=self.dropped,
+            assignments=self.assignments,
+            fast_scheduled=self.fast_scheduled,
+            delegated=self.delegated,
+            wall_seconds=time.perf_counter() - wall_start,
+            chunk_sizes=self.chunk_sizes,
+            actions_applied=self.actions_applied,
+        )
+
+    def _delegate(self, q_i: int, now: float, pq: int) -> None:
+        """Route one failure-window query through the reference path."""
+        self._materialise()
+        pre_lens = None
+        if self.assignments is not None:
+            pre_lens = {
+                name: len(s.trace)
+                for name, s in self.servers.items()
+                if s.keep_trace
+            }
+        record = self.dep.run_query(now, pq)
+        self.delegated += 1
+        self.last_res = None
+        self.st_sync_pending = False
+        self._refresh_values()
+        self.qid_last = self.fe._query_counter
+        self.pqs[q_i] = pq
+        if record is None:
+            self.dropped += 1
+        else:
+            self.completed += 1
+            self.query_ids[q_i] = record.query_id
+            self.finishes[q_i] = record.finish
+            self.latencies[q_i] = record.delay
+        if pre_lens is not None:
+            # Delegated schedules (plus failure replacements) are only
+            # observable through server traces; only this query ran, so
+            # the executors are exactly the servers whose traces grew.
+            if record is not None:
+                executed = tuple(
+                    name
+                    for name, before in pre_lens.items()
+                    if len(self.servers[name].trace) > before
+                )
+            else:
+                executed = ()
+            self.assignments.append(executed)
+
+
+def _check_frontend(deployment: "Deployment") -> None:
+    fecfg = deployment.frontend.config
+    if fecfg.method != "heap" or fecfg.adjust_ranges or fecfg.max_splits > 0:
+        raise ValueError(
+            "the batched path supports the default front-end configuration "
+            "(method='heap', adjust_ranges=False, max_splits=0); use "
+            "Deployment.run_queries for other configurations"
+        )
 
 
 def run_queries_fast(
@@ -117,235 +843,110 @@ def run_queries_fast(
     arrival_times: Sequence[float],
     pq_fn: Callable[[float], int] | int | None = None,
     record_assignments: bool = False,
+    actions: Sequence[Action] | None = None,
 ) -> BatchResult:
     """Run a whole arrival trace through the batched path.
 
     Mirrors :meth:`Deployment.run_queries` (including per-query ``pq_fn``
     support) and leaves the deployment in the same state the reference path
-    would have.
+    would have.  *actions* schedules callbacks at exact query indices; see
+    :class:`Action`.
+    """
+    require_numpy()
+    _check_frontend(deployment)
+    arrivals = np.asarray(arrival_times, dtype=np.float64)
+    acts = _sorted_actions(actions)
+    engine = _Engine(
+        deployment, arrivals, pq_fn, record_assignments, acts
+    )
+    if engine.multi_lane:
+        # Multi-lane SimServers fall outside the closed-form queue mirror;
+        # run the reference path with the same exact-time action semantics.
+        return run_queries_reference(
+            deployment,
+            arrival_times,
+            pq_fn,
+            record_assignments=record_assignments,
+            actions=acts,
+        )
+    return engine.run()
+
+
+def run_queries_reference(
+    deployment: "Deployment",
+    arrival_times: Sequence[float],
+    pq_fn: Callable[[float], int] | int | None = None,
+    record_assignments: bool = False,
+    actions: Sequence[Action] | None = None,
+) -> BatchResult:
+    """The per-query reference path with the same exact-time action queue.
+
+    Semantically interchangeable with :func:`run_queries_fast` -- the
+    scenario runner uses it as the ``engine="reference"`` backend so both
+    engines share one definition of *when* an action lands.
     """
     require_numpy()
     wall_start = time.perf_counter()
-    fe = deployment.frontend
-    cfg = deployment.config
-    fecfg = fe.config
-    if fecfg.method != "heap" or fecfg.adjust_ranges or fecfg.max_splits > 0:
-        raise ValueError(
-            "the batched path supports the default front-end configuration "
-            "(method='heap', adjust_ranges=False, max_splits=0); use "
-            "Deployment.run_queries for other configurations"
-        )
-    if deployment.cover_tables is None:
-        deployment.cover_tables = CoverTableCache()
-    cache: CoverTableCache = deployment.cover_tables
-
-    rings = deployment.rings
-    dataset = fe.dataset_size
-    fixed = fecfg.fixed_overhead
-    network = deployment.network
-    ledger = deployment.ledger
-    log = deployment.log
-    servers = deployment.servers
-    charge = cfg.charge_scheduling
-
-    n_q = len(arrival_times)
     arrivals = np.asarray(arrival_times, dtype=np.float64)
+    acts = _sorted_actions(actions)
+    n_q = len(arrivals)
     latencies = np.full(n_q, np.nan, dtype=np.float64)
     finishes = np.full(n_q, np.nan, dtype=np.float64)
     query_ids = np.full(n_q, -1, dtype=np.int64)
     pqs = np.zeros(n_q, dtype=np.int64)
-    assignments: Optional[list[tuple[str, ...]]] = [] if record_assignments else None
-
-    # Per-(table) ring mirrors; rebuilt when the cover table changes (ring
-    # reconfiguration or a different pq) and re-synced after delegated
-    # queries, whose failure splitting may touch arbitrary servers.  Ring
-    # structure cannot change mid-batch (membership edits happen between
-    # batches), so per-pq tables and mirrors are resolved once.
-    table = None
-    #: one mirror per ring, shared by every pq's table (ring node order is
-    #: version-stable, so all tables built this batch agree on it).
-    states = [_RingState(deployment, ring.nodes()) for ring in rings]
-    positions = {
-        name: (st, j) for st in states for j, name in enumerate(st.names)
-    }
-    tables_by_pq: dict[int, object] = {}
-    any_failed = any(s.failed for s in servers.values())
-    completed = dropped = fast_scheduled = delegated = 0
-    #: nodes the *last* fast query reserved; their NodeStats.busy_until must
-    #: keep the reservation value at batch end (reference-path parity).
-    last_reserved: Optional[set[str]] = None
-
-    from ..cluster.deployment import QueryBreakdown
-
+    assignments: Optional[list[tuple[str, ...]]] = (
+        [] if record_assignments else None
+    )
+    cfg = deployment.config
+    servers = deployment.servers
+    completed = dropped = 0
+    pq_override: Optional[int] = None
+    actions_applied = 0
+    ai = 0
+    arr_l = arrivals.tolist()
     for q_i in range(n_q):
-        now = float(arrivals[q_i])
+        while ai < len(acts) and acts[ai].index <= q_i:
+            new_pq = acts[ai].fn(acts[ai].time)
+            if new_pq is not None:
+                pq_override = int(new_pq)
+            actions_applied += 1
+            ai += 1
+        now = arr_l[q_i]
         if callable(pq_fn):
             pq = pq_fn(now)
         else:
-            pq = pq_fn
+            pq = pq_override if pq_override is not None else pq_fn
         pq = pq or cfg.p
         pqs[q_i] = pq
-        p_store = deployment.p_store
-        if pq < p_store - 1e-9:
-            raise ValueError(
-                f"pq={pq} below stored partitioning level {p_store}; "
-                "reconfigure first (Section 4.5)"
-            )
-
-        table = tables_by_pq.get(pq)
-        if table is None:
-            table = cache.get(rings, pq)
-            for st, rt in zip(states, table.ring_tables):
-                if st.names != [n.name for n in rt.nodes]:  # pragma: no cover
-                    raise RuntimeError(
-                        "ring structure changed mid-batch; run events between "
-                        "run_queries_fast calls, not during them"
-                    )
-            tables_by_pq[pq] = table
-
-        sched_start = time.perf_counter()
-        wd = table.work * dataset
-        # Same float-op order as FrontEnd.make_estimator:
-        # (backlog + fixed) + ((work * dataset) / speed).
-        estimates = []
-        for st in states:
-            buf = np.subtract(st.busy, now, out=st.est_buf)
-            np.maximum(buf, 0.0, out=buf)
-            np.add(buf, fixed, out=buf)
-            np.divide(wd, st.speed, out=st.div_buf)
-            np.add(buf, st.div_buf, out=buf)
-            estimates.append(buf)
-        result = table.schedule(estimates)
-        sched_wall = time.perf_counter() - sched_start
-
-        if any_failed and any(servers[n.name].failed for n in result.assignment):
-            # Failure fall-back (splitting, rng draws, drop accounting) stays
-            # on the reference path; it re-schedules identically and leaves
-            # exact reference-path state behind.
-            if assignments is not None:
-                pre_lens = {
-                    name: len(s.trace)
-                    for name, s in servers.items()
-                    if s.keep_trace
-                }
-            record = deployment.run_query(now, pq)
-            delegated += 1
-            last_reserved = None
-            for st in states:
-                for j, server in enumerate(st.servers):
-                    st.busy[j] = server.busy_until
-                    st.speed[j] = st.stats[j].speed_estimate
-            if record is None:
-                dropped += 1
-            else:
-                completed += 1
-                query_ids[q_i] = record.query_id
-                finishes[q_i] = record.finish
-                latencies[q_i] = record.delay
-            if assignments is not None:
-                # Delegated schedules (plus failure replacements) are only
-                # observable through server traces; only this query ran, so
-                # the executors are exactly the servers whose traces grew.
-                if record is not None:
-                    executed = tuple(
-                        name
-                        for name, before in pre_lens.items()
-                        if len(servers[name].trace) > before
-                    )
-                else:
-                    executed = ()
-                assignments.append(executed)
-            continue
-
-        # -- commit the batched schedule (identical to run_query) ----------
-        fe.total_iterations += result.iterations
-        fe.total_estimates += result.estimates
-        fe.queries_scheduled += 1
-        qid = fe.next_query_id()
-        deployment.scheduling_wallclock += sched_wall
-        fast_scheduled += 1
-
-        start_id = result.start_id
-        assignment = result.assignment
-        dests = [frac(start_id + i / pq) for i in range(pq)]
-        widths = [
-            cw_distance(frac(start_id + (i - 1) / pq), dests[i]) for i in range(pq)
-        ]
-
-        # reserve(): same order, same floats as FrontEnd.reserve, with the
-        # per-node busy_until sync the reference path does before scheduling.
-        synced: set[str] = set()
-        for i in range(pq):
-            node = assignment[i]
-            st = fe.stats[node.name]
-            if node.name not in synced:
-                st.busy_until = servers[node.name].busy_until
-                synced.add(node.name)
-            service = fixed + (widths[i] * dataset) / max(st.speed_estimate, 1e-9)
-            st.busy_until = max(st.busy_until, now) + service
-            st.outstanding += 1
-        last_reserved = synced
-
-        ledger.record_query(pq)
-        finish = now
-        max_wait = 0.0
-        max_service = 0.0
-        rtt = network.sample_rtt()
-        for i in range(pq - 1, -1, -1):  # the reference path pops LIFO
-            node = assignment[i]
-            server = servers[node.name]
-            work = widths[i] * cfg.dataset_size
-            wait = server.queue_backlog(now)
-            f = server.submit(now + rtt / 2.0, work, query_id=qid)
-            service = server.service_time(work)
-            fe.observe_completion(node, work, service, f)
-            max_wait = max(max_wait, wait)
-            max_service = max(max_service, service)
-            finish = max(finish, f + rtt / 2.0)
-            ledger.record_result(1)
-
-        # incremental mirror refresh: only touched servers changed.
-        for name in synced:
-            st, j = positions[name]
-            st.busy[j] = st.servers[j].busy_until
-            st.speed[j] = st.stats[j].speed_estimate
-
-        total = finish - now + (sched_wall if charge else 0.0)
-        record = QueryRecord(
-            query_id=qid,
-            arrival=now,
-            finish=now + total,
-            pq=pq,
-            subqueries=pq,
-            scheduling_delay=sched_wall,
-        )
-        log.add(record)
-        for listener in deployment.query_listeners:
-            listener(record)
-        deployment.breakdowns.append(
-            QueryBreakdown(
-                scheduling=sched_wall,
-                network=rtt,
-                queueing=max_wait,
-                service=max_service,
-                total=total,
-            )
-        )
-        completed += 1
-        query_ids[q_i] = qid
-        finishes[q_i] = record.finish
-        latencies[q_i] = record.delay
+        pre_lens = None
         if assignments is not None:
-            assignments.append(tuple(n.name for n in assignment))
-
-    # Reference-path parity for NodeStats.busy_until at batch end: every
-    # node reads the live server value except the last query's reservations.
-    if last_reserved is not None:
-        for st in states:
-            for j, name in enumerate(st.names):
-                if name not in last_reserved:
-                    st.stats[j].busy_until = st.servers[j].busy_until
-
+            pre_lens = {
+                name: len(s.trace) for name, s in servers.items() if s.keep_trace
+            }
+        record = deployment.run_query(now, pq)
+        if record is None:
+            dropped += 1
+        else:
+            completed += 1
+            query_ids[q_i] = record.query_id
+            finishes[q_i] = record.finish
+            latencies[q_i] = record.delay
+        if pre_lens is not None:
+            if record is not None:
+                executed = tuple(
+                    name
+                    for name, before in pre_lens.items()
+                    if len(servers[name].trace) > before
+                )
+            else:
+                executed = ()
+            assignments.append(executed)
+    while ai < len(acts):
+        new_pq = acts[ai].fn(acts[ai].time)
+        if new_pq is not None:
+            pq_override = int(new_pq)
+        actions_applied += 1
+        ai += 1
     return BatchResult(
         arrivals=arrivals,
         latencies=latencies,
@@ -355,7 +956,9 @@ def run_queries_fast(
         completed=completed,
         dropped=dropped,
         assignments=assignments,
-        fast_scheduled=fast_scheduled,
-        delegated=delegated,
+        fast_scheduled=0,
+        delegated=n_q,
         wall_seconds=time.perf_counter() - wall_start,
+        chunk_sizes=[],
+        actions_applied=actions_applied,
     )

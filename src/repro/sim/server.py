@@ -20,7 +20,7 @@ from typing import Optional
 __all__ = ["TaskRecord", "SimServer"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskRecord:
     """One executed sub-query, for tracing."""
 

@@ -54,7 +54,7 @@ def percentile(values: Sequence[float], q: float) -> float:
     return data[lo] + (data[hi] - data[lo]) * (pos - lo)
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryRecord:
     """Timing of one completed query."""
 

@@ -22,7 +22,9 @@ __all__ = [
     "RampTrace",
     "arrivals_from_rate_fn",
     "batched_poisson_times",
+    "batched_uniform_times",
     "batched_arrivals_from_rate_fn",
+    "zipf_update_times",
 ]
 
 
@@ -221,6 +223,57 @@ def batched_poisson_times(
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / rate, size=count)
     return start + np.cumsum(gaps)
+
+
+def batched_uniform_times(rate: float, duration: float):
+    """Deterministic evenly spaced arrivals over ``(0, duration]``.
+
+    The vectorised sibling of :class:`UniformArrivals` (same times:
+    ``gap, 2*gap, ...``), used by the scenario runner's ``uniform`` kind.
+    """
+    import numpy as np
+
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    n = max(1, int(round(rate * duration)))
+    gap = 1.0 / rate
+    return gap * np.arange(1, n + 1)
+
+
+def zipf_update_times(
+    rate: float,
+    horizon: float,
+    hotspots: int = 16,
+    zipf_s: float = 1.1,
+    jitter: float = 0.01,
+    seed: int | None = None,
+) -> list[tuple[float, float]]:
+    """A Zipf-skewed object-update stream: ``(time, ring position)`` pairs.
+
+    Poisson arrivals at *rate*; each update lands near one of *hotspots*
+    ring positions chosen with Zipf(*zipf_s*) rank probabilities and
+    uniform ``+-jitter`` spread, modelling hot-object write skew
+    (the scenario vocabulary's :class:`~repro.scenarios.spec.UpdateSpec`).
+    """
+    import numpy as np
+
+    if rate <= 0:
+        raise ValueError("update rate must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(
+        1.0 / rate, size=max(1, int(horizon * rate * 1.2) + 8)
+    )
+    times = np.cumsum(gaps)
+    times = times[times <= horizon]
+    ranks = np.arange(1, hotspots + 1, dtype=float)
+    weights = ranks ** (-zipf_s)
+    weights /= weights.sum()
+    centers = rng.random(hotspots)
+    idx = rng.choice(hotspots, size=times.size, p=weights)
+    pos = (centers[idx] + rng.uniform(-jitter, jitter, times.size)) % 1.0
+    return list(zip(times.tolist(), pos.tolist()))
 
 
 def batched_arrivals_from_rate_fn(

@@ -1,0 +1,162 @@
+"""Tests for the benchmark-trajectory tooling (`repro bench`)."""
+
+import json
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.bench import (
+    MIN_SPEEDUP,
+    PROFILES,
+    SweepSpec,
+    check_against_baseline,
+    collect,
+    render_report,
+    run_sweep,
+)
+
+TINY = SweepSpec("tiny", servers=10, queries=200, rate=30.0, pq=4, ref_queries=60)
+
+
+def _snapshot(speedups, identical=True):
+    return {
+        "schema": 1,
+        "revision": "deadbee",
+        "profile": "full",
+        "python": "3.x",
+        "machine": "test",
+        "sweeps": {
+            name: {
+                "servers": 200,
+                "queries": 1000,
+                "fast_us_per_query": 10.0,
+                "ref_us_per_query": 10.0 * s,
+                "speedup_vs_reference": s,
+                "identical_sample": identical,
+                "chunks": 1,
+                "chunk_size_histogram": {"<=1024": 1},
+            }
+            for name, s in speedups.items()
+        },
+    }
+
+
+class TestRunSweep:
+    def test_sweep_schema_and_sanity(self):
+        s = run_sweep(TINY)
+        assert s["completed"] == TINY.queries
+        assert s["identical_sample"] is True
+        assert s["fast_us_per_query"] > 0
+        assert s["ref_us_per_query"] > 0
+        assert s["speedup_vs_reference"] == pytest.approx(
+            s["ref_us_per_query"] / s["fast_us_per_query"], rel=1e-2
+        )
+        assert sum(s["chunk_size_histogram"].values()) == s["chunks"] >= 1
+
+    def test_profiles_cover_the_standard_sweeps(self):
+        for profile in ("full", "quick", "smoke"):
+            names = [spec.name for spec in PROFILES[profile]]
+            assert names == ["200-server", "1k-server"]
+        full = {s.name: s for s in PROFILES["full"]}
+        assert full["200-server"].queries == 100_000
+        assert full["1k-server"].servers == 1000
+
+    def test_collect_smoke_profile(self):
+        seen = []
+        snap = collect("smoke", progress=lambda n, s: seen.append(n))
+        assert seen == ["200-server", "1k-server"]
+        assert set(snap["sweeps"]) == {"200-server", "1k-server"}
+        assert snap["schema"] == 1
+        report = render_report(snap)
+        assert "200-server" in report and "speedup" in report
+        with pytest.raises(ValueError, match="unknown profile"):
+            collect("warp")
+
+
+class TestGateLogic:
+    def test_passes_within_tolerance(self):
+        base = _snapshot({"a": 10.0})
+        cur = _snapshot({"a": 8.0})  # 20% down, tolerance 30%
+        assert check_against_baseline(cur, base) == []
+
+    def test_fails_on_regression(self):
+        base = _snapshot({"a": 20.0})
+        cur = _snapshot({"a": 12.0})  # 40% down
+        problems = check_against_baseline(cur, base)
+        assert len(problems) == 1 and "regressed" in problems[0]
+
+    def test_fails_below_hard_floor(self):
+        base = _snapshot({"a": 5.5})
+        cur = _snapshot({"a": 4.5})  # within 30% of baseline but under 5x
+        problems = check_against_baseline(cur, base)
+        assert any(f"{MIN_SPEEDUP:g}x floor" in p for p in problems)
+
+    def test_fails_on_missing_sweep_or_divergence(self):
+        base = _snapshot({"a": 10.0, "b": 10.0})
+        cur = _snapshot({"a": 10.0})
+        assert any("missing" in p for p in check_against_baseline(cur, base))
+        cur_bad = _snapshot({"a": 10.0, "b": 10.0}, identical=False)
+        assert any(
+            "diverged" in p for p in check_against_baseline(cur_bad, base)
+        )
+
+    def test_us_per_query_never_gates(self):
+        # absolute wall-clock is machine-dependent: a 100x slower machine
+        # with the same ratio must pass
+        base = _snapshot({"a": 10.0})
+        cur = _snapshot({"a": 10.0})
+        for s in cur["sweeps"].values():
+            s["fast_us_per_query"] *= 100.0
+            s["ref_us_per_query"] *= 100.0
+        assert check_against_baseline(cur, base) == []
+
+
+class TestBenchCLI:
+    def test_bench_writes_snapshot(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--profile", "smoke", "--out", str(out)]) == 0
+        snap = json.loads(out.read_text())
+        assert set(snap["sweeps"]) == {"200-server", "1k-server"}
+        for s in snap["sweeps"].values():
+            assert s["identical_sample"] is True
+
+    def test_bench_check_exit_code_matches_gate(self, tmp_path, capsys):
+        from repro.bench import check_against_baseline
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--profile", "smoke", "--out", str(out)]) == 0
+        snap = json.loads(out.read_text())
+
+        # an impossible baseline must always fail the gate...
+        bad = _snapshot({"200-server": 10_000.0, "1k-server": 10_000.0})
+        bad_path = tmp_path / "bad.json"
+        bad_path.write_text(json.dumps(bad))
+        out2 = tmp_path / "bench2.json"
+        code = main(
+            ["bench", "--profile", "smoke", "--out", str(out2),
+             "--check", str(bad_path)]
+        )
+        assert code == 1
+        assert "BENCH GATE FAILED" in capsys.readouterr().err
+
+        # ...and the CLI's verdict equals the library's on the same data
+        expected = check_against_baseline(json.loads(out2.read_text()), bad)
+        assert expected  # the regression the CLI reported
+
+    def test_committed_baseline_is_wellformed(self):
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "baseline.json"
+        )
+        base = json.loads(path.read_text())
+        assert set(base["sweeps"]) == {"200-server", "1k-server"}
+        for s in base["sweeps"].values():
+            assert s["identical_sample"] is True
+            assert s["speedup_vs_reference"] >= MIN_SPEEDUP

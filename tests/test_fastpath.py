@@ -307,3 +307,290 @@ class TestDeploymentDifferential:
         assert result.percentile_latency(99) >= result.percentile_latency(50)
         assert (result.pqs == 5).all()
         assert (result.query_ids >= 1).all()
+
+
+# -- exact-time action queue ---------------------------------------------------
+from repro.sim.fastpath import Action, CHUNK_CAP, run_queries_reference
+
+
+def _interleaved_reference(dep, arrivals, pq, stimuli):
+    """Reference semantics: run_query with *stimuli* = [(index, fn)] fired
+    immediately before the query at that position."""
+    si = 0
+    stimuli = sorted(stimuli, key=lambda s: s[0])
+    for q_i, t in enumerate(arrivals):
+        while si < len(stimuli) and stimuli[si][0] <= q_i:
+            stimuli[si][1]()
+            si += 1
+        dep.run_query(t, pq)
+    while si < len(stimuli):
+        stimuli[si][1]()
+        si += 1
+
+
+class TestActionQueue:
+    def test_midbatch_update_visible_to_next_query(self):
+        """The acceptance regression: an update landing between queries k-1
+        and k is visible to query k itself -- no batch-boundary lag."""
+        arrivals = PoissonArrivals(30.0, seed=7).times(200)
+        k = 120
+        t_u = (arrivals[k - 1] + arrivals[k]) / 2.0
+        pos = 0.37
+
+        slow, fast, plain = _build(n=10), _build(n=10), _build(n=10)
+        _interleaved_reference(
+            slow, arrivals, 4, [(k, lambda: slow.apply_update(t_u, at=pos))]
+        )
+        result = fast.run_queries_fast(
+            arrivals,
+            4,
+            actions=[
+                Action(
+                    index=k,
+                    time=t_u,
+                    fn=lambda now: fast.apply_update(now, at=pos) or None,
+                    scope="busy",
+                )
+            ],
+        )
+        assert result.actions_applied == 1
+        assert_deployments_identical(slow, fast)
+
+        # and the update really changes the very next query (visibility)
+        plain.run_queries_fast(arrivals, 4)
+        d_with = [r.delay for r in fast.log.records]
+        d_without = [r.delay for r in plain.log.records]
+        assert d_with[:k] == d_without[:k]
+        assert d_with[k] != d_without[k]
+
+    def test_membership_change_midbatch(self):
+        from repro.cluster.models import MODEL_CATALOGUE
+
+        arrivals = PoissonArrivals(25.0, seed=3).times(240)
+        k1, k2 = 80, 160
+        t1 = arrivals[k1 - 1]
+        t2 = arrivals[k2 - 1]
+
+        slow, fast = _build(n=12, seed=9), _build(n=12, seed=9)
+        _interleaved_reference(
+            slow,
+            arrivals,
+            5,
+            [
+                (k1, lambda: slow.add_server(MODEL_CATALOGUE["dell-2950"], now=t1)),
+                (k2, lambda: slow.remove_server("node-2", now=t2)),
+            ],
+        )
+        result = fast.run_queries_fast(
+            arrivals,
+            5,
+            actions=[
+                Action(
+                    k1,
+                    t1,
+                    lambda now: fast.add_server(
+                        MODEL_CATALOGUE["dell-2950"], now=now
+                    )
+                    and None,
+                ),
+                Action(
+                    k2, t2, lambda now: fast.remove_server("node-2", now=now)
+                ),
+            ],
+        )
+        assert result.actions_applied == 2
+        assert_deployments_identical(slow, fast)
+
+    def test_failure_and_recovery_midbatch(self):
+        arrivals = PoissonArrivals(25.0, seed=13).times(300)
+        k1, k2 = 90, 210
+        t1, t2 = arrivals[k1 - 1], arrivals[k2 - 1]
+        names = ("node-3", "node-7")
+
+        def fail_all(dep, now):
+            for x in names:
+                dep.fail_node(x, now)
+
+        def recover_all(dep, now):
+            for x in names:
+                dep.recover_node(x, now)
+
+        slow, fast = _build(n=10, seed=5), _build(n=10, seed=5)
+        _interleaved_reference(
+            slow,
+            arrivals,
+            5,
+            [(k1, lambda: fail_all(slow, t1)), (k2, lambda: recover_all(slow, t2))],
+        )
+        result = fast.run_queries_fast(
+            arrivals,
+            5,
+            actions=[
+                Action(k1, t1, lambda now: fail_all(fast, now), "values"),
+                Action(k2, t2, lambda now: recover_all(fast, now), "values"),
+            ],
+        )
+        assert result.delegated > 0  # failure window went through fall-back
+        assert_deployments_identical(slow, fast)
+        assert slow.frontend.rng.random() == fast.frontend.rng.random()
+        assert slow.network.rng.random() == fast.network.rng.random()
+
+    def test_action_changes_pq_at_exact_index(self):
+        arrivals = PoissonArrivals(20.0, seed=21).times(150)
+        k = 70
+        slow, fast = _build(n=12), _build(n=12)
+        slow.run_queries(arrivals, lambda t: 4 if t < arrivals[k] else 6)
+        result = fast.run_queries_fast(
+            arrivals,
+            4,
+            actions=[Action(k, arrivals[k - 1], lambda now: 6, "none")],
+        )
+        assert list(result.pqs[:k]) == [4] * k
+        assert list(result.pqs[k:]) == [6] * (len(arrivals) - k)
+        assert_deployments_identical(slow, fast)
+
+    def test_trailing_and_leading_actions(self):
+        arrivals = PoissonArrivals(20.0, seed=2).times(50)
+        fired = []
+        fast = _build(n=8)
+        result = fast.run_queries_fast(
+            arrivals,
+            4,
+            actions=[
+                Action(0, 0.0, lambda now: fired.append(("head", now)) or None, "none"),
+                Action(
+                    10_000, 99.0, lambda now: fired.append(("tail", now)) or None, "none"
+                ),
+            ],
+        )
+        assert result.actions_applied == 2
+        assert [k for k, _ in fired] == ["head", "tail"]
+        assert result.completed == 50
+
+    def test_reference_engine_matches_fast_engine_with_actions(self):
+        arrivals = PoissonArrivals(30.0, seed=17).times(200)
+        k = 66
+        t_u = arrivals[k - 1]
+
+        def acts(dep):
+            return [
+                Action(
+                    k, t_u, lambda now: dep.apply_update(now, at=0.5) or None, "busy"
+                )
+            ]
+
+        a, b = _build(n=10, seed=11), _build(n=10, seed=11)
+        ra = a.run_queries_fast(arrivals, 4, actions=acts(a))
+        rb = run_queries_reference(b, arrivals, 4, actions=acts(b))
+        assert_deployments_identical(a, b)
+        assert list(ra.query_ids) == list(rb.query_ids)
+        assert [x for x in ra.latencies] == [x for x in rb.latencies]
+        assert rb.fast_scheduled == 0 and rb.delegated == len(arrivals)
+
+    def test_rejects_bad_actions(self):
+        dep = _build(n=8)
+        with pytest.raises(ValueError, match="scope"):
+            Action(0, 0.0, lambda now: None, "bogus")
+        with pytest.raises(ValueError, match="index"):
+            Action(-1, 0.0, lambda now: None)
+        with pytest.raises(TypeError, match="Action"):
+            dep.run_queries_fast([0.1], 4, actions=[object()])
+
+
+class TestChunkedAccounting:
+    def test_hot_servers_repeated_in_chunk_stay_bitwise(self):
+        """Tiny pool + pq close to n: every server is hit many times per
+        chunk and repeatedly within single queries; float accumulation
+        order (np.add.at) must still match the sequential reference."""
+        arrivals = PoissonArrivals(60.0, seed=31).times(500)
+        slow, fast = _build(n=4, p=3, seed=3), _build(n=4, p=3, seed=3)
+        slow.run_queries(arrivals, 3)
+        fast.run_queries_fast(arrivals, 3)
+        assert_deployments_identical(slow, fast)
+
+    def test_chunk_sizes_histogram(self):
+        arrivals = PoissonArrivals(40.0, seed=9).times(300)
+        fast = _build(n=10)
+        k = 100
+        result = fast.run_queries_fast(
+            arrivals,
+            4,
+            actions=[Action(k, arrivals[k - 1], lambda now: None, "none")],
+        )
+        # chunks cut at the action and at batch end
+        assert sum(result.chunk_sizes) == result.fast_scheduled == 300
+        assert result.chunk_sizes == [100, 200]
+        assert all(c <= CHUNK_CAP for c in result.chunk_sizes)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**10),
+        n=st.integers(min_value=6, max_value=14),
+        idxs=st.lists(
+            st.integers(min_value=0, max_value=119), min_size=1, max_size=4
+        ),
+    )
+    def test_random_action_schedules_differential(self, seed, n, idxs):
+        arrivals = PoissonArrivals(25.0, seed=seed).times(120)
+        kinds = ["update", "fail", "recover"]
+        slow, fast = _build(n=n, seed=seed + 1), _build(n=n, seed=seed + 1)
+        name = sorted(slow.servers)[seed % n]
+
+        def mk(dep, i, kind):
+            t = arrivals[i - 1] if i else 0.0
+            if kind == "update":
+                return (
+                    lambda now: dep.apply_update(now, at=(seed % 97) / 97.0)
+                    or None
+                ), "busy", t
+            if kind == "fail":
+                return (lambda now: dep.fail_node(name, now)), "values", t
+            return (
+                lambda now: dep.recover_node(name, now)
+                if dep.servers[name].failed
+                else None
+            ), "values", t
+
+        stimuli, fast_actions = [], []
+        for j, i in enumerate(sorted(idxs)):
+            kind = kinds[(seed + j) % 3]
+            fn_s, _, t = mk(slow, i, kind)
+            stimuli.append((i, lambda fn=fn_s, tt=t: fn(tt)))
+            fn_f, scope, t = mk(fast, i, kind)
+            fast_actions.append(Action(i, t, fn_f, scope))
+        _interleaved_reference(slow, arrivals, 4, stimuli)
+        fast.run_queries_fast(arrivals, 4, actions=fast_actions)
+        assert_deployments_identical(slow, fast)
+
+
+class TestEngineEdges:
+    def test_chunk_cap_splits_chunks(self, monkeypatch):
+        import repro.sim.fastpath as fp
+
+        monkeypatch.setattr(fp, "CHUNK_CAP", 64)
+        arrivals = PoissonArrivals(30.0, seed=5).times(200)
+        slow, fast = _build(n=10), _build(n=10)
+        slow.run_queries(arrivals, 4)
+        result = fast.run_queries_fast(arrivals, 4)
+        assert max(result.chunk_sizes) <= 64
+        assert len(result.chunk_sizes) >= 4
+        assert sum(result.chunk_sizes) == 200
+        assert_deployments_identical(slow, fast)
+
+    def test_multi_lane_servers_fall_back_to_reference(self):
+        slow, fast = _build(n=8), _build(n=8)
+        for dep in (slow, fast):
+            s = dep.servers["node-0"]
+            s.cores = 2
+            s._lane_busy_until = [0.0, 0.0]
+        arrivals = PoissonArrivals(20.0, seed=3).times(80)
+        slow.run_queries(arrivals, 4)
+        result = fast.run_queries_fast(arrivals, 4)
+        assert result.fast_scheduled == 0  # routed through the reference path
+        assert result.completed == 80
+        assert_deployments_identical(slow, fast)
+
+    def test_pq_below_stored_level_raises(self):
+        dep = _build(n=10, p=5)
+        with pytest.raises(ValueError, match="below stored partitioning"):
+            dep.run_queries_fast([0.1, 0.2], 3)

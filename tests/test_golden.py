@@ -134,3 +134,52 @@ class TestGoldenScenarios:
         assert res.dropped == 0
         assert res.mean_delay == pytest.approx(mean, rel=REL)
         assert res.p99_delay == pytest.approx(p99, rel=REL)
+
+
+class TestGoldenReconfigTraffic:
+    """Table 6.2's measured reconfiguration byte movement, pinned exactly.
+
+    The benchmark (`benchmarks/test_tab6_2.py`) asserts only the *ordering*
+    (ROAR cheaper than PTN, shrinking free); these pins freeze the measured
+    byte counts themselves.  All randomness flows through named
+    ``repro._rng`` streams, so the numbers are independent of test order
+    (the order-independence assertion below holds the line: re-running the
+    measurement after burning unrelated fallback streams must not move it).
+    """
+
+    N, P, D, OBJ_SIZE = 40, 8, 800, 100
+
+    # (roar p->p/2, roar p/2->p, ptn p->p/2, ptn p/2->p), bytes moved
+    EXPECTED = (400000, 0, 602000, 200000)
+
+    def _measure(self):
+        from repro._rng import ensure_rng
+        from repro.core.objects import generate_objects
+        from repro.rendezvous import PTN, RoarAlgorithm, ServerInfo
+
+        objects = generate_objects(
+            self.D, ensure_rng(None, seed=5), size=self.OBJ_SIZE
+        )
+        servers = [ServerInfo(f"node-{i}", 1.0) for i in range(self.N)]
+        roar = RoarAlgorithm(servers, p=self.P, rng=ensure_rng(None, seed=1))
+        roar.place(objects)
+        roar_down = roar.change_p(self.P // 2)  # grow replicas
+        roar_up = roar.change_p(self.P)  # shrink replicas (free)
+        ptn = PTN(servers, p=self.P, rng=ensure_rng(None, seed=1))
+        ptn.place(objects)
+        ptn_down = ptn.change_p(self.P // 2)
+        ptn_up = ptn.change_p(self.P)
+        return roar_down, roar_up, ptn_down, ptn_up
+
+    def test_pinned(self):
+        assert self._measure() == self.EXPECTED
+
+    def test_order_independent(self):
+        """The pin may not depend on how many unseeded components ran
+        before it (the classic seed-leakage failure mode)."""
+        from repro._rng import ensure_rng
+
+        first = self._measure()
+        for _ in range(11):  # burn fallback streams, shifting the counter
+            ensure_rng(None).random()
+        assert self._measure() == first == self.EXPECTED

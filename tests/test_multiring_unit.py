@@ -1,0 +1,135 @@
+"""Direct unit tests for :mod:`repro.core.multiring` (Section 4.7).
+
+The multi-ring math was previously exercised only through benchmarks
+(a ROADMAP coverage gap); these tests pin the choice-count formulas, the
+``r >= k`` constraint, and the cross-ring replication layout directly so
+the CI coverage floor can sit at 90%.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.ids import arcs_intersect
+from repro.core.multiring import (
+    choices_multiring,
+    choices_ptn,
+    choices_sw,
+    log_choices,
+    store_on_rings,
+    validate_ring_count,
+)
+from repro.core.node import RoarNode
+from repro.core.objects import generate_objects
+from repro.core.ring import Ring
+
+
+class TestChoiceCounts:
+    def test_sw_is_r(self):
+        assert choices_sw(6.0, 5) == 6.0
+        assert choices_sw(2.5, 99) == 2.5
+
+    def test_ptn_is_r_to_the_p(self):
+        assert choices_ptn(3.0, 4) == 81.0
+        assert choices_ptn(2.0, 10) == 1024.0
+        # p=1 degenerates to r, matching SW
+        assert choices_ptn(7.0, 1) == choices_sw(7.0, 1)
+
+    def test_multiring_paper_k2_formula(self):
+        # the paper's k=2 statement: r * 2^(p-1)
+        assert choices_multiring(4.0, 5, k=2) == 4.0 * 2**4
+        # k=1 collapses to the single-ring SW count
+        assert choices_multiring(4.0, 5, k=1) == choices_sw(4.0, 5)
+
+    def test_multiring_between_sw_and_ptn(self):
+        r, p, k = 4.0, 6, 2
+        assert (
+            choices_sw(r, p)
+            < choices_multiring(r, p, k)
+            < choices_ptn(r, p)
+        )
+
+    def test_validate_ring_count(self):
+        validate_ring_count(r=2.0, k=2)
+        with pytest.raises(ValueError, match="at least one ring"):
+            validate_ring_count(r=2.0, k=0)
+        with pytest.raises(ValueError, match="cannot support"):
+            validate_ring_count(r=1.5, k=2)
+        with pytest.raises(ValueError, match="cannot support"):
+            choices_multiring(1.0, 4, k=2)
+
+    def test_log_choices_matches_linear_forms(self):
+        r, p, k = 5.0, 7, 2
+        assert log_choices("sw", r, p) == pytest.approx(math.log(r))
+        assert log_choices("ptn", r, p) == pytest.approx(p * math.log(r))
+        assert log_choices("multiring", r, p, k) == pytest.approx(
+            math.log(choices_multiring(r, p, k))
+        )
+        with pytest.raises(ValueError, match="unknown kind"):
+            log_choices("quantum", r, p)
+
+    def test_log_choices_avoids_overflow(self):
+        # the linear form overflows around p ~ 700 for r=8; the log form
+        # is exactly why the helper exists
+        val = log_choices("ptn", 8.0, 5000)
+        assert math.isfinite(val)
+        assert val == pytest.approx(5000 * math.log(8.0))
+
+
+class TestStoreOnRings:
+    def _rings(self, sizes, seed=7):
+        rng = random.Random(seed)
+        rings = []
+        for rid, n in enumerate(sizes):
+            rings.append(
+                Ring.proportional(
+                    [rng.uniform(0.5, 2.0) for _ in range(n)],
+                    name_prefix=f"r{rid}n",
+                    ring_id=rid,
+                )
+            )
+        return rings
+
+    def test_every_ring_holds_a_full_copy(self):
+        rings = self._rings([5, 4])
+        stores = {n.name: RoarNode(n) for ring in rings for n in ring}
+        objects = generate_objects(60, random.Random(3))
+        p = 2.0
+        store_on_rings(rings, stores, objects, p)
+        for ring in rings:
+            for obj in objects:
+                holders = [
+                    n.name
+                    for n in ring
+                    if obj in stores[n.name].store
+                ]
+                assert holders, f"object {obj.oid} missing from a ring"
+
+    def test_replication_arc_is_one_over_p(self):
+        rings = self._rings([6])
+        ring = rings[0]
+        stores = {n.name: RoarNode(n) for n in ring}
+        objects = generate_objects(40, random.Random(9))
+        p = 2.0
+        store_on_rings(rings, stores, objects, p)
+        # a node holds exactly the objects whose replication arc
+        # [oid, oid + 1/p) intersects its range (independent arithmetic,
+        # not RoarNode.should_store)
+        for node in ring:
+            rng_arc = ring.range_of(node)
+            for obj in objects:
+                expected = arcs_intersect(
+                    obj.oid, 1.0 / p, rng_arc.start, rng_arc.length
+                )
+                assert (obj in stores[node.name].store) == expected
+
+    def test_higher_p_means_fewer_replicas(self):
+        rings = self._rings([8])
+        objects = generate_objects(50, random.Random(11))
+        totals = {}
+        for p in (2.0, 4.0):
+            stores = {n.name: RoarNode(n) for n in rings[0]}
+            store_on_rings(rings, stores, objects, p)
+            totals[p] = sum(len(s.store) for s in stores.values())
+        assert totals[4.0] < totals[2.0]

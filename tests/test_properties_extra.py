@@ -71,8 +71,46 @@ class TestBalancerProperty:
         for _ in range(rounds):
             balancer.step()
             ring.validate()
-        # Imbalance is non-increasing over the run as a whole.
-        assert balancer.imbalance() <= before + 1e-9
+        # A single round may transiently *raise* the max/mean metric: a
+        # pairwise move shifts range between different-speed nodes, which
+        # moves the mean while a third node still holds the max (hypothesis
+        # found seed=2598, n=11, rounds=1).  What the mechanism guarantees
+        # is boundedness -- every move is damped below the pair's load gap,
+        # so the metric can never leave [1, n] nor explode past its start
+        # by more than one damped step's worth of mean shift.
+        after = balancer.imbalance()
+        assert 1.0 - 1e-9 <= after <= n + 1e-9
+        assert after <= before * (1.0 + balancer.config.max_step) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=2, max_value=12),
+    )
+    def test_balancing_converges_and_settles(self, seed, n):
+        # The end-to-end guarantee (Fig 7.9/7.10): the balancer reaches a
+        # fixed point where every adjacent alive pair sits inside the
+        # hysteresis band -- the paper's stop condition -- and the global
+        # metric ends no worse than one hysteresis width above its start
+        # (a quiescent state may sit marginally above the starting metric
+        # when the start was already near-balanced: seed 1504 ends 0.1%
+        # up; what is excluded is any real degradation).
+        rng = random.Random(seed)
+        ring = Ring.uniform(n, speeds=[rng.uniform(0.2, 4.0) for _ in range(n)])
+        balancer = LoadBalancer(ring)
+        before = balancer.imbalance()
+        balancer.run_until_stable(max_rounds=500)
+        ring.validate()
+        assert balancer.step() == 0  # a fixed point, not a round limit
+        thresh = balancer.config.threshold
+        nodes = ring.alive_nodes()
+        for node in nodes:
+            succ = ring.successor(node)
+            if succ is node:
+                continue
+            la, lb = balancer.load_of(node), balancer.load_of(succ)
+            assert abs(la - lb) / max(la, lb) < thresh + 1e-9
+        assert balancer.imbalance() <= before * (1.0 + thresh) + 1e-9
 
 
 class TestMembershipEditsProperty:

@@ -279,3 +279,63 @@ class TestMatrixCLI:
         from repro.cli import main
 
         assert main(["matrix", "--scenario", "nope"]) == 2
+
+
+class TestExactEventTime:
+    """The action queue: stimuli land between two specific queries."""
+
+    def test_event_lands_between_exact_queries(self):
+        # Replay trace so the arrival order is explicit: the fail at t=2.5
+        # must be visible to the query at t=3.0, with no batch-boundary lag.
+        trace = (1.0, 2.0, 3.0, 4.0, 5.0)
+        sc = small(
+            workload=WorkloadSpec(kind="replay", trace=trace),
+            events=(EventSpec(at=2.5, action="fail", target="node-1"),),
+        )
+        res = run_scenario_spec(sc, engine="batched")
+
+        # manual reference interleaving -- the ground truth
+        dep = build_deployment(sc)
+        for t in (1.0, 2.0):
+            dep.run_query(t, sc.p)
+        dep.fail_node("node-1", 2.5)
+        for t in (3.0, 4.0, 5.0):
+            dep.run_query(t, sc.p)
+        got = run_scenario_spec(sc, engine="reference")
+        assert res.mean_delay == got.mean_delay
+        ref_delays = [r.delay for r in dep.log.records]
+        run = run_scenario_spec(sc, engine="batched")
+        assert run.completed == len(ref_delays)
+        assert run.mean_delay == sum(ref_delays) / len(ref_delays)
+
+    def test_engines_agree_with_exact_time_updates(self):
+        sc = small(
+            updates=UpdateSpec(rate=40.0, zipf_s=1.3, hotspots=6),
+            events=(EventSpec(at=4.0, action="fail", count=1),
+                    EventSpec(at=7.0, action="recover")),
+        )
+        r_ref = run_scenario_spec(sc, engine="reference")
+        r_fast = run_scenario_spec(sc, engine="batched")
+        assert r_ref.updates_applied == r_fast.updates_applied > 100
+        assert r_ref.mean_delay == r_fast.mean_delay
+        assert r_ref.p99_delay == r_fast.p99_delay
+        assert r_ref.offered == r_fast.offered
+
+    def test_set_pq_after_inflight_repartition_completes(self):
+        # Regression: the set-pq action pumps the simulation, which can
+        # complete an in-flight repartition (p 3 -> 2 downloads finishing
+        # inside the action).  The batched engine's stored-level mirror
+        # must refresh, or pq=2 would be rejected against a stale p=3.
+        sc = small(
+            workload=WorkloadSpec(kind="poisson", rate=8.0, duration=14.0),
+            events=(
+                EventSpec(at=2.0, action="repartition", value=2),
+                EventSpec(at=9.0, action="set-pq", value=2),
+            ),
+            store_objects=True,
+        )
+        r_fast = run_scenario_spec(sc, engine="batched")
+        r_ref = run_scenario_spec(sc, engine="reference")
+        assert r_fast.p_store_end == r_ref.p_store_end == 2.0
+        assert r_fast.pq_end == r_ref.pq_end == 2
+        assert r_fast.mean_delay == r_ref.mean_delay
