@@ -8,8 +8,11 @@ from ..pps.index_based import (
     pps_bandwidth,
 )
 from .availability import (
+    coverage_unavailability_mc,
+    max_dead_run_length,
     multiring_unavailability_mc,
     ptn_unavailability,
+    ring_unavailability_mc,
     roar_run_unavailability,
     roar_unavailability_mc,
     sw_unavailability,
@@ -39,11 +42,14 @@ __all__ = [
     "index_bandwidth",
     "loaded_delay",
     "message_costs",
+    "coverage_unavailability_mc",
+    "max_dead_run_length",
     "multiring_unavailability_mc",
     "optimal_delta_max",
     "optimal_r",
     "pps_bandwidth",
     "ptn_unavailability",
+    "ring_unavailability_mc",
     "roar_run_unavailability",
     "roar_unavailability_mc",
     "sw_unavailability",

@@ -17,6 +17,20 @@ independent fail-stop probability ``f`` per server:
   ring (~``n * f^r * (1-f)`` for small f -- PTN-like).  Multi-ring ROAR
   needs a simultaneous dead run in *every* ring over the same object,
   computed by Monte Carlo.
+
+The node-count models above implicitly assume **uniform ranges** (every
+dead run of k nodes covers exactly ``k/n`` of the ring).  The deployed
+fall-back (:mod:`repro.core.failures`) is stricter and *geometric*: it
+treats a maximal contiguous run of dead nodes as one hole and raises
+:class:`~repro.core.failures.FailureCoverageError` -- an honest dropped
+query, never a silent partial harvest -- exactly when the hole's **range
+length** reaches the replacement width ``1/p_store - delta``.  On rings
+balanced by speed (Section 4.6) ranges are deliberately unequal, so a
+run of *few, wide* nodes can lose coverage while ``r`` narrow ones
+cannot.  :func:`coverage_unavailability_mc` / :func:`ring_unavailability_mc`
+model that run-length condition directly over the actual range lengths;
+for uniform rings they coincide with :func:`roar_unavailability_mc`
+(``k/n >= 1/p`` iff ``k >= r``), which the tests assert trial for trial.
 """
 
 from __future__ import annotations
@@ -30,6 +44,9 @@ __all__ = [
     "sw_unavailability",
     "roar_run_unavailability",
     "roar_unavailability_mc",
+    "coverage_unavailability_mc",
+    "ring_unavailability_mc",
+    "max_dead_run_length",
     "multiring_unavailability_mc",
 ]
 
@@ -73,6 +90,98 @@ def roar_unavailability_mc(
         if _has_dead_run(alive, r):
             bad += 1
     return bad / trials
+
+
+def max_dead_run_length(
+    lengths: Sequence[float], alive: Sequence[bool]
+) -> float:
+    """Longest circular run of dead nodes, measured in *range length*.
+
+    ``lengths[i]`` is node i's range length (ring order, summing to ~1);
+    the run metric is what the failure fall-back compares against the
+    replacement width ``1/p_store - delta`` (see ``core.failures``).
+    Returns 1.0 when every node is dead.
+    """
+    n = len(alive)
+    if n != len(lengths):
+        raise ValueError("lengths and alive must have equal length")
+    if not any(alive):
+        return 1.0
+    best = 0.0
+    run = 0.0
+    # walk twice around to catch wrapping runs; runs reset at live nodes
+    for i in range(2 * n):
+        if not alive[i % n]:
+            run += lengths[i % n]
+            if run > best:
+                best = run
+        else:
+            run = 0.0
+        if i >= n and run == 0.0:
+            break  # past the wrap with no open run: nothing new can grow
+    return min(best, 1.0)
+
+
+def coverage_unavailability_mc(
+    lengths: Sequence[float],
+    p_store: float,
+    f: float,
+    delta: float = 0.0,
+    trials: int = 20_000,
+    seed: int = 0,
+) -> float:
+    """Monte Carlo strict unavailability under run-length coverage loss.
+
+    A trial fails when some contiguous dead run's total *range length*
+    reaches the replacement width ``1/p_store - delta`` -- precisely the
+    condition under which :func:`repro.core.failures.replacement_subqueries`
+    raises :class:`~repro.core.failures.FailureCoverageError` and the
+    deployment records an honest drop.  Unlike the node-count model
+    (:func:`roar_unavailability_mc`), this is exact for heterogeneous
+    rings whose ranges were balanced to speed: one very fast (wide) dead
+    node can exceed the width on its own while many slow (narrow) ones
+    cannot.
+
+    Alive draws match :func:`roar_unavailability_mc` (one uniform draw
+    per node per trial, same order), so on uniform rings the two agree
+    trial for trial.
+    """
+    from ..core.ids import EPS
+
+    _check_f(f)
+    if p_store <= 0:
+        raise ValueError(f"p_store must be positive, got {p_store}")
+    width = 1.0 / float(p_store) - delta
+    rng = random.Random(seed)
+    n = len(lengths)
+    bad = 0
+    for _ in range(trials):
+        alive = [rng.random() >= f for _ in range(n)]
+        # span = width - run <= EPS is exactly when replacement_subqueries
+        # gives up (core/failures.py) -- replicate the comparison
+        if width - max_dead_run_length(lengths, alive) <= EPS:
+            bad += 1
+    return bad / trials
+
+
+def ring_unavailability_mc(
+    ring,
+    p_store: float,
+    f: float,
+    delta: float = 0.0,
+    trials: int = 20_000,
+    seed: int = 0,
+) -> float:
+    """:func:`coverage_unavailability_mc` over a live ``core.Ring``.
+
+    Reads the actual node range lengths in ring order, so the estimate
+    reflects whatever balancing/reconfiguration has done to the layout.
+    """
+    nodes = ring.nodes()
+    lengths = [ring.range_of(node).length for node in nodes]
+    return coverage_unavailability_mc(
+        lengths, p_store, f, delta=delta, trials=trials, seed=seed
+    )
 
 
 def multiring_unavailability_mc(

@@ -9,6 +9,15 @@ chunk-size histogram.  Committing one snapshot per optimisation PR gives
 the repo a *trajectory* -- the numbers that justify each engine change stay
 reproducible instead of living in PR descriptions.
 
+Each sweep also carries a **per-kernel matrix dimension**: every
+registered scheduling kernel (see :mod:`repro.kernels`) that can run in
+this environment is timed over the full trace, reporting whole-engine and
+sweep-only us/query, its sweep speedup over the ``exact_numpy`` oracle,
+and whether its results matched the oracle bit for bit.  Kernels that
+cannot run (e.g. ``compiled`` without a C toolchain) are recorded as
+unavailable with the reason -- the CI artifact shows what the runner
+could and could not build, without failing the gate over it.
+
 ``repro bench --check benchmarks/baseline.json`` is the CI gate.  Absolute
 us/query is machine-dependent (shared CI runners differ wildly), so the
 gate compares **speedup-vs-reference ratios**, which divide the machine
@@ -34,7 +43,7 @@ import platform
 import subprocess
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 __all__ = [
     "PROFILES",
@@ -100,10 +109,29 @@ def _chunk_histogram(chunk_sizes) -> dict[str, int]:
     return dict(sorted(hist.items(), key=lambda kv: int(kv[0][2:])))
 
 
-def run_sweep(spec: SweepSpec) -> dict:
-    """Run one sweep; returns the JSON-ready result dict."""
+def run_sweep(spec: SweepSpec, kernels: Sequence[str] | None = None) -> dict:
+    """Run one sweep; returns the JSON-ready result dict.
+
+    *kernels* names the scheduling kernels to time on top of the default
+    batched run (default: every registered kernel available in this
+    environment).  Each kernel row reports whole-engine us/query plus the
+    sweep-only us/query (the deployment's accumulated scheduling
+    wall-clock), and whether its per-query delays matched the exact run
+    bit for bit -- the per-kernel matrix dimension the CI artifact carries.
+    """
     from .cluster import Deployment, DeploymentConfig, hen_testbed
+    from .kernels import DEFAULT_KERNEL, get_kernel, kernel_names
+    from .kernels.base import KernelUnavailableError
+    from .kernels.registry import canonical_spec
     from .sim import batched_poisson_times
+
+    # validate + canonicalise the requested kernels (resolve aliases, catch
+    # typos) BEFORE the sweeps run: an unknown name must fail in
+    # milliseconds, not after minutes of benchmarking
+    requested = [
+        canonical_spec(name)
+        for name in (kernels if kernels is not None else kernel_names())
+    ]
 
     def build():
         return Deployment(
@@ -123,6 +151,8 @@ def run_sweep(spec: SweepSpec) -> dict:
     result = fast.run_queries_fast(arrivals, spec.pq)
     fast_wall = time.perf_counter() - t0
     fast_us = 1e6 * fast_wall / spec.queries
+    exact_delays = [r.delay for r in fast.log.records]
+    exact_sweep_us = 1e6 * fast.scheduling_wallclock / spec.queries
 
     ref = build()
     n_ref = min(spec.ref_queries, spec.queries)
@@ -133,9 +163,39 @@ def run_sweep(spec: SweepSpec) -> dict:
 
     # the speedup is meaningless unless the engines agree: compare the
     # reference subset's delays against the batched run, bit for bit
-    identical = [r.delay for r in ref.log.records] == [
-        r.delay for r in fast.log.records[:n_ref]
-    ]
+    identical = [r.delay for r in ref.log.records] == exact_delays[:n_ref]
+
+    # per-kernel dimension: the default run above *is* the exact_numpy row
+    kernel_rows: dict[str, dict] = {
+        DEFAULT_KERNEL: {
+            "available": True,
+            "us_per_query": round(fast_us, 3),
+            "sweep_us_per_query": round(exact_sweep_us, 3),
+            "sweep_speedup_vs_exact": 1.0,
+            "identical_to_exact": True,
+        }
+    }
+    for name in requested:
+        if name in kernel_rows:
+            continue
+        try:
+            kernel = get_kernel(name)
+        except KernelUnavailableError as exc:
+            kernel_rows[name] = {"available": False, "reason": str(exc)}
+            continue
+        dep = build()
+        t0 = time.perf_counter()
+        dep.run_queries_fast(arrivals, spec.pq, kernel=kernel)
+        wall = time.perf_counter() - t0
+        sweep_us = 1e6 * dep.scheduling_wallclock / spec.queries
+        kernel_rows[name] = {
+            "available": True,
+            "us_per_query": round(1e6 * wall / spec.queries, 3),
+            "sweep_us_per_query": round(sweep_us, 3),
+            "sweep_speedup_vs_exact": round(exact_sweep_us / sweep_us, 2),
+            "identical_to_exact": [r.delay for r in dep.log.records]
+            == exact_delays,
+        }
 
     return {
         "servers": spec.servers,
@@ -151,6 +211,7 @@ def run_sweep(spec: SweepSpec) -> dict:
         "delegated": result.delegated,
         "chunks": len(result.chunk_sizes),
         "chunk_size_histogram": _chunk_histogram(result.chunk_sizes),
+        "kernels": kernel_rows,
     }
 
 
@@ -169,7 +230,9 @@ def _revision() -> str:
     return "unknown"
 
 
-def collect(profile: str = "full", progress=None) -> dict:
+def collect(
+    profile: str = "full", progress=None, kernels: Sequence[str] | None = None
+) -> dict:
     """Run every sweep of *profile* and assemble the snapshot dict."""
     if profile not in PROFILES:
         raise ValueError(
@@ -177,7 +240,7 @@ def collect(profile: str = "full", progress=None) -> dict:
         )
     sweeps = {}
     for spec in PROFILES[profile]:
-        sweeps[spec.name] = run_sweep(spec)
+        sweeps[spec.name] = run_sweep(spec, kernels=kernels)
         if progress is not None:
             progress(spec.name, sweeps[spec.name])
     return {
@@ -246,6 +309,19 @@ def render_report(snapshot: dict, baseline: Optional[dict] = None) -> str:
             f"{s['speedup_vs_reference']:>7.1f}x {s['chunks']:>7d} "
             f"{'yes' if s['identical_sample'] else 'NO':>3s}{base}"
         )
+        for kname, k in s.get("kernels", {}).items():
+            if not k.get("available", False):
+                lines.append(
+                    f"  kernel {kname:12s} unavailable "
+                    f"({k.get('reason', 'unknown')})"
+                )
+                continue
+            lines.append(
+                f"  kernel {kname:12s} {k['us_per_query']:>8.1f} us/q  "
+                f"sweep {k['sweep_us_per_query']:>6.1f} us/q  "
+                f"{k['sweep_speedup_vs_exact']:>5.2f}x sweep  "
+                f"{'exact' if k['identical_to_exact'] else 'diverges'}"
+            )
     return "\n".join(lines)
 
 
@@ -267,7 +343,21 @@ def main_bench(args) -> int:
     if args.check:
         with open(args.check) as fh:
             baseline = json.load(fh)
-    snapshot = collect(args.profile, progress=progress)
+    kernels = None
+    raw_kernels = getattr(args, "kernels", None)
+    if raw_kernels is not None:
+        from .kernels.registry import canonical_spec
+
+        try:
+            kernels = [
+                canonical_spec(k.strip())
+                for k in raw_kernels.split(",")
+                if k.strip()
+            ]
+        except ValueError as exc:
+            print(f"bad --kernels: {exc}", file=sys.stderr)
+            return 2
+    snapshot = collect(args.profile, progress=progress, kernels=kernels)
     print(render_report(snapshot, baseline))
 
     out = args.out or f"BENCH_{snapshot['revision']}.json"

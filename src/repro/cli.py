@@ -107,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     mtx.add_argument("--engine", default="batched",
                      choices=["batched", "reference"],
                      help="batched fast path or per-query reference path")
+    mtx.add_argument("--kernel", default=None, metavar="NAME",
+                     help="scheduling kernel for the batched engine "
+                          "(exact_numpy, compiled, approx_topk[:k=v,...]; "
+                          "see `repro kernels`)")
     mtx.add_argument("--seed", type=int, default=1)
     mtx.add_argument("--csv", default=None, metavar="PATH",
                      help="also write the table as CSV")
@@ -128,6 +132,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-regression", type=float, default=0.30,
                        help="tolerated relative speedup regression vs the "
                             "baseline (default 0.30)")
+    bench.add_argument("--kernels", default=None, metavar="LIST",
+                       help="comma list of scheduling kernels to time per "
+                            "sweep (default: every available kernel)")
+
+    kern = sub.add_parser(
+        "kernels",
+        help="list scheduling kernels (availability, exactness, "
+             "optionally battery divergence)",
+    )
+    kern.add_argument("--divergence", action="store_true",
+                      help="also run the differential harness against the "
+                           "exact oracle over the builtin battery")
+    kern.add_argument("--servers", type=int, default=40,
+                      help="battery fleet size for --divergence")
+    kern.add_argument("--duration", type=float, default=15.0,
+                      help="battery duration for --divergence")
 
     demo = sub.add_parser("pps-demo", help="encrypted search demo")
     demo.add_argument("--files", type=int, default=200)
@@ -276,7 +296,9 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
               f"p99 {result.p99_delay * 1000:.0f} ms, "
               f"{result.wall_seconds:.2f}s wall", file=sys.stderr)
 
-    res = run_matrix(scenarios, engine=args.engine, progress=progress)
+    res = run_matrix(
+        scenarios, engine=args.engine, kernel=args.kernel, progress=progress
+    )
     print(res.table())
     if args.csv:
         with open(args.csv, "w") as fh:
@@ -289,6 +311,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import main_bench
 
     return main_bench(args)
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from .kernels import kernel_specs
+
+    print(f"{'kernel':14s} {'exact':6s} {'available':10s} description")
+    for row in kernel_specs():
+        exact = "-" if row["exact"] is None else ("yes" if row["exact"] else "no")
+        avail = "yes" if row["available"] else "NO"
+        desc = row["description"] or row["reason"] or ""
+        print(f"{row['name']:14s} {exact:6s} {avail:10s} {desc}")
+    if args.divergence:
+        from .kernels.divergence import battery_divergence, render_divergence
+
+        if args.servers < 2:
+            print("--servers must be >= 2", file=sys.stderr)
+            return 2
+        p = min(5, args.servers)  # scenarios require p <= n_servers
+        for row in kernel_specs():
+            if not row["available"] or row["name"] == "exact_numpy":
+                continue
+            print(f"\n[{row['name']}] vs exact_numpy over the builtin battery "
+                  f"(n={args.servers}, p={p}, {args.duration:g}s):")
+            print(render_divergence(battery_divergence(
+                row["name"], n_servers=args.servers, duration=args.duration,
+                p=p,
+            )))
+    return 0
 
 
 def _cmd_pps_demo(args: argparse.Namespace) -> int:
@@ -328,6 +378,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "control": _cmd_control,
         "matrix": _cmd_matrix,
         "bench": _cmd_bench,
+        "kernels": _cmd_kernels,
         "pps-demo": _cmd_pps_demo,
     }
     return handlers[args.command](args)

@@ -389,6 +389,7 @@ class Deployment:
         pq_fn: Callable[[float], int] | int | None = None,
         record_assignments: bool = False,
         actions: Sequence | None = None,
+        kernel=None,
     ):
         """Run an arrival trace through the batched query path.
 
@@ -397,7 +398,9 @@ class Deployment:
         :func:`repro.sim.fastpath.run_queries_fast`.  *actions* schedules
         :class:`~repro.sim.fastpath.Action` callbacks (events, updates,
         control ticks) to land between two specific queries with exact
-        event-time semantics.
+        event-time semantics.  *kernel* selects the scheduling kernel by
+        registry name (default ``exact_numpy``, the bit-exact oracle; see
+        :mod:`repro.kernels`).
         """
         from ..sim.fastpath import run_queries_fast
 
@@ -407,6 +410,7 @@ class Deployment:
             pq_fn,
             record_assignments=record_assignments,
             actions=actions,
+            kernel=kernel,
         )
 
     # -- updates (Fig 7.4) ------------------------------------------------------------

@@ -1,0 +1,199 @@
+"""The bounded-approximate kernel: a sampled sweep with a stated contract.
+
+Following the Contracts discipline, an operating point that trades
+exactness for speed must say *how much* exactness it trades.  This kernel
+samples the configuration axis of the sweep instead of evaluating every
+candidate rotation, and ships with a documented deviation bound that the
+differential harness (:mod:`repro.kernels.divergence`) measures against
+the exact oracle on the full builtin scenario battery -- the tests in
+``tests/test_kernels.py`` fail if the measured divergence ever exceeds
+the documented bound.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
+from .base import DeviationBound, PqEntry, SweepKernel, SweepState, assignment_at
+
+__all__ = ["ApproxTopKKernel"]
+
+
+class _SampleView:
+    """Per-entry strided sample of the owner timelines, cached on ext."""
+
+    __slots__ = ("indices", "owners_sub", "mask", "has_mask", "noeval_list", "dense")
+
+    def __init__(self, entry: PqEntry, stride: int) -> None:
+        n_configs = entry.n_configs
+        #: small config spaces are evaluated densely: sampling ~stride
+        #: configurations saves nothing and the coarse pass would miss a
+        #: large fraction of the space -- below the cutoff this kernel is
+        #: exact by construction.
+        self.dense = n_configs <= 4 * stride
+        if self.dense:
+            stride = 1
+        #: sampled config indices as a plain list (scalar lookup per query).
+        self.indices = list(range(0, n_configs, stride))
+        # contiguous copies: a strided gather per query would defeat the
+        # point of sampling
+        self.owners_sub = [
+            np.ascontiguousarray(own[:, ::stride]) for own in entry.owners
+        ]
+        # pre-masked +inf rows for never-evaluated configurations
+        mask = np.zeros(len(self.indices), dtype=bool)
+        noeval = set(entry.noeval.tolist())
+        for j, c in enumerate(self.indices):
+            if c in noeval:
+                mask[j] = True
+        self.mask = mask
+        self.has_mask = bool(mask.any())
+        self.noeval_list = sorted(noeval)
+
+
+class ApproxTopKKernel(SweepKernel):
+    """Coarse-to-fine sampled argmin over the rotation sweep.
+
+    Evaluates every ``stride``-th candidate configuration (config 0 -- the
+    initial placement -- is always sampled), then densely re-evaluates the
+    ``2*stride - 1`` configurations around each of the ``top_k`` best
+    coarse candidates and commits the best examined configuration (first
+    config index on ties, matching the oracle's first-wins rule *within
+    the examined set*).  The examined set is ``~n_configs/stride +
+    top_k * 2 * stride`` configurations instead of ``n_configs``, so the
+    sweep's O(n*pq) gather/max/argmin shrinks by roughly the stride
+    factor.  The win is *scale-dependent*: numpy dispatch overhead floors
+    the cost at small fleets (~parity at 1k servers), and the saving
+    grows with the configuration count (~1.4x at 3k servers, stride=8).
+    When a C toolchain is available, the ``compiled`` kernel is both
+    faster and exact -- this kernel is the escape hatch for huge fleets
+    without one.
+
+    Config spaces of at most ``4 * stride`` candidates are evaluated
+    densely (sampling a dozen configurations saves nothing), so on small
+    fleets this kernel degenerates to the exact oracle by construction.
+
+    **Deviation bound** (the documented contract, validated by
+    ``tests/test_kernels.py`` via :mod:`repro.kernels.divergence` on all
+    8 builtin scenarios at ``n_servers=40, p=5`` -- large enough that
+    sampling actually engages -- with the defaults ``stride=8, top_k=1``):
+
+    * per decision, on identical engine state: at most ``60%`` of queries
+      pick a different server set than the oracle, and the 99th percentile
+      of relative predicted-makespan regret (never negative -- the
+      examined set is a subset of the oracle's) stays within ``200%``;
+    * end-to-end trajectory, between independent runs (feedback included:
+      one divergent choice perturbs every later queue state): the 99th
+      percentile of per-query relative completion-latency deviation stays
+      within ``250%`` and the run-level mean completion latency within
+      ``30%``.
+
+    Outside sustained saturation the measured deviation is zero or near
+    zero on every battery scenario; the tail of the bound is carried
+    entirely by the overloaded flash-crowd compositions, where the
+    makespan landscape across configurations is jagged and sampling pays
+    its worst case.  The bound is exposed programmatically as
+    :attr:`bound` so the tests and the docstring cannot drift apart.
+    """
+
+    name = "approx_topk"
+    exact = False
+    description = "strided sweep + local refinement; documented deviation bound"
+
+    #: the documented contract (see class docstring; keep the two in sync).
+    bound = DeviationBound(
+        decision_divergence=0.60,
+        makespan_regret_p99=2.00,
+        latency_rel_p99=2.50,
+        mean_delay_rel=0.30,
+    )
+
+    def __init__(self, stride: int = 8, top_k: int = 1) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        self.stride = stride
+        self.top_k = top_k
+        self._ext_key = f"{self.name}:{stride}"
+
+    def select(
+        self, state: SweepState, entry: PqEntry, now: float
+    ) -> tuple[list[int], list[float], float]:
+        est = state.est
+        np.subtract(state.busy, now, out=est)
+        np.maximum(est, 0.0, out=est)
+        np.add(est, state.fe_fixed, out=est)
+        np.add(est, entry.Q, out=est)
+
+        view = entry.ext.get(self._ext_key)
+        if view is None:
+            view = _SampleView(entry, self.stride)
+            entry.ext[self._ext_key] = view
+        # -- coarse pass over the sampled configurations -------------------
+        if state.single_ring:
+            fin = est[view.owners_sub[0]]
+        else:
+            fin = est[state.ring_lo[0] : state.ring_hi[0]][view.owners_sub[0]]
+            for r in range(1, state.n_rings):
+                other = est[state.ring_lo[r] : state.ring_hi[r]][
+                    view.owners_sub[r]
+                ]
+                np.minimum(fin, other, out=fin)
+        mk = fin.max(axis=0)
+        if view.has_mask:
+            mk[view.mask] = np.inf
+        if view.dense:  # small config space: the coarse pass was exact
+            start_id = entry.csi[int(mk.argmin())]
+            g_list, pts = assignment_at(state, entry, est, start_id)
+            return g_list, pts, start_id
+
+        # -- dense refinement around the top-k coarse candidates -----------
+        # (one basin is not enough: under saturation the makespan landscape
+        # is jagged and the global minimum often hides between samples of a
+        # non-winning basin -- top-k windows cap the regret tail)
+        if self.top_k == 1:
+            top = [int(mk.argmin())]
+        else:
+            k = min(self.top_k, len(view.indices))
+            top = np.argpartition(mk, k - 1)[:k].tolist()
+        best = -1
+        best_mk = np.inf
+        indices = view.indices
+        stride = self.stride
+        n_configs = entry.n_configs
+        for t in sorted(top):
+            coarse = indices[t]
+            lo = max(0, coarse - stride + 1)
+            hi = min(n_configs, coarse + stride)
+            if state.single_ring:
+                finw = est[entry.owners[0][:, lo:hi]]
+            else:
+                finw = est[state.ring_lo[0] : state.ring_hi[0]][
+                    entry.owners[0][:, lo:hi]
+                ]
+                for r in range(1, state.n_rings):
+                    other = est[state.ring_lo[r] : state.ring_hi[r]][
+                        entry.owners[r][:, lo:hi]
+                    ]
+                    np.minimum(finw, other, out=finw)
+            mkw = finw.max(axis=0)
+            if view.noeval_list:
+                for c in view.noeval_list:
+                    if lo <= c < hi:
+                        mkw[c - lo] = np.inf
+            j = int(mkw.argmin())
+            val = float(mkw[j])
+            # first-wins on ties, in ascending config order (windows are
+            # visited sorted and may overlap; strict < keeps the earliest)
+            cand = lo + j
+            if val < best_mk or (val == best_mk and cand < best):
+                best_mk = val
+                best = cand
+        start_id = entry.csi[best]
+
+        g_list, pts = assignment_at(state, entry, est, start_id)
+        return g_list, pts, start_id

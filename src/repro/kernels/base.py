@@ -1,0 +1,274 @@
+"""The scheduling-kernel ABI: the narrow seam the batched engine schedules through.
+
+The batched query engine (:mod:`repro.sim.fastpath`) spends roughly half of
+its per-query budget inside one block: evaluate every server's finish
+estimate, replay the precomputed rotation sweep (gather owners, min across
+rings, max across points, first-wins argmin across evaluated
+configurations), and re-derive the final assignment at the winning start
+id.  Everything else in the engine is accounting.  This module names that
+block as an interface -- :class:`SweepKernel` -- so implementations can
+compete on speed or trade exactness for speed *behind a stated contract*,
+while the engine, the accounting, and the failure fall-back stay shared.
+
+The ABI (``SweepKernel.select(state, entry, now) -> (server_set, points,
+start_id)``) is deliberately narrow:
+
+* ``state`` is a :class:`SweepState`: the engine's always-fresh per-server
+  mirrors (busy-until, a scratch estimate buffer) plus the static ring
+  geometry of the current batch segment.  The engine rebuilds it whenever
+  an action may have moved membership and calls :meth:`SweepKernel.bind`
+  so kernels can re-derive cached views (e.g. raw pointers).
+* ``entry`` is a :class:`PqEntry`: per-(rings, pq) static data resolved
+  from the :class:`~repro.core.covertable.CoverTable`, including the
+  pre-divided work/speed quotients the estimate needs.
+* the return value is the *complete* scheduling decision: global server
+  indices per sub-query, the query points, and the chosen start id.  The
+  engine commits it without re-deriving anything, so a kernel's choice is
+  exactly what executes.
+
+Exactness contract: a kernel with ``exact = True`` promises bit-identical
+decisions to :class:`~repro.kernels.exact.ExactNumpyKernel` (the oracle,
+which is byte-for-byte the engine's original inline code).  A kernel with
+``exact = False`` must document its deviation bound in its docstring as a
+:class:`DeviationBound`, and the differential harness
+(:mod:`repro.kernels.divergence`) measures it against the oracle on the
+builtin scenario battery.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.covertable import CoverTable
+
+__all__ = [
+    "DeviationBound",
+    "KernelUnavailableError",
+    "PqEntry",
+    "SweepKernel",
+    "SweepState",
+    "assignment_at",
+]
+
+
+class KernelUnavailableError(RuntimeError):
+    """A kernel cannot run in this environment (e.g. no C toolchain)."""
+
+
+@dataclass(frozen=True)
+class DeviationBound:
+    """The documented contract of an inexact kernel.
+
+    Measured by :mod:`repro.kernels.divergence` on the 8-scenario builtin
+    battery; the kernel's tests assert every scenario stays inside it.
+    Two kinds of guarantee, because they behave very differently:
+
+    **Per-decision** (the approximation itself, measured shadow-style on
+    identical engine state):
+
+    * ``decision_divergence`` -- maximum fraction of per-query decisions
+      that pick a different server set than the oracle *given the same
+      mirrors*;
+    * ``makespan_regret_p99`` -- maximum 99th percentile of the relative
+      predicted-makespan excess of the kernel's choice over the oracle's
+      on the same state (>= 0 by construction when the kernel examines a
+      subset of the oracle's candidates).
+
+    **End-to-end trajectory** (what a user of the approximate mode
+    experiences; necessarily looser, since one divergent choice perturbs
+    queue state and compounds):
+
+    * ``latency_rel_p99`` -- maximum 99th percentile of per-query relative
+      completion-latency deviation ``|d_k - d_oracle| / d_oracle`` between
+      independent runs of the two kernels;
+    * ``mean_delay_rel`` -- maximum relative deviation of the run-level
+      mean completion latency.
+    """
+
+    decision_divergence: float
+    makespan_regret_p99: float
+    latency_rel_p99: float
+    mean_delay_rel: float
+
+
+class SweepState:
+    """Per-batch-segment view the engine hands every ``select`` call.
+
+    Rebuilt (a fresh instance) whenever an action may have changed ring
+    membership; the arrays inside are the engine's live mirrors, updated in
+    place between queries, so a kernel may cache the *objects* (or their
+    raw pointers) for the lifetime of one state and trust their contents
+    to be exact at every call.
+    """
+
+    __slots__ = (
+        "busy",
+        "est",
+        "fe_fixed",
+        "n",
+        "ring_lo",
+        "ring_hi",
+        "ring_starts",
+        "n_rings",
+        "single_ring",
+    )
+
+    def __init__(
+        self,
+        busy: "np.ndarray",
+        est: "np.ndarray",
+        fe_fixed: float,
+        ring_lo: Sequence[int],
+        ring_hi: Sequence[int],
+        ring_starts: Sequence[Sequence[float]],
+    ) -> None:
+        self.busy = busy
+        self.est = est
+        self.fe_fixed = fe_fixed
+        self.n = len(busy)
+        self.ring_lo = list(ring_lo)
+        self.ring_hi = list(ring_hi)
+        self.ring_starts = [list(s) for s in ring_starts]
+        self.n_rings = len(self.ring_lo)
+        self.single_ring = self.n_rings == 1
+
+
+class PqEntry:
+    """Per-(rings, pq) static data resolved once per batch segment.
+
+    Thin, kernel-facing repackaging of a
+    :class:`~repro.core.covertable.CoverTable`: owner timelines per ring,
+    the non-evaluated configuration indices, candidate start ids, the query
+    point offsets, and ``Q = work * dataset / speed_estimate`` -- the one
+    mutable array, maintained scatter-wise by the engine on every EWMA
+    update so the per-query estimate costs two adds on top of the backlog
+    clip.  ``ext`` is scratch space for kernels to stash derived caches
+    (compiled pointer blocks, strided sample views) keyed by kernel name.
+    """
+
+    __slots__ = (
+        "table",
+        "owners",
+        "noeval",
+        "csi",
+        "offs",
+        "off0",
+        "wd",
+        "Q",
+        "iterations",
+        "estimates",
+        "ext",
+    )
+
+    def __init__(
+        self, table: "CoverTable", pq: int, dataset: float, spd: "np.ndarray"
+    ) -> None:
+        self.table = table
+        #: per-ring (pq, n_configs) owner timelines, ring-local indices.
+        self.owners = [rt.owner_timeline for rt in table.ring_tables]
+        self.noeval = np.nonzero(~table.evaluated)[0]
+        self.csi = table.config_start_id.tolist()
+        self.offs = [i / pq for i in range(pq)]
+        self.off0 = -1.0 / pq
+        self.wd = table.work * dataset
+        #: wd / speed_estimate, maintained scatter-wise on EWMA updates so
+        #: the per-query estimate is two adds on top of the backlog clip.
+        self.Q = np.divide(self.wd, spd)
+        self.iterations = table.iterations
+        self.estimates = table.estimates
+        self.ext: dict[str, object] = {}
+
+    @property
+    def pq(self) -> int:
+        return self.table.pq
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.csi)
+
+
+def assignment_at(
+    state: SweepState, entry: PqEntry, est: "np.ndarray", start_id: float
+) -> tuple[list[int], list[float]]:
+    """Re-derive the final assignment at *start_id* (shared, exact).
+
+    Binary search per query point; on multiple rings the ring with the
+    strictly smallest estimate wins, first ring on ties -- byte-for-byte
+    the reference path's closing ``assignment_at()``.  Returns
+    ``(server_set, points)`` with *server_set* as global server indices.
+    """
+    fmod = math.fmod
+    pts: list[float] = []
+    for off in entry.offs:
+        v = fmod(start_id + off, 1.0)
+        if v < 0.0:
+            v += 1.0
+        if v >= 1.0:
+            v -= 1.0
+        pts.append(v)
+    if state.single_ring:
+        starts = state.ring_starts[0]
+        last = len(starts) - 1
+        g_list = [
+            idx if (idx := bisect_right(starts, v) - 1) >= 0 else last
+            for v in pts
+        ]
+    else:
+        inf = math.inf
+        g_list = []
+        for v in pts:
+            best_g = -1
+            best_fin = inf
+            for r in range(state.n_rings):
+                starts = state.ring_starts[r]
+                idx = bisect_right(starts, v) - 1
+                if idx < 0:
+                    idx = len(starts) - 1
+                g = state.ring_lo[r] + idx
+                fin_v = float(est[g])
+                if fin_v < best_fin:
+                    best_fin = fin_v
+                    best_g = g
+            g_list.append(best_g)
+    return g_list, pts
+
+
+class SweepKernel:
+    """Base class of every scheduling kernel.
+
+    Subclasses set ``name`` (the registry key) and ``exact`` (the
+    bit-identical promise), and implement :meth:`select`.  ``bind`` is an
+    optional hook called whenever the engine's :class:`SweepState` is
+    rebuilt -- kernels holding derived caches (pointers, strided views)
+    refresh them there.
+    """
+
+    name: ClassVar[str] = "abstract"
+    exact: ClassVar[bool] = False
+    #: one-line human description for ``repro kernels``.
+    description: ClassVar[str] = ""
+
+    def bind(self, state: SweepState) -> None:  # pragma: no cover - hook
+        """Called when the engine (re)builds its mirrors."""
+
+    def select(
+        self, state: SweepState, entry: PqEntry, now: float
+    ) -> tuple[list[int], list[float], float]:
+        """Schedule one query: ``-> (server_set, points, start_id)``.
+
+        *server_set* holds global server indices, one per sub-query point.
+        The engine never reads ``state.est`` after the call -- it is a
+        scratch buffer kernels may use (the numpy kernels evaluate all n
+        estimates into it; the compiled kernel computes estimates lazily
+        at its gather sites and leaves it untouched).
+        """
+        raise NotImplementedError

@@ -1,0 +1,304 @@
+"""The compiled kernel: the whole scheduling block as one C call.
+
+``csrc/sweep.c`` replicates the exact oracle's float arithmetic in C --
+estimate evaluation, the owner-timeline sweep, and the final assignment --
+fused into a single pass with no temporaries.  The win is not asymptotic
+(the work is the same O(n + pq * n_configs)) but constant-factor: the
+oracle pays ~10 numpy dispatches plus temporary allocation per query,
+which dominates at the few-thousand-element sizes a per-query sweep runs
+at.  Target: >= 2x on the sweep at the 1k-server configuration
+(``repro bench`` reports per-kernel sweep columns; CI uploads them).
+
+Build story: the C source has **no Python.h dependency**, so it needs only
+a C compiler, not Python headers.  On first use it is compiled with the
+system toolchain (``cc``/``gcc``/``clang``) into a per-user cache keyed by
+the source hash, then loaded through :mod:`ctypes`.  ``repro[fast]``
+installs numpy; the compiled kernel is an opportunistic layer on top --
+when no toolchain is present, :func:`compiled_available` is False, the
+registry refuses the kernel with a clear message, and everything else
+falls back to the pure-python-built oracle.  Set ``REPRO_KERNEL_CACHE``
+to relocate the build cache, ``REPRO_NO_COMPILED_KERNEL=1`` to disable
+the kernel outright (CI uses this to test the fallback path).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sysconfig
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
+from .base import KernelUnavailableError, PqEntry, SweepKernel, SweepState
+
+__all__ = [
+    "CompiledKernel",
+    "compiled_available",
+    "compiled_unavailable_reason",
+    "load_sweep_library",
+]
+
+_SOURCE = Path(__file__).with_name("csrc") / "sweep.c"
+_ABI_VERSION = 1
+
+#: memoised library handle / failure reason (one build attempt per process).
+_lib: Optional[ctypes.CDLL] = None
+_load_error: Optional[str] = None
+_probed = False
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_KERNEL_CACHE")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-roar" / "kernels"
+
+
+def _find_compiler() -> Optional[str]:
+    cc = sysconfig.get_config_var("CC")
+    candidates = ([cc.split()[0]] if cc else []) + ["cc", "gcc", "clang"]
+    for cand in candidates:
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def _build_library() -> Path:
+    """Compile ``sweep.c`` into the cache; returns the shared-object path."""
+    source = _SOURCE.read_text()
+    tag = hashlib.sha256(
+        f"{source}|abi={_ABI_VERSION}|{os.uname().machine}".encode()
+    ).hexdigest()[:16]
+    out = _cache_dir() / f"roar_sweep_{tag}.so"
+    if out.exists():
+        return out
+    compiler = _find_compiler()
+    if compiler is None:
+        raise KernelUnavailableError(
+            "no C compiler found (looked for $CC, cc, gcc, clang); install "
+            "a toolchain or use kernel='exact_numpy'"
+        )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    # build to a temp name then atomically rename: concurrent processes
+    # racing the first build must never load a half-written object
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=out.parent)
+    os.close(fd)
+    try:
+        # -march=native is safe for this JIT-style build (the object is
+        # always built on the machine that runs it, and the kernel contains
+        # no fused-multiply-add candidates, so codegen cannot change the
+        # float results); retry without it for compilers that lack the flag.
+        base = [compiler, "-O3", "-fPIC", "-shared", "-o", tmp, str(_SOURCE), "-lm"]
+        attempts = (base[:1] + ["-march=native"] + base[1:], base)
+        stderr = ""
+        for cmd in attempts:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+            if proc.returncode == 0:
+                break
+            stderr = proc.stderr.strip()
+        else:
+            raise KernelUnavailableError(
+                f"C kernel build failed ({compiler}):\n{stderr}"
+            )
+        os.replace(tmp, out)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return out
+
+
+def load_sweep_library() -> ctypes.CDLL:
+    """Build (once, cached) and load the compiled sweep; memoised."""
+    global _lib, _load_error, _probed
+    if _lib is not None:
+        return _lib
+    if _probed and _load_error is not None:
+        raise KernelUnavailableError(_load_error)
+    _probed = True
+    try:
+        if os.environ.get("REPRO_NO_COMPILED_KERNEL"):
+            raise KernelUnavailableError(
+                "compiled kernel disabled via REPRO_NO_COMPILED_KERNEL"
+            )
+        if np is None:  # pragma: no cover - the image bakes numpy in
+            raise KernelUnavailableError("the compiled kernel requires numpy")
+        if np.dtype(np.intp).itemsize != 8:  # pragma: no cover - LP64 only
+            raise KernelUnavailableError(
+                "the compiled kernel assumes 64-bit numpy intp"
+            )
+        lib = ctypes.CDLL(str(_build_library()))
+        lib.roar_sweep_abi_version.restype = ctypes.c_int64
+        if lib.roar_sweep_abi_version() != _ABI_VERSION:  # pragma: no cover
+            raise KernelUnavailableError("stale compiled kernel ABI; clear the cache")
+        fn = lib.roar_sweep_select
+        fn.restype = ctypes.c_int64
+        fn.argtypes = [ctypes.c_void_p, ctypes.c_double]  # (&args, now)
+        _lib = lib
+        return lib
+    except KernelUnavailableError as exc:
+        _load_error = str(exc)
+        raise
+
+
+def compiled_available() -> bool:
+    """True when the C kernel can be (or already was) built and loaded."""
+    try:
+        load_sweep_library()
+        return True
+    except KernelUnavailableError:
+        return False
+
+
+def compiled_unavailable_reason() -> Optional[str]:
+    """Why the compiled kernel cannot run, or None when it can."""
+    return None if compiled_available() else _load_error
+
+
+class _SweepArgs(ctypes.Structure):
+    """Mirror of ``roar_sweep_args`` in ``csrc/sweep.c`` (keep in sync)."""
+
+    _fields_ = [
+        ("busy", ctypes.c_void_p),
+        ("q_over_s", ctypes.c_void_p),
+        ("fe_fixed", ctypes.c_double),
+        ("n", ctypes.c_int64),
+        ("owners", ctypes.c_void_p),
+        ("ring_lo", ctypes.c_void_p),
+        ("ring_hi", ctypes.c_void_p),
+        ("n_rings", ctypes.c_int64),
+        ("pq", ctypes.c_int64),
+        ("n_configs", ctypes.c_int64),
+        ("evaluated", ctypes.c_void_p),
+        ("config_start_id", ctypes.c_void_p),
+        ("offs", ctypes.c_void_p),
+        ("starts_flat", ctypes.c_void_p),
+        ("ev_offsets", ctypes.c_void_p),
+        ("ev_ring", ctypes.c_void_p),
+        ("ev_point", ctypes.c_void_p),
+        ("ev_owner", ctypes.c_void_p),
+        ("cur", ctypes.c_void_p),
+        ("owner_cur", ctypes.c_void_p),
+        ("g_out", ctypes.c_void_p),
+        ("pts_out", ctypes.c_void_p),
+        ("start_id_out", ctypes.c_void_p),
+    ]
+
+
+class _EntryBlock:
+    """Per-(state, entry) argument block cached on ``entry.ext``.
+
+    Every per-query-invariant pointer is written into one
+    :class:`_SweepArgs` struct so each ``select`` marshals exactly two
+    foreign-call arguments.  The referenced numpy arrays are held on the
+    block (``_hold``) so the raw pointers cannot dangle.
+    """
+
+    __slots__ = ("args_ptr", "g_buf", "pts_buf", "sid_buf", "state_token", "_hold")
+
+    def __init__(
+        self, state: SweepState, entry: PqEntry, starts_flat: "np.ndarray"
+    ) -> None:
+        pack = entry.table.kernel_pack()
+        lo = np.asarray(state.ring_lo, dtype=np.int64)
+        hi = np.asarray(state.ring_hi, dtype=np.int64)
+        offs = np.asarray(entry.offs, dtype=np.float64)
+        pq = len(entry.offs)
+        self.g_buf = np.empty(pq, dtype=np.int64)
+        self.pts_buf = np.empty(pq, dtype=np.float64)
+        self.sid_buf = np.empty(1, dtype=np.float64)
+        cur = np.empty(pq, dtype=np.float64)
+        owner_cur = np.empty(state.n_rings * pq, dtype=np.int64)
+        args = _SweepArgs(
+            busy=state.busy.ctypes.data,
+            q_over_s=entry.Q.ctypes.data,
+            fe_fixed=state.fe_fixed,
+            n=state.n,
+            owners=pack.owner_stack.ctypes.data,
+            ring_lo=lo.ctypes.data,
+            ring_hi=hi.ctypes.data,
+            n_rings=state.n_rings,
+            pq=pq,
+            n_configs=entry.n_configs,
+            evaluated=pack.evaluated_u8.ctypes.data,
+            config_start_id=pack.config_start_id.ctypes.data,
+            offs=offs.ctypes.data,
+            starts_flat=starts_flat.ctypes.data,
+            ev_offsets=pack.ev_offsets.ctypes.data,
+            ev_ring=pack.ev_ring.ctypes.data,
+            ev_point=pack.ev_point.ctypes.data,
+            ev_owner=pack.ev_owner.ctypes.data,
+            cur=cur.ctypes.data,
+            owner_cur=owner_cur.ctypes.data,
+            g_out=self.g_buf.ctypes.data,
+            pts_out=self.pts_buf.ctypes.data,
+            start_id_out=self.sid_buf.ctypes.data,
+        )
+        # keep the struct and every array behind its raw pointers alive
+        self._hold = (args, lo, hi, offs, pack, starts_flat, cur, owner_cur, state)
+        self.args_ptr = ctypes.addressof(args)
+        self.state_token = id(state)
+
+
+class CompiledKernel(SweepKernel):
+    """Fused C implementation of the exact sweep (bit-identical intent).
+
+    Replicates :class:`~repro.kernels.exact.ExactNumpyKernel`'s float
+    arithmetic operation-for-operation in C (verified by the differential
+    tests); ships as an on-first-use build against the system C compiler
+    with a graceful fallback when none exists.  ``exact = True``: any
+    divergence from the oracle is a bug, not a documented trade.
+    """
+
+    name = "compiled"
+    exact = True
+    description = "fused C sweep via ctypes (>=2x sweep; needs a C toolchain)"
+
+    def __init__(self) -> None:
+        lib = load_sweep_library()
+        self._fn = lib.roar_sweep_select
+        self._state: Optional[SweepState] = None
+        self._starts_flat: Optional["np.ndarray"] = None
+        self._last_entry: Optional[PqEntry] = None
+        self._last_block: Optional[_EntryBlock] = None
+
+    def bind(self, state: SweepState) -> None:
+        self._state = state
+        self._last_entry = self._last_block = None
+        starts = np.empty(state.n, dtype=np.float64)
+        for lo, s in zip(state.ring_lo, state.ring_starts):
+            starts[lo : lo + len(s)] = s
+        self._starts_flat = starts
+
+    def select(
+        self, state: SweepState, entry: PqEntry, now: float
+    ) -> tuple[list[int], list[float], float]:
+        if state is not self._state:
+            self.bind(state)
+        if entry is self._last_entry:
+            block = self._last_block
+        else:
+            block = entry.ext.get("compiled")
+            if block is None or block.state_token != id(state):
+                block = _EntryBlock(state, entry, self._starts_flat)
+                entry.ext["compiled"] = block
+            self._last_entry, self._last_block = entry, block
+        best = self._fn(block.args_ptr, now)
+        return (
+            block.g_buf.tolist(),
+            block.pts_buf.tolist(),
+            entry.csi[best],
+        )

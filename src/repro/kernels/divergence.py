@@ -1,0 +1,251 @@
+"""The differential kernel harness: measure any kernel against the oracle.
+
+A kernel's claim -- bit-identical, or approximate-within-a-bound -- is only
+worth anything if something measures it.  This harness runs a kernel and
+the ``exact_numpy`` oracle over the *same scenario* (two independent
+deployments, same seed, same compiled stimulus timeline, per-query server
+sets recorded) and reports:
+
+* **config divergence** -- the fraction of queries whose chosen server set
+  differs from the oracle's (including drop-status mismatches);
+* **latency deviation** -- percentiles of the per-query relative
+  completion-latency deviation ``|d_k - d_oracle| / d_oracle`` over
+  queries both runs completed.  Note this measures the *trajectory*
+  deviation: an early divergent choice perturbs queue state, so later
+  queries may deviate even where the kernel picks the oracle's
+  configuration.  That is the honest end-to-end number -- it is what a
+  user of the approximate mode actually experiences;
+* **mean-delay deviation** -- the run-level relative mean-latency error.
+
+``battery_divergence`` sweeps the full 8-scenario builtin battery, which
+is how ``tests/test_kernels.py`` holds every inexact kernel inside its
+documented :class:`~repro.kernels.base.DeviationBound` and every exact
+kernel at literal zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
+from .base import DeviationBound, SweepKernel
+from .registry import get_kernel
+
+__all__ = [
+    "DivergenceReport",
+    "battery_divergence",
+    "render_divergence",
+    "scenario_divergence",
+]
+
+
+class _ShadowOracle(SweepKernel):
+    """Runs the oracle and the kernel on identical state, commits the
+    kernel's choice, and records per-decision divergence and makespan
+    regret.  This isolates the approximation itself from trajectory
+    feedback (a divergent choice perturbs queues, so downstream *state*
+    differs even when every later decision agrees)."""
+
+    exact = False
+    name = "shadow"
+
+    def __init__(self, kernel: SweepKernel, oracle: SweepKernel) -> None:
+        self.kernel = kernel
+        self.oracle = oracle
+        self.decisions = 0
+        self.diverged = 0
+        self.regrets: list[float] = []
+
+    def bind(self, state) -> None:
+        self.kernel.bind(state)
+        self.oracle.bind(state)
+
+    def select(self, state, entry, now):
+        o_g, _o_pts, _o_sid = self.oracle.select(state, entry, now)
+        k_g, k_pts, k_sid = self.kernel.select(state, entry, now)
+        est = state.est  # both kernels derive from identical estimates
+        self.decisions += 1
+        if k_g != o_g:
+            self.diverged += 1
+        o_mk = max(float(est[g]) for g in o_g)
+        k_mk = max(float(est[g]) for g in k_g)
+        self.regrets.append((k_mk - o_mk) / o_mk if o_mk > 0 else 0.0)
+        return k_g, k_pts, k_sid
+
+
+@dataclass
+class DivergenceReport:
+    """One kernel-vs-oracle comparison over one scenario."""
+
+    scenario: str
+    kernel: str
+    reference: str
+    queries: int
+    #: queries whose chosen server set (or drop status) differs between
+    #: the two independent runs (trajectory metric).
+    diverged: int
+    #: queries compared for latency deviation (completed in both runs).
+    compared: int
+    latency_rel_p50: float
+    latency_rel_p95: float
+    latency_rel_p99: float
+    latency_rel_max: float
+    mean_delay_rel: float
+    #: per-decision metrics from the shadow-oracle run (same state).
+    decisions: int
+    decision_diverged: int
+    makespan_regret_p99: float
+    makespan_regret_max: float
+
+    @property
+    def config_divergence(self) -> float:
+        """Trajectory server-set divergence (between independent runs)."""
+        return self.diverged / self.queries if self.queries else 0.0
+
+    @property
+    def decision_divergence(self) -> float:
+        """Same-state decision divergence (the approximation itself)."""
+        return self.decision_diverged / self.decisions if self.decisions else 0.0
+
+    @property
+    def identical(self) -> bool:
+        return self.diverged == 0 and self.latency_rel_max == 0.0
+
+    def within(self, bound: DeviationBound) -> bool:
+        """Does this run stay inside a documented deviation bound?"""
+        return (
+            self.decision_divergence <= bound.decision_divergence
+            and self.makespan_regret_p99 <= bound.makespan_regret_p99
+            and self.latency_rel_p99 <= bound.latency_rel_p99
+            and abs(self.mean_delay_rel) <= bound.mean_delay_rel
+        )
+
+
+def scenario_divergence(
+    scenario,
+    kernel: Union[str, SweepKernel],
+    reference: Union[str, SweepKernel] = "exact_numpy",
+) -> DivergenceReport:
+    """Run *kernel* and *reference* over one scenario and compare.
+
+    Both executions build their own deployment from the scenario's seed,
+    so they see identical arrivals, stimuli, and randomness; the only
+    degree of freedom is the scheduling kernel.  A third, shadow-oracle
+    execution re-runs the kernel's trajectory with the oracle evaluated
+    side-by-side on identical state, yielding the per-decision metrics.
+    """
+    from ..scenarios.runner import execute_scenario
+
+    ref = execute_scenario(
+        scenario, engine="batched", kernel=reference, record_assignments=True
+    )
+    got = execute_scenario(
+        scenario, engine="batched", kernel=kernel, record_assignments=True
+    )
+    shadow = _ShadowOracle(get_kernel(kernel), get_kernel(reference))
+    execute_scenario(scenario, engine="batched", kernel=shadow)
+    ref_b, got_b = ref.batch, got.batch
+
+    n = len(ref_b.arrivals)
+    diverged = 0
+    for a, b in zip(ref_b.assignments, got_b.assignments):
+        if a != b:
+            diverged += 1
+
+    ref_lat = np.asarray(ref_b.latencies)
+    got_lat = np.asarray(got_b.latencies)
+    # drop-status mismatches already count as divergence above: a dropped
+    # query records an empty server set, which cannot match a served one
+    both = ~np.isnan(ref_lat) & ~np.isnan(got_lat)
+    rel = np.abs(got_lat[both] - ref_lat[both]) / np.maximum(
+        ref_lat[both], 1e-12
+    )
+    if rel.size:
+        p50, p95, p99 = (float(np.percentile(rel, q)) for q in (50, 95, 99))
+        rel_max = float(rel.max())
+    else:  # pragma: no cover - an all-dropped run
+        p50 = p95 = p99 = rel_max = math.nan
+    ref_mean = float(ref_lat[both].mean()) if both.any() else math.nan
+    got_mean = float(got_lat[both].mean()) if both.any() else math.nan
+    mean_rel = (
+        abs(got_mean - ref_mean) / ref_mean if ref_mean else math.nan
+    )
+    regrets = np.asarray(shadow.regrets) if shadow.regrets else np.zeros(1)
+    return DivergenceReport(
+        scenario=scenario.name,
+        kernel=got.kernel,
+        reference=ref.kernel,
+        queries=n,
+        diverged=diverged,
+        compared=int(both.sum()),
+        latency_rel_p50=p50,
+        latency_rel_p95=p95,
+        latency_rel_p99=p99,
+        latency_rel_max=rel_max,
+        mean_delay_rel=mean_rel,
+        decisions=shadow.decisions,
+        decision_diverged=shadow.diverged,
+        makespan_regret_p99=float(np.percentile(regrets, 99)),
+        makespan_regret_max=float(regrets.max()),
+    )
+
+
+def battery_divergence(
+    kernel: Union[str, SweepKernel],
+    n_servers: int = 12,
+    duration: float = 15.0,
+    p: int = 4,
+    seed: int = 2,
+    reference: Union[str, SweepKernel] = "exact_numpy",
+    scenarios: Optional[Sequence] = None,
+) -> list[DivergenceReport]:
+    """Measure *kernel* against the oracle over the builtin battery."""
+    from ..scenarios.matrix import builtin_scenarios
+
+    get_kernel(kernel)  # fail fast on unknown/unavailable kernels
+    if scenarios is None:
+        scenarios = builtin_scenarios(
+            n_servers=n_servers, duration=duration, p=p, seed=seed
+        )
+    return [
+        scenario_divergence(s, kernel, reference=reference) for s in scenarios
+    ]
+
+
+def render_divergence(reports: Sequence[DivergenceReport]) -> str:
+    """Aligned table of divergence reports (CLI / notebook convenience)."""
+    from ..scenarios.matrix import render_table
+
+    header = (
+        "scenario",
+        "kernel",
+        "queries",
+        "decision%",
+        "regret_p99%",
+        "traj%",
+        "lat_p99%",
+        "lat_max%",
+        "mean%",
+    )
+    rows = []
+    for r in reports:
+        rows.append(
+            [
+                r.scenario,
+                r.kernel,
+                str(r.queries),
+                f"{100.0 * r.decision_divergence:.1f}",
+                f"{100.0 * r.makespan_regret_p99:.2f}",
+                f"{100.0 * r.config_divergence:.1f}",
+                f"{100.0 * r.latency_rel_p99:.2f}",
+                f"{100.0 * r.latency_rel_max:.2f}",
+                f"{100.0 * r.mean_delay_rel:.2f}",
+            ]
+        )
+    return render_table(header, rows)

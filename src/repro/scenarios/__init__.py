@@ -16,7 +16,13 @@ from .spec import (
     UpdateSpec,
     WorkloadSpec,
 )
-from .runner import ScenarioResult, build_deployment, run_scenario_spec
+from .runner import (
+    ScenarioExecution,
+    ScenarioResult,
+    build_deployment,
+    execute_scenario,
+    run_scenario_spec,
+)
 from .matrix import (
     MatrixResult,
     builtin_scenarios,
@@ -30,11 +36,13 @@ __all__ = [
     "EventSpec",
     "MatrixResult",
     "Scenario",
+    "ScenarioExecution",
     "ScenarioResult",
     "UpdateSpec",
     "WorkloadSpec",
     "build_deployment",
     "builtin_scenarios",
+    "execute_scenario",
     "render_table",
     "run_matrix",
     "run_scenario_spec",

@@ -140,6 +140,7 @@ class MatrixResult:
     COLUMNS = (
         "scenario",
         "engine",
+        "kernel",
         "servers",
         "p/pq",
         "queries",
@@ -167,6 +168,7 @@ class MatrixResult:
                 [
                     r.scenario.name,
                     r.engine,
+                    r.kernel,
                     srv,
                     f"{r.p_store_end:g}/{r.pq_end}",
                     str(r.offered),
@@ -215,12 +217,17 @@ def render_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
 def run_matrix(
     scenarios: Sequence[Scenario],
     engine: str = "batched",
+    kernel: str | None = None,
     progress: Optional[Callable[[Scenario, ScenarioResult], None]] = None,
 ) -> MatrixResult:
-    """Run every scenario and collect the comparable table."""
+    """Run every scenario and collect the comparable table.
+
+    *kernel* overrides every scenario's ``kernel:`` field (batched engine
+    only; the reference engine schedules through the original heap).
+    """
     out = MatrixResult()
     for scenario in scenarios:
-        result = run_scenario_spec(scenario, engine=engine)
+        result = run_scenario_spec(scenario, engine=engine, kernel=kernel)
         out.results.append(result)
         if progress is not None:
             progress(scenario, result)

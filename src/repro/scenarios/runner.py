@@ -58,10 +58,12 @@ from ..sim.workload import (
 from .spec import Scenario
 
 __all__ = [
+    "ScenarioExecution",
     "ScenarioResult",
     "auto_rate",
     "build_deployment",
     "build_models",
+    "execute_scenario",
     "generate_arrivals",
     "run_scenario_spec",
 ]
@@ -194,11 +196,37 @@ def _generate_updates(scenario: Scenario, horizon: float):
 
 # -- results ------------------------------------------------------------------
 @dataclass
+class ScenarioExecution:
+    """Raw outcome of one scenario execution (pre-summary).
+
+    What the differential kernel harness consumes: the live deployment,
+    the engine's array-backed :class:`~repro.sim.fastpath.BatchResult`
+    (including per-query assignments when requested), and the execution
+    bookkeeping the summary layer folds into a :class:`ScenarioResult`.
+    """
+
+    scenario: Scenario
+    engine: str
+    kernel: str
+    deployment: Deployment
+    batch: object  # BatchResult
+    servers_start: int
+    horizon: float
+    updates_applied: int
+    events_applied: int
+    controllers: list
+    pq_end: int
+    notes: list[str]
+    wall_seconds: float
+
+
+@dataclass
 class ScenarioResult:
     """Comparable metrics for one scenario run."""
 
     scenario: Scenario
     engine: str
+    kernel: str
     offered: int
     completed: int
     dropped: int
@@ -223,10 +251,21 @@ class ScenarioResult:
 
 
 # -- execution ----------------------------------------------------------------
-def run_scenario_spec(scenario: Scenario, engine: str = "batched") -> ScenarioResult:
-    """Execute one scenario end to end and summarise it."""
+def execute_scenario(
+    scenario: Scenario,
+    engine: str = "batched",
+    kernel: str | None = None,
+    record_assignments: bool = False,
+) -> ScenarioExecution:
+    """Execute one scenario end to end; returns the raw execution.
+
+    *kernel* overrides ``scenario.kernel`` (batched engine only).  With
+    *record_assignments* the batch result carries every query's server
+    set -- what the kernel divergence harness compares.
+    """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
+    kernel = kernel if kernel is not None else scenario.kernel
     wall_start = time.perf_counter()
     deployment = build_deployment(scenario)
     servers_start = len(deployment.servers)
@@ -308,7 +347,6 @@ def run_scenario_spec(scenario: Scenario, engine: str = "batched") -> ScenarioRe
     updates_applied = 0
     current_pq = scenario.pq or scenario.p
     events_applied = 0
-    fast_n = delegated_n = 0
 
     def pq_now() -> int:
         return actuator.pq if actuator is not None else current_pq
@@ -474,29 +512,73 @@ def run_scenario_spec(scenario: Scenario, engine: str = "batched") -> ScenarioRe
 
     # drive it: one engine call, stimuli land at exact query indices
     if engine == "batched":
+        from ..kernels import get_kernel
+        from ..kernels.registry import canonical_spec
+
+        # resolve once (the engine reuses the instance) and keep any
+        # parameter suffix in the reported name, so a stride=32 run is
+        # distinguishable from a stride=8 run in the matrix table
+        kernel_obj = get_kernel(kernel)
+        kernel_name = (
+            canonical_spec(kernel) if isinstance(kernel, str) else kernel_obj.name
+        )
         batch_result = deployment.run_queries_fast(
-            arrivals, pq_now(), actions=actions
+            arrivals,
+            pq_now(),
+            actions=actions,
+            kernel=kernel_obj,
+            record_assignments=record_assignments,
         )
     else:
         batch_result = run_queries_reference(
-            deployment, arrivals, pq_now(), actions=actions
+            deployment,
+            arrivals,
+            pq_now(),
+            actions=actions,
+            record_assignments=record_assignments,
         )
-    fast_n += batch_result.fast_scheduled
-    delegated_n += batch_result.delegated
+        kernel_name = "reference"
     sim.run(until=horizon)  # drain sim work scheduled after the last action
 
-    # summarise
+    return ScenarioExecution(
+        scenario=scenario,
+        engine=engine,
+        kernel=kernel_name,
+        deployment=deployment,
+        batch=batch_result,
+        servers_start=servers_start,
+        horizon=horizon,
+        updates_applied=updates_applied,
+        events_applied=events_applied,
+        controllers=controllers,
+        pq_end=pq_now(),
+        notes=notes,
+        wall_seconds=time.perf_counter() - wall_start,
+    )
+
+
+def run_scenario_spec(
+    scenario: Scenario, engine: str = "batched", kernel: str | None = None
+) -> ScenarioResult:
+    """Execute one scenario end to end and summarise it."""
+    ex = execute_scenario(scenario, engine=engine, kernel=kernel)
+    deployment = ex.deployment
+    horizon = ex.horizon
     log = deployment.log
     delays = log.delays()
     completed = len(delays)
     offered = completed + log.dropped
     mean_delay = (sum(delays) / completed) if completed else math.nan
-    control_actions = sum(len(c.actions) for c in controllers)
+    control_actions = sum(len(c.actions) for c in ex.controllers)
     planned = _planned_p(scenario, deployment, offered, horizon)
     elapsed = max(horizon, 1e-9)
+    batch = ex.batch
+    fast_n = batch.fast_scheduled
+    delegated_n = batch.delegated
     return ScenarioResult(
         scenario=scenario,
-        engine=engine,
+        engine=ex.engine,
+        kernel=ex.kernel,
         offered=offered,
         completed=completed,
         dropped=log.dropped,
@@ -506,17 +588,17 @@ def run_scenario_spec(scenario: Scenario, engine: str = "batched") -> ScenarioRe
         max_delay=max(delays) if completed else math.nan,
         throughput=completed / elapsed,
         mean_utilisation=deployment.mean_cpu_load(elapsed),
-        servers_start=servers_start,
+        servers_start=ex.servers_start,
         servers_end=len(deployment.servers),
         p_store_end=deployment.p_store,
-        pq_end=pq_now(),
-        updates_applied=updates_applied,
-        events_applied=events_applied,
+        pq_end=ex.pq_end,
+        updates_applied=ex.updates_applied,
+        events_applied=ex.events_applied,
         control_actions=control_actions,
         planned_p=planned,
-        wall_seconds=time.perf_counter() - wall_start,
+        wall_seconds=ex.wall_seconds,
         fast_fraction=fast_n / max(fast_n + delegated_n, 1),
-        notes=notes,
+        notes=ex.notes,
     )
 
 

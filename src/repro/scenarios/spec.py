@@ -229,6 +229,11 @@ class Scenario:
     #: keep real object replicas (needed by repartition; costs memory).
     store_objects: bool | None = None
     n_objects_stored: int = 200
+    #: scheduling kernel for the batched engine (a registry name such as
+    #: "exact_numpy", "compiled", "approx_topk:stride=8"); None uses the
+    #: engine default (the bit-exact oracle).  Ignored by the reference
+    #: engine, which schedules through the original heap.
+    kernel: str | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -244,6 +249,14 @@ class Scenario:
             raise ValueError("need 1 <= p <= n_servers")
         if self.pq is not None and self.pq < self.p:
             raise ValueError("pq must be >= p")
+        if self.kernel is not None:
+            from ..kernels.registry import is_known_kernel
+
+            if not is_known_kernel(self.kernel):
+                raise ValueError(
+                    f"unknown scheduling kernel {self.kernel!r}; see "
+                    "repro.kernels.kernel_names()"
+                )
 
     @property
     def needs_stores(self) -> bool:

@@ -24,6 +24,16 @@ the accounting loop (reserve/submit/EWMA).  This module removes that loop:
   batch ends.  The topological cut points of the arrival order are exactly
   the points where some consumer could observe intermediate state.
 
+* **Pluggable scheduling kernels.**  The per-query decision itself --
+  estimate evaluation, the precomputed rotation sweep, the final
+  assignment -- is delegated to a :class:`~repro.kernels.base.SweepKernel`
+  selected by the ``kernel=`` parameter.  The default ``exact_numpy`` is
+  this engine's original inline code and stays the bit-identical oracle;
+  ``compiled`` runs the same arithmetic as one fused C call, and
+  ``approx_topk`` trades a documented deviation bound for a smaller sweep
+  (see :mod:`repro.kernels`).  Accounting, mirrors, actions, and the
+  failure fall-back are shared across kernels.
+
 * **Exact-time action queue.**  :class:`Action` schedules a callback to run
   *between two specific queries* (before ``arrival_times[index]``).  The
   engine flushes and materialises full object state before each callback --
@@ -49,7 +59,6 @@ from __future__ import annotations
 
 import math
 import time
-from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
@@ -59,6 +68,8 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None  # type: ignore[assignment]
 
 from ..core.covertable import CoverTableCache, require_numpy
+from ..kernels.base import PqEntry, SweepKernel, SweepState
+from ..kernels.registry import get_kernel
 from ..sim.tracing import QueryRecord
 from .server import TaskRecord
 
@@ -72,6 +83,10 @@ __all__ = [
     "run_queries_fast",
     "run_queries_reference",
 ]
+
+#: Backwards-compatible name: the per-(rings, pq) table moved to the
+#: kernels package when the sweep became pluggable.
+_PqTable = PqEntry
 
 #: Queries buffered before a chunk is force-flushed (bounds buffer memory;
 #: the flush itself is O(chunk) numpy work, so larger is mildly better).
@@ -170,40 +185,10 @@ def _sorted_actions(actions) -> list[Action]:
     return acts
 
 
-class _PqTable:
-    """Per-(rings, pq) static data resolved once per batch segment."""
-
-    __slots__ = (
-        "table",
-        "owners",
-        "noeval",
-        "csi",
-        "offs",
-        "off0",
-        "wd",
-        "Q",
-        "iterations",
-        "estimates",
-    )
-
-    def __init__(self, table, pq: int, dataset: float, spd: "np.ndarray") -> None:
-        self.table = table
-        #: per-ring (pq, n_configs) owner timelines, ring-local indices.
-        self.owners = [rt.owner_timeline for rt in table.ring_tables]
-        self.noeval = np.nonzero(~table.evaluated)[0]
-        self.csi = table.config_start_id.tolist()
-        self.offs = [i / pq for i in range(pq)]
-        self.off0 = -1.0 / pq
-        self.wd = table.work * dataset
-        #: wd / speed_estimate, maintained scatter-wise on EWMA updates so
-        #: the per-query estimate is two adds on top of the backlog clip.
-        self.Q = np.divide(self.wd, spd)
-        self.iterations = table.iterations
-        self.estimates = table.estimates
-
-
 class _Engine:
-    """One batched run: mirrors, chunk buffers, and the action queue."""
+    """One batched run: mirrors, chunk buffers, the action queue, and a
+    pluggable :class:`~repro.kernels.base.SweepKernel` doing the per-query
+    scheduling decision."""
 
     def __init__(
         self,
@@ -212,6 +197,7 @@ class _Engine:
         pq_fn,
         record_assignments: bool,
         actions: Sequence[Action],
+        kernel: SweepKernel,
     ) -> None:
         self.dep = deployment
         self.fe = deployment.frontend
@@ -229,6 +215,7 @@ class _Engine:
         self.pq_override: Optional[int] = None
         self.record_assignments = record_assignments
         self.actions = actions
+        self.kernel = kernel
 
         if deployment.cover_tables is None:
             deployment.cover_tables = CoverTableCache()
@@ -306,7 +293,19 @@ class _Engine:
         self.ls = np.array([st.last_seen for st in self.stats_flat])
         self.touched = np.zeros(n, dtype=bool)
 
-        self.tables: dict[int, _PqTable] = {}
+        #: the kernel-facing view of the mirrors; a fresh instance per
+        #: membership epoch so kernels can cache derived data against it.
+        self.state = SweepState(
+            self.busy,
+            self.est,
+            self.fe_fixed,
+            self.ring_lo,
+            self.ring_hi,
+            self.ring_starts,
+        )
+        self.kernel.bind(self.state)
+
+        self.tables: dict[int, PqEntry] = {}
         self.any_failed = any(s.failed for s in dep.servers.values())
         self.p_store_cur = dep.p_store
         self.qid_last = fe._query_counter
@@ -485,7 +484,7 @@ class _Engine:
         self.actions_applied += 1
 
     # -- tables ------------------------------------------------------------
-    def _table_for(self, pq: int) -> _PqTable:
+    def _table_for(self, pq: int) -> PqEntry:
         entry = self.tables.get(pq)
         if entry is None:
             table = self.cache.get(self.rings, pq)
@@ -497,7 +496,7 @@ class _Engine:
                         "ring structure changed mid-batch; schedule membership "
                         "edits through the action queue, not around it"
                     )
-            entry = _PqTable(table, pq, self.dataset, self.spd)
+            entry = PqEntry(table, pq, self.dataset, self.spd)
             self.tables[pq] = entry
         return entry
 
@@ -511,12 +510,12 @@ class _Engine:
         om_alpha = self.one_minus_alpha
         fmod = math.fmod
         perf = time.perf_counter
-        inf = math.inf
         pq_fn = self.pq_fn
         pq_callable = callable(pq_fn)
         charge = self.charge
         sample_rtt = self.network.sample_rtt
         record_assignments = self.assignments is not None
+        select = self.kernel.select
         arr = self.arr_l
         n_q = len(arr)
 
@@ -531,13 +530,11 @@ class _Engine:
                 self.spd_l,
                 self.busy,
                 self.spd,
-                self.est,
+                self.state,
                 self.srv_fixed_l,
                 self.srv_speed_l,
                 self.any_failed,
                 self.failed_l,
-                self.single_ring,
-                self.trace_any,
             )
 
         (
@@ -545,13 +542,11 @@ class _Engine:
             spd_l,
             busy_np,
             spd_np,
-            est,
+            state,
             srv_fixed_l,
             srv_speed_l,
             any_failed,
             failed_l,
-            single_ring,
-            trace_any,
         ) = local_state()
         last_pq = -1
         entry = None
@@ -566,13 +561,11 @@ class _Engine:
                     spd_l,
                     busy_np,
                     spd_np,
-                    est,
+                    state,
                     srv_fixed_l,
                     srv_speed_l,
                     any_failed,
                     failed_l,
-                    single_ring,
-                    trace_any,
                 ) = local_state()
                 last_pq = -1
             now = arr[q_i]
@@ -591,62 +584,11 @@ class _Engine:
                 entry = self._table_for(pq)
                 last_pq = pq
 
+            # -- the scheduling decision: estimates + sweep + assignment,
+            # delegated to the pluggable kernel (exact_numpy by default;
+            # see repro.kernels for the ABI and the alternatives) ----------
             t0 = perf()
-            # -- estimates: (backlog + fixed) + (work*dataset/speed), same
-            # float-op order as FrontEnd.make_estimator -------------------
-            np.subtract(busy_np, now, out=est)
-            np.maximum(est, 0.0, out=est)
-            np.add(est, fe_fixed, out=est)
-            np.add(est, entry.Q, out=est)
-
-            # -- the precomputed sweep: gather owners, min over rings, max
-            # over points, first-wins argmin over evaluated configs --------
-            if single_ring:
-                fin = est[entry.owners[0]]
-            else:
-                fin = est[self.ring_lo[0] : self.ring_hi[0]][entry.owners[0]]
-                for r in range(1, len(self.rings)):
-                    other = est[self.ring_lo[r] : self.ring_hi[r]][entry.owners[r]]
-                    np.minimum(fin, other, out=fin)
-            mk = fin.max(axis=0)
-            if entry.noeval.size:
-                mk[entry.noeval] = np.inf
-            best = int(mk.argmin())
-            start_id = entry.csi[best]
-
-            # -- final assignment re-derived at start_id (binary search per
-            # point, min-estimate ring wins strictly-first) ----------------
-            pts = []
-            for off in entry.offs:
-                v = fmod(start_id + off, 1.0)
-                if v < 0.0:
-                    v += 1.0
-                if v >= 1.0:
-                    v -= 1.0
-                pts.append(v)
-            if single_ring:
-                starts = self.ring_starts[0]
-                last = len(starts) - 1
-                g_list = [
-                    idx if (idx := bisect_right(starts, v) - 1) >= 0 else last
-                    for v in pts
-                ]
-            else:
-                g_list = []
-                for v in pts:
-                    best_g = -1
-                    best_fin = inf
-                    for r in range(len(self.rings)):
-                        starts = self.ring_starts[r]
-                        idx = bisect_right(starts, v) - 1
-                        if idx < 0:
-                            idx = len(starts) - 1
-                        g = self.ring_lo[r] + idx
-                        fin_v = float(est[g])
-                        if fin_v < best_fin:
-                            best_fin = fin_v
-                            best_g = g
-                    g_list.append(best_g)
+            g_list, pts, start_id = select(state, entry, now)
             sched_wall = perf() - t0
 
             # -- failure window: the reference path owns the fall-back -----
@@ -657,13 +599,11 @@ class _Engine:
                     spd_l,
                     busy_np,
                     spd_np,
-                    est,
+                    state,
                     srv_fixed_l,
                     srv_speed_l,
                     any_failed,
                     failed_l,
-                    single_ring,
-                    trace_any,
                 ) = local_state()
                 continue
 
@@ -844,24 +784,32 @@ def run_queries_fast(
     pq_fn: Callable[[float], int] | int | None = None,
     record_assignments: bool = False,
     actions: Sequence[Action] | None = None,
+    kernel: SweepKernel | str | None = None,
 ) -> BatchResult:
     """Run a whole arrival trace through the batched path.
 
     Mirrors :meth:`Deployment.run_queries` (including per-query ``pq_fn``
     support) and leaves the deployment in the same state the reference path
     would have.  *actions* schedules callbacks at exact query indices; see
-    :class:`Action`.
+    :class:`Action`.  *kernel* picks the scheduling kernel by registry name
+    (or instance); the default ``exact_numpy`` is bit-identical to the
+    reference path, others trade exactness or portability for speed (see
+    :mod:`repro.kernels`).  Failure-window queries always delegate to the
+    per-query reference path regardless of kernel, so fall-back semantics
+    stay exact everywhere.
     """
     require_numpy()
     _check_frontend(deployment)
     arrivals = np.asarray(arrival_times, dtype=np.float64)
     acts = _sorted_actions(actions)
     engine = _Engine(
-        deployment, arrivals, pq_fn, record_assignments, acts
+        deployment, arrivals, pq_fn, record_assignments, acts, get_kernel(kernel)
     )
     if engine.multi_lane:
         # Multi-lane SimServers fall outside the closed-form queue mirror;
-        # run the reference path with the same exact-time action semantics.
+        # run the reference path with the same exact-time action semantics
+        # (the kernel knob is moot there -- the reference path schedules
+        # through the original heap).
         return run_queries_reference(
             deployment,
             arrival_times,

@@ -162,3 +162,123 @@ class TestAvailability:
     def test_multiring_requires_divisibility(self):
         with pytest.raises(ValueError):
             multiring_unavailability_mc(0.1, 3, 32, k_rings=2, trials=10)
+
+
+class TestRunBasedCoverage:
+    """Run-length coverage loss: the MC model aligned with core.failures.
+
+    The fall-back treats a contiguous dead run as one hole and drops
+    queries honestly when the hole's *range length* reaches the
+    replacement width ``1/p_store - delta``; these tests pin the analysis
+    layer to that same geometric condition.
+    """
+
+    def test_max_dead_run_length_basic(self):
+        from repro.analysis import max_dead_run_length
+
+        lengths = [0.25, 0.25, 0.25, 0.25]
+        assert max_dead_run_length(lengths, [True] * 4) == 0.0
+        assert max_dead_run_length(lengths, [False, True, True, True]) == 0.25
+        # wrapping run: nodes 3, 0 are one contiguous hole
+        assert max_dead_run_length(
+            lengths, [False, True, True, False]
+        ) == pytest.approx(0.5)
+        assert max_dead_run_length(lengths, [False] * 4) == 1.0
+
+    def test_max_dead_run_length_validates(self):
+        from repro.analysis import max_dead_run_length
+
+        with pytest.raises(ValueError):
+            max_dead_run_length([0.5], [True, False])
+
+    def test_uniform_ring_agrees_with_node_count_model(self):
+        """On uniform ranges, a run of k nodes spans k/n: the run-length
+        condition coincides with the legacy node-count model trial for
+        trial (same rng draws, same outcomes)."""
+        from repro.analysis import coverage_unavailability_mc
+
+        n, p = 20, 4
+        r = n // p
+        for f, seed in ((0.15, 1), (0.3, 2), (0.5, 3)):
+            node_count = roar_unavailability_mc(f, r, n, trials=3000, seed=seed)
+            run_length = coverage_unavailability_mc(
+                [1.0 / n] * n, p, f, trials=3000, seed=seed
+            )
+            assert node_count == run_length
+
+    def test_wide_node_loses_coverage_alone(self):
+        """A speed-balanced ring gives fast nodes wide ranges: one dead
+        wide node can exceed the replacement width even though the
+        node-count model (needs r=n/p consecutive deaths) says safe."""
+        from repro.analysis import max_dead_run_length
+
+        lengths = [0.3] + [0.7 / 19] * 19  # one node owns 30% > 1/p = 25%
+        alive = [False] + [True] * 19
+        assert max_dead_run_length(lengths, alive) >= 1.0 / 4
+
+    def test_ring_unavailability_reads_live_layout(self):
+        from repro.analysis import (
+            coverage_unavailability_mc,
+            ring_unavailability_mc,
+        )
+        from repro.core import Ring
+
+        speeds = [4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        ring = Ring.proportional(speeds)
+        direct = ring_unavailability_mc(ring, 3, 0.2, trials=2000, seed=5)
+        lengths = [ring.range_of(n).length for n in ring.nodes()]
+        assert direct == coverage_unavailability_mc(
+            lengths, 3, 0.2, trials=2000, seed=5
+        )
+        # the wide node (4/11 of the ring > 1/3) makes losses strictly
+        # more likely than on the uniform layout the node-count model sees
+        uniform = coverage_unavailability_mc(
+            [1.0 / 8] * 8, 3, 0.2, trials=2000, seed=5
+        )
+        assert direct > uniform
+
+    def test_coverage_matches_deployment_drops(self):
+        """Differential against the implementation: when the dead run's
+        range reaches the replacement width, the deployment drops queries
+        (FailureCoverageError path); when it stays below, yield holds."""
+        from repro.analysis import max_dead_run_length
+        from repro.cluster import Deployment, DeploymentConfig, hen_testbed
+
+        def run(n_fail):
+            dep = Deployment(
+                DeploymentConfig(
+                    models=hen_testbed(8),
+                    p=4,
+                    dataset_size=1e6,
+                    seed=5,
+                    charge_scheduling=False,
+                )
+            )
+            ring = dep.rings[0]
+            nodes = ring.nodes()
+            for node in nodes[:n_fail]:
+                dep.fail_node(node.name, 0.0)
+            lengths = [ring.range_of(nd).length for nd in nodes]
+            alive = [not dep.servers[nd.name].failed for nd in nodes]
+            run_len = max_dead_run_length(lengths, alive)
+            for i in range(60):
+                dep.run_query(0.1 + 0.05 * i, 4)
+            return run_len, dep.log.dropped
+
+        # the adjacent dead pair below the width: everything still served
+        run_len, dropped = run(1)
+        assert run_len < 0.25 and dropped == 0
+        # a contiguous run at/over the width: honest drops, as modelled
+        run_len, dropped = run(3)
+        if run_len >= 0.25 - 1e-12:
+            assert dropped > 0
+        else:  # pragma: no cover - layout-dependent guard
+            assert dropped == 0
+
+    def test_coverage_validates_inputs(self):
+        from repro.analysis import coverage_unavailability_mc
+
+        with pytest.raises(ValueError):
+            coverage_unavailability_mc([0.5, 0.5], 0, 0.1, trials=10)
+        with pytest.raises(ValueError):
+            coverage_unavailability_mc([0.5, 0.5], 4, 1.5, trials=10)

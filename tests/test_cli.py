@@ -92,3 +92,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "matches" in out
         assert "ground truth" in out
+
+    def test_kernels_lists_registry(self, capsys):
+        rc = main(["kernels"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exact_numpy" in out
+        assert "compiled" in out
+        assert "approx_topk" in out
+
+    def test_kernels_divergence_table(self, capsys):
+        rc = main(["kernels", "--divergence", "--servers", "10",
+                   "--duration", "6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vs exact_numpy over the builtin battery" in out
+        assert "decision%" in out
+
+    def test_matrix_kernel_flag(self, capsys):
+        rc = main([
+            "matrix", "--servers", "8", "-p", "3", "--duration", "5",
+            "--scenario", "steady", "--kernel", "approx_topk",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "approx_topk" in out

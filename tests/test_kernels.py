@@ -1,0 +1,412 @@
+"""The scheduling-kernel subsystem: registry, ABI, and the differential line.
+
+Three layers of guarantee:
+
+* **registry** -- names resolve, parameters parse, unknown kernels fail
+  loudly, availability is reported honestly;
+* **exact kernels** -- ``exact_numpy`` (the oracle) is bit-identical to the
+  per-query reference path (i.e. to the pre-refactor inline sweep), and
+  ``compiled`` is bit-identical to the oracle across every regime the
+  engine supports (multi-ring, failures/delegation, mid-batch membership
+  changes, varying pq) plus the full builtin scenario battery;
+* **bounded kernels** -- ``approx_topk`` stays inside the deviation bound
+  its docstring documents, measured by the divergence harness on all 8
+  builtin scenarios at the size the contract names, and degenerates to
+  the oracle on small fleets (the dense fallback).
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from test_fastpath import _build, assert_deployments_identical
+
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    KernelUnavailableError,
+    SweepKernel,
+    available_kernels,
+    get_kernel,
+    kernel_names,
+    kernel_specs,
+    register_kernel,
+)
+from repro.kernels.approx import ApproxTopKKernel
+from repro.kernels.compiled import compiled_available, compiled_unavailable_reason
+from repro.kernels.divergence import (
+    battery_divergence,
+    render_divergence,
+    scenario_divergence,
+)
+from repro.kernels.registry import is_known_kernel
+from repro.sim import PoissonArrivals
+
+needs_compiled = pytest.mark.skipif(
+    not compiled_available(),
+    reason=f"compiled kernel unavailable: {compiled_unavailable_reason()}",
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = kernel_names()
+        assert ("exact_numpy", "compiled", "approx_topk") == names
+
+    def test_default_is_exact(self):
+        assert DEFAULT_KERNEL == "exact_numpy"
+        kernel = get_kernel(None)
+        assert kernel.name == "exact_numpy"
+        assert kernel.exact
+
+    def test_aliases(self):
+        assert get_kernel("exact").name == "exact_numpy"
+        assert get_kernel("approx").name == "approx_topk"
+
+    def test_instance_passthrough(self):
+        kernel = get_kernel("approx_topk")
+        assert get_kernel(kernel) is kernel
+
+    def test_parameter_suffix(self):
+        kernel = get_kernel("approx_topk:stride=16,top_k=3")
+        assert kernel.stride == 16
+        assert kernel.top_k == 3
+
+    def test_bad_parameter_suffix(self):
+        with pytest.raises(ValueError, match="key=value"):
+            get_kernel("approx_topk:stride")
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown scheduling kernel"):
+            get_kernel("quantum")
+
+    def test_is_known_kernel(self):
+        assert is_known_kernel("exact_numpy")
+        assert is_known_kernel("approx_topk:stride=8")
+        assert not is_known_kernel("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel("exact_numpy", lambda: None)
+
+    def test_third_party_registration(self):
+        from repro.kernels import registry
+
+        class Custom(SweepKernel):
+            name = "custom-test"
+            exact = True
+
+        register_kernel("custom-test", Custom, replace=True)
+        try:
+            assert get_kernel("custom-test").name == "custom-test"
+        finally:
+            # the registry is process-global: leaking a select-less kernel
+            # would break any later registry-enumerating test or CLI run
+            registry._FACTORIES.pop("custom-test", None)
+        assert "custom-test" not in kernel_names()
+
+    def test_kernel_specs_rows(self):
+        rows = {r["name"]: r for r in kernel_specs()}
+        assert rows["exact_numpy"]["available"]
+        assert rows["exact_numpy"]["exact"] is True
+        assert rows["approx_topk"]["exact"] is False
+        # compiled is either available or carries a reason, never silent
+        comp = rows["compiled"]
+        assert comp["available"] or comp["reason"]
+
+    def test_available_kernels_subset(self):
+        avail = available_kernels()
+        assert "exact_numpy" in avail
+        assert set(avail) <= set(kernel_names())
+
+    def test_bad_approx_parameters(self):
+        with pytest.raises(ValueError, match="stride"):
+            ApproxTopKKernel(stride=0)
+        with pytest.raises(ValueError, match="top_k"):
+            ApproxTopKKernel(top_k=0)
+
+
+class TestExactKernelIsOracle:
+    """`exact_numpy` == the pre-refactor inline sweep == the reference path."""
+
+    def test_default_run_uses_exact_and_matches_reference(self):
+        arrivals = PoissonArrivals(40.0, seed=9).times(400)
+        slow, fast = _build(), _build()
+        slow.run_queries(arrivals, 5)
+        fast.run_queries_fast(arrivals, 5, kernel="exact_numpy")
+        assert_deployments_identical(slow, fast)
+
+    def test_explicit_equals_default(self):
+        arrivals = PoissonArrivals(30.0, seed=3).times(300)
+        a, b = _build(n=16), _build(n=16)
+        a.run_queries_fast(arrivals, 5)
+        b.run_queries_fast(arrivals, 5, kernel="exact_numpy")
+        assert_deployments_identical(a, b)
+
+
+@needs_compiled
+class TestCompiledKernel:
+    """The C kernel must be bit-identical to the oracle in every regime."""
+
+    def _compare(self, run):
+        exact, compiled = _build(n=16, seed=5), _build(n=16, seed=5)
+        run(exact, "exact_numpy")
+        run(compiled, "compiled")
+        assert_deployments_identical(exact, compiled)
+
+    def test_identical_plain(self):
+        arrivals = PoissonArrivals(40.0, seed=9).times(500)
+        self._compare(lambda dep, k: dep.run_queries_fast(arrivals, 5, kernel=k))
+
+    def test_identical_multi_ring(self):
+        arrivals = PoissonArrivals(25.0, seed=13).times(300)
+        exact = _build(n=20, seed=7, n_rings=2)
+        compiled = _build(n=20, seed=7, n_rings=2)
+        exact.run_queries_fast(arrivals, 5, kernel="exact_numpy")
+        compiled.run_queries_fast(arrivals, 5, kernel="compiled")
+        assert_deployments_identical(exact, compiled)
+
+    def test_identical_with_failures_and_delegation(self):
+        arrivals = PoissonArrivals(30.0, seed=11).times(400)
+        mid = arrivals[len(arrivals) // 3]
+        pre = [t for t in arrivals if t < mid]
+        post = [t for t in arrivals if t >= mid]
+
+        def run(dep, kernel):
+            dep.run_queries_fast(pre, 5, kernel=kernel)
+            dep.fail_node("node-3", mid)
+            dep.fail_node("node-7", mid)
+            result = dep.run_queries_fast(post, 5, kernel=kernel)
+            assert result.delegated > 0
+            return result
+
+        self._compare(run)
+
+    def test_identical_varying_pq(self):
+        arrivals = PoissonArrivals(25.0, seed=17).times(300)
+
+        def pq_fn(t):
+            return 4 + (int(t * 3) % 3)
+
+        self._compare(lambda dep, k: dep.run_queries_fast(arrivals, pq_fn, kernel=k))
+
+    def test_identical_across_membership_actions(self):
+        from repro.cluster.models import MODEL_CATALOGUE
+        from repro.sim.fastpath import Action
+
+        arrivals = PoissonArrivals(30.0, seed=19).times(300)
+        k1 = 120
+
+        def run(dep, kernel):
+            actions = [
+                Action(
+                    k1,
+                    arrivals[k1 - 1],
+                    lambda now: dep.add_server(
+                        MODEL_CATALOGUE["dell-2950"], now=now
+                    )
+                    and None,
+                )
+            ]
+            dep.run_queries_fast(arrivals, 5, actions=actions, kernel=kernel)
+
+        self._compare(run)
+
+    def test_zero_divergence_on_battery(self):
+        for report in battery_divergence("compiled"):
+            assert report.identical, (
+                f"compiled diverged on {report.scenario}: "
+                f"{report.diverged} queries"
+            )
+
+
+class TestApproxKernel:
+    def test_dense_fallback_is_exact_on_small_fleets(self):
+        """Below the dense cutoff (4*stride configs) the sampled kernel
+        degenerates to the oracle by construction -- the whole builtin
+        battery at its default test size must be bit-identical."""
+        for report in battery_divergence("approx_topk"):
+            assert report.identical, (
+                f"approx_topk diverged on the dense-fallback battery "
+                f"({report.scenario})"
+            )
+
+    def test_within_documented_bound_on_battery(self):
+        """The docstring contract, measured at the size it names."""
+        bound = ApproxTopKKernel.bound
+        reports = battery_divergence(
+            "approx_topk", n_servers=40, p=5, duration=15.0
+        )
+        for report in reports:
+            assert report.within(bound), (
+                f"approx_topk broke its documented bound on "
+                f"{report.scenario}: decision={report.decision_divergence:.3f} "
+                f"regret_p99={report.makespan_regret_p99:.3f} "
+                f"lat_p99={report.latency_rel_p99:.3f} "
+                f"mean={report.mean_delay_rel:.3f} vs {bound}"
+            )
+
+    def test_makespan_regret_never_negative(self):
+        """The examined set is a subset of the oracle's candidates, so the
+        kernel can never *beat* the oracle's predicted makespan."""
+        from repro.scenarios.matrix import builtin_scenarios
+
+        scen = [
+            s
+            for s in builtin_scenarios(n_servers=40, duration=10.0, p=5)
+            if s.name == "flash-crowd"
+        ][0]
+        report = scenario_divergence(scen, "approx_topk")
+        assert report.decisions > 0
+        assert report.makespan_regret_p99 >= 0.0
+
+    def test_bound_matches_docstring(self):
+        """The docstring numbers and the programmatic bound must agree."""
+        doc = ApproxTopKKernel.__doc__
+        bound = ApproxTopKKernel.bound
+        assert f"{bound.decision_divergence * 100:.0f}%" in doc
+        assert f"{bound.makespan_regret_p99 * 100:.0f}%" in doc
+        assert f"{bound.latency_rel_p99 * 100:.0f}%" in doc
+        assert f"{bound.mean_delay_rel * 100:.0f}%" in doc
+
+
+class TestDivergenceHarness:
+    def test_exact_vs_itself_reports_identity(self):
+        from repro.scenarios.matrix import builtin_scenarios
+
+        scen = builtin_scenarios(n_servers=10, duration=8.0, p=4)[0]
+        report = scenario_divergence(scen, "exact_numpy")
+        assert report.identical
+        assert report.config_divergence == 0.0
+        assert report.decision_divergence == 0.0
+        assert report.makespan_regret_p99 == 0.0
+        assert report.queries > 0
+        assert report.compared == report.queries
+
+    def test_render_divergence_table(self):
+        reports = battery_divergence(
+            "exact_numpy",
+            scenarios=None,
+            n_servers=10,
+            duration=8.0,
+            p=4,
+        )
+        table = render_divergence(reports)
+        assert "steady" in table
+        assert "decision%" in table
+        assert len(table.splitlines()) == len(reports) + 2
+
+    def test_unknown_kernel_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown scheduling kernel"):
+            battery_divergence("quantum")
+
+
+class TestScenarioKernelKnob:
+    def test_spec_rejects_unknown_kernel(self):
+        from repro.scenarios import Scenario
+
+        with pytest.raises(ValueError, match="unknown scheduling kernel"):
+            Scenario(name="x", kernel="quantum")
+
+    def test_scenario_kernel_flows_to_result(self):
+        from repro.scenarios import Scenario, WorkloadSpec, run_scenario_spec
+
+        scen = Scenario(
+            name="k",
+            n_servers=8,
+            p=3,
+            kernel="approx_topk",
+            workload=WorkloadSpec(rate=20.0, duration=4.0),
+        )
+        res = run_scenario_spec(scen)
+        assert res.kernel == "approx_topk"
+        assert res.completed > 0
+
+    def test_run_matrix_kernel_override(self):
+        from repro.scenarios import Scenario, WorkloadSpec, run_matrix
+
+        scen = Scenario(
+            name="k",
+            n_servers=8,
+            p=3,
+            workload=WorkloadSpec(rate=20.0, duration=4.0),
+        )
+        res = run_matrix([scen], kernel="approx_topk")
+        assert res.results[0].kernel == "approx_topk"
+        assert "kernel" in res.COLUMNS
+        assert "approx_topk" in res.table()
+
+    def test_reference_engine_reports_reference(self):
+        from repro.scenarios import Scenario, WorkloadSpec, run_scenario_spec
+
+        scen = Scenario(
+            name="k",
+            n_servers=8,
+            p=3,
+            workload=WorkloadSpec(rate=20.0, duration=4.0),
+        )
+        res = run_scenario_spec(scen, engine="reference")
+        assert res.kernel == "reference"
+
+
+class TestBenchKernelDimension:
+    def test_run_sweep_reports_kernels(self):
+        from repro.bench import PROFILES, run_sweep
+
+        sweep = run_sweep(PROFILES["smoke"][0], kernels=["approx_topk"])
+        rows = sweep["kernels"]
+        assert rows["exact_numpy"]["available"]
+        assert rows["exact_numpy"]["sweep_speedup_vs_exact"] == 1.0
+        assert rows["exact_numpy"]["identical_to_exact"]
+        assert "approx_topk" in rows
+
+    def test_unavailable_kernel_recorded_not_fatal(self, monkeypatch):
+        from repro.bench import PROFILES, run_sweep
+        from repro.kernels import registry
+
+        def boom():
+            raise KernelUnavailableError("no toolchain (test)")
+
+        monkeypatch.setitem(registry._FACTORIES, "compiled", boom)
+        sweep = run_sweep(PROFILES["smoke"][0], kernels=["compiled"])
+        row = sweep["kernels"]["compiled"]
+        assert row["available"] is False
+        assert "toolchain" in row["reason"]
+
+
+class TestCompiledFallbackWithoutToolchain:
+    def test_disabled_compiled_kernel_degrades_gracefully(self):
+        """With the build disabled, the registry refuses `compiled` with a
+        clear reason and the exact kernel still serves -- the pure-python
+        fallback story behind the `repro[fast]` extra."""
+        code = (
+            "from repro.kernels import get_kernel, available_kernels\n"
+            "from repro.kernels.base import KernelUnavailableError\n"
+            "from repro.kernels.compiled import compiled_available\n"
+            "assert not compiled_available()\n"
+            "assert 'compiled' not in available_kernels()\n"
+            "try:\n"
+            "    get_kernel('compiled')\n"
+            "except KernelUnavailableError as exc:\n"
+            "    assert 'disabled' in str(exc)\n"
+            "else:\n"
+            "    raise SystemExit('compiled kernel should be unavailable')\n"
+            "assert get_kernel(None).name == 'exact_numpy'\n"
+            "print('fallback-ok')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={
+                "REPRO_NO_COMPILED_KERNEL": "1",
+                "PYTHONPATH": "src",
+                "PATH": "/usr/bin:/bin",
+            },
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parents[1]),
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "fallback-ok" in proc.stdout
