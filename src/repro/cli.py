@@ -1,14 +1,38 @@
 """Command-line interface: run the paper's experiments from a shell.
 
+Sub-commands (each is a thin veneer over the library; scripts and
+notebooks should import :mod:`repro` directly):
+
+* ``compare``  -- Chapter 6 algorithm comparison (ROAR vs PTN/SW/opt);
+* ``deploy``   -- Chapter 7 single deployment run;
+* ``plan``     -- recommend a (p, r) configuration for a workload;
+* ``control``  -- closed-loop control-plane scenario (elastic ROAR);
+* ``matrix``   -- sweep the builtin scenario battery, print one table;
+* ``bench``    -- the standard performance sweeps + ``BENCH_<rev>.json``
+  snapshot, optionally gated against a baseline (``docs/benchmarks.md``);
+* ``kernels``  -- list scheduling kernels, optionally measure divergence
+  against the exact oracle (``docs/kernels.md``);
+* ``pps-demo`` -- encrypted-search application demo.
+
 Usage (after installation)::
 
-    python -m repro compare --algorithm roar --n 90 -p 9 --rate 12
-    python -m repro deploy --nodes 24 -p 4 --queries 100
-    python -m repro plan --servers 24 --dataset 5e6 --target-delay 0.4
-    python -m repro pps-demo --files 200
+    repro compare --algorithm roar --n 90 -p 9 --rate 12
+    repro deploy --nodes 24 -p 4 --queries 100
+    repro plan --servers 24 --dataset 5e6 --target-delay 0.4
+    repro bench --profile quick
+    repro pps-demo --files 200
 
-Each sub-command is a thin veneer over the library; scripts and notebooks
-should import :mod:`repro` directly.
+(Without installing: ``PYTHONPATH=src python -m repro ...``.)
+
+The parser is plain argparse and safe to drive programmatically::
+
+    >>> parser = build_parser()
+    >>> parser.parse_args(["bench", "--profile", "smoke"]).profile
+    'smoke'
+    >>> parser.parse_args(["matrix", "--kernel", "compiled"]).kernel
+    'compiled'
+    >>> parser.parse_args(["kernels"]).divergence
+    False
 """
 
 from __future__ import annotations

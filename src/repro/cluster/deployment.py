@@ -394,13 +394,30 @@ class Deployment:
         """Run an arrival trace through the batched query path.
 
         Produces state (logs, server counters, front-end statistics)
-        identical to :meth:`run_queries`, several times faster; see
-        :func:`repro.sim.fastpath.run_queries_fast`.  *actions* schedules
+        identical to :meth:`run_queries`, orders of magnitude faster; see
+        :func:`repro.sim.fastpath.run_queries_fast` and
+        ``docs/architecture.md`` for how.  *actions* schedules
         :class:`~repro.sim.fastpath.Action` callbacks (events, updates,
         control ticks) to land between two specific queries with exact
         event-time semantics.  *kernel* selects the scheduling kernel by
-        registry name (default ``exact_numpy``, the bit-exact oracle; see
-        :mod:`repro.kernels`).
+        registry name (default ``exact_numpy``, the bit-exact oracle;
+        ``compiled`` fuses sweep and commit into one C call per chunk --
+        see :mod:`repro.kernels` and ``docs/kernels.md``).
+
+        Example -- three queries, then one scheduled through an explicit
+        kernel, against an 8-server testbed::
+
+            >>> from repro.cluster import (Deployment, DeploymentConfig,
+            ...                            hen_testbed)
+            >>> dep = Deployment(DeploymentConfig(models=hen_testbed(8),
+            ...                                   p=4, seed=1))
+            >>> result = dep.run_queries_fast([0.0, 0.01, 0.02], 4)
+            >>> (result.completed, result.dropped, len(dep.log.records))
+            (3, 0, 3)
+            >>> result.latencies.shape
+            (3,)
+            >>> dep.run_queries_fast([0.03], 4, kernel="exact_numpy").completed
+            1
         """
         from ..sim.fastpath import run_queries_fast
 

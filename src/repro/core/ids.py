@@ -60,9 +60,13 @@ def cw_distance(start: float, end: float) -> float:
     """Clockwise (increasing-ID) distance travelling from *start* to *end*.
 
     The result is in ``[0, 1)``; the distance from a point to itself is 0.
+    Plain IEEE-754 arithmetic, so expect float dust -- ring comparisons go
+    through ``EPS``, never exact equality:
 
     >>> cw_distance(0.9, 0.1)
-    0.2
+    0.19999999999999996
+    >>> cw_distance(0.25, 0.75)
+    0.5
     """
     return frac(end - start)
 
@@ -76,12 +80,26 @@ def in_arc(point: float, start: float, length: float) -> bool:
     """Return True if *point* lies in the half-open arc ``[start, start+length)``.
 
     A length >= 1 covers the whole circle.
+
+    Containment compares *positions* (``point`` against ``start + length``),
+    not distances: ``cw_distance(start, point) < length`` re-derives the
+    point's offset with a subtraction whose rounding can land exactly on
+    ``length`` even though the point is strictly inside -- for a ring
+    partition that opened a one-ulp ownership hole just below the wrap
+    (found by hypothesis: ``point=0.9999999999999999`` on a two-node ring
+    had no containing range while ``node_in_charge`` named one).  The
+    positional form agrees with bisect-based ownership on every boundary
+    case the property suite and an adversarial ulp sweep could produce.
     """
     if length <= 0.0:
         return False
     if length >= 1.0:
         return True
-    return cw_distance(start, point) < length
+    point = frac(point)
+    start = frac(start)
+    if point >= start:
+        return point < start + length
+    return point + 1.0 < start + length
 
 
 def arcs_intersect(start_a: float, len_a: float, start_b: float, len_b: float) -> bool:

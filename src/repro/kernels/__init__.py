@@ -20,6 +20,8 @@ inexact kernels prove they stay inside their stated contract.
 """
 
 from .base import (
+    CommitBuffers,
+    CommitPlan,
     DeviationBound,
     KernelUnavailableError,
     PqEntry,
@@ -39,6 +41,8 @@ from .registry import (
 
 __all__ = [
     "DEFAULT_KERNEL",
+    "CommitBuffers",
+    "CommitPlan",
     "DeviationBound",
     "KernelUnavailableError",
     "PqEntry",

@@ -33,6 +33,25 @@ which is byte-for-byte the engine's original inline code).  A kernel with
 :class:`DeviationBound`, and the differential harness
 (:mod:`repro.kernels.divergence`) measures it against the oracle on the
 builtin scenario battery.
+
+**The fused sweep+commit entry point.**  Scheduling is no longer the
+engine's wall: once the sweep is compiled, the remaining per-query python
+is the *commit* -- sub-query widths, the front-end reserve, queue submit
+with EWMA speed observation, and the mirror write-through, all closed-form
+per-server float updates.  :meth:`SweepKernel.commit_batch` fuses them
+with the sweep over a whole chunk of queries per call: the kernel advances
+the live mirrors (``state.busy``, ``plan.spd``, ``entry.Q``) in place and
+returns the per-sub-query chunk-buffer rows in bulk through a
+:class:`CommitBuffers`, which the engine flushes with a handful of numpy
+reductions.  The default implementation is the reference python loop
+(bit-identical to the engine's inline commit by construction); the
+compiled kernel overrides it with a single C call per chunk and sets
+``fused_commit = True`` so the engine prefers the bulk seam even for
+short spans.  The engine only enters the bulk seam outside failure
+windows and with a span-constant ``pq``, so ``commit_batch`` never needs
+to delegate or re-plan; the exactness contract extends to it unchanged
+(``exact = True`` kernels must produce bit-identical *state*, not just
+decisions).
 """
 
 from __future__ import annotations
@@ -51,6 +70,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.covertable import CoverTable
 
 __all__ = [
+    "CommitBuffers",
+    "CommitPlan",
     "DeviationBound",
     "KernelUnavailableError",
     "PqEntry",
@@ -196,6 +217,100 @@ class PqEntry:
         return len(self.csi)
 
 
+class CommitPlan:
+    """Per-batch commit constants and mirrors for :meth:`SweepKernel.commit_batch`.
+
+    Built by the engine alongside :class:`SweepState` (a fresh instance per
+    membership epoch).  ``spd`` is the live EWMA speed-estimate mirror --
+    the commit's one mutable array beyond ``state.busy`` and ``entry.Q``;
+    the ``*_l`` plain-list shadows exist so the pure-python default commit
+    pays scalar float arithmetic, not numpy scalar boxing.  ``arrivals``
+    is the whole batch's arrival times; spans address into it by index so
+    compiled kernels can cache one raw pointer per batch.
+    """
+
+    __slots__ = (
+        "arrivals",
+        "arr_l",
+        "spd",
+        "srv_fixed",
+        "srv_speed",
+        "srv_fixed_l",
+        "srv_speed_l",
+        "alpha",
+        "om_alpha",
+        "dataset",
+    )
+
+    def __init__(
+        self,
+        arrivals: "np.ndarray",
+        arr_l: list,
+        spd: "np.ndarray",
+        srv_fixed_l: Sequence[float],
+        srv_speed_l: Sequence[float],
+        alpha: float,
+        om_alpha: float,
+        dataset: float,
+    ) -> None:
+        self.arrivals = arrivals
+        self.arr_l = arr_l
+        self.spd = spd
+        self.srv_fixed = np.asarray(srv_fixed_l, dtype=np.float64)
+        self.srv_speed = np.asarray(srv_speed_l, dtype=np.float64)
+        self.srv_fixed_l = list(srv_fixed_l)
+        self.srv_speed_l = list(srv_speed_l)
+        self.alpha = alpha
+        self.om_alpha = om_alpha
+        self.dataset = dataset
+
+
+class CommitBuffers:
+    """Engine-owned out buffers one ``commit_batch`` span writes into.
+
+    One instance per partitioning level ``pq`` (sub-query rows are
+    ``cap * pq`` flat, submit order); reused across spans so compiled
+    kernels can cache the raw pointers.  ``rtts`` is an *input*: the
+    engine pre-draws the span's RTT samples in arrival order (the rng
+    stream must advance exactly as the per-query path would).  ``res_*``
+    report the *last* query's reserve map -- the one piece of front-end
+    state the reference path leaves holding a prediction.
+    """
+
+    __slots__ = (
+        "cap",
+        "pq",
+        "rtts",
+        "sub_g",
+        "sub_service",
+        "sub_work",
+        "sub_finish",
+        "sub_start",
+        "q_total",
+        "q_mw",
+        "q_ms",
+        "res_g",
+        "res_v",
+        "res_n",
+    )
+
+    def __init__(self, cap: int, pq: int) -> None:
+        self.cap = cap
+        self.pq = pq
+        self.rtts = np.empty(cap, dtype=np.float64)
+        self.sub_g = np.empty(cap * pq, dtype=np.int64)
+        self.sub_service = np.empty(cap * pq, dtype=np.float64)
+        self.sub_work = np.empty(cap * pq, dtype=np.float64)
+        self.sub_finish = np.empty(cap * pq, dtype=np.float64)
+        self.sub_start = np.empty(cap * pq, dtype=np.float64)
+        self.q_total = np.empty(cap, dtype=np.float64)
+        self.q_mw = np.empty(cap, dtype=np.float64)
+        self.q_ms = np.empty(cap, dtype=np.float64)
+        self.res_g = np.empty(pq, dtype=np.int64)
+        self.res_v = np.empty(pq, dtype=np.float64)
+        self.res_n = np.zeros(1, dtype=np.int64)
+
+
 def assignment_at(
     state: SweepState, entry: PqEntry, est: "np.ndarray", start_id: float
 ) -> tuple[list[int], list[float]]:
@@ -256,6 +371,10 @@ class SweepKernel:
     exact: ClassVar[bool] = False
     #: one-line human description for ``repro kernels``.
     description: ClassVar[str] = ""
+    #: kernels whose :meth:`commit_batch` beats a python loop even on
+    #: short spans (the compiled kernel) set this so the engine prefers
+    #: the bulk seam regardless of span length.
+    fused_commit: ClassVar[bool] = False
 
     def bind(self, state: SweepState) -> None:  # pragma: no cover - hook
         """Called when the engine (re)builds its mirrors."""
@@ -272,3 +391,163 @@ class SweepKernel:
         at its gather sites and leaves it untouched).
         """
         raise NotImplementedError
+
+    def commit_batch(
+        self,
+        state: SweepState,
+        entry: PqEntry,
+        plan: CommitPlan,
+        bufs: CommitBuffers,
+        start: int,
+        nq: int,
+    ) -> None:
+        """Fused sweep+commit over queries ``start .. start + nq``.
+
+        Contract: on return the live mirrors (``state.busy``, ``plan.spd``,
+        ``entry.Q``) hold exactly the state the per-query path would have
+        produced after the span's last query, and *bufs* holds the span's
+        chunk-buffer rows (sub-query rows in submit order, per-query
+        totals, the last query's reserve map).  The engine guarantees no
+        failed server can be scheduled (it never enters the bulk seam
+        inside a failure window), a span-constant ``pq`` matching *entry*,
+        and ``bufs.rtts[:nq]`` pre-drawn in arrival order.
+
+        This default implementation is the reference python commit loop --
+        the same scalar float operations in the same order as the engine's
+        inline per-query path (and as ``roar_commit_batch`` in
+        ``csrc/sweep.c``; the three are pinned together by the
+        differential tests).  Override it only with something
+        bit-identical, or set ``exact = False`` and document the bound.
+        """
+        select = self.select
+        busy_np = state.busy
+        spd_np = plan.spd
+        Q = entry.Q
+        wd = entry.wd
+        off0 = entry.off0
+        pq = entry.pq
+        # plain-list shadows: the per-query updates are scalar float
+        # arithmetic, which python floats do ~5x cheaper than numpy scalars
+        busy_l = busy_np.tolist()
+        spd_l = spd_np.tolist()
+        srv_fixed_l = plan.srv_fixed_l
+        srv_speed_l = plan.srv_speed_l
+        fe_fixed = state.fe_fixed
+        alpha = plan.alpha
+        om_alpha = plan.om_alpha
+        dataset = plan.dataset
+        arr_l = plan.arr_l
+        rtt_l = bufs.rtts[:nq].tolist()
+        fmod = math.fmod
+
+        sg: list[int] = []
+        ssv: list[float] = []
+        swk: list[float] = []
+        sf: list[float] = []
+        sst: list[float] = []
+        sg_append = sg.append
+        ssv_append = ssv.append
+        swk_append = swk.append
+        sf_append = sf.append
+        sst_append = sst.append
+        q_total: list[float] = []
+        q_mw: list[float] = []
+        q_ms: list[float] = []
+        res: dict[int, float] = {}
+
+        for k in range(nq):
+            now = arr_l[start + k]
+            g_list, pts, start_id = select(state, entry, now)
+            rtt = rtt_l[k]
+
+            # widths + reserve (FIFO over sub-queries, first occurrence
+            # syncs the live queue, repeats accumulate)
+            v = fmod(start_id + off0, 1.0)
+            if v < 0.0:
+                v += 1.0
+            if v >= 1.0:
+                v -= 1.0
+            prev = v
+            w_list = []
+            res = {}
+            res_get = res.get
+            for i in range(pq):
+                d = pts[i]
+                w = fmod(d - prev, 1.0)
+                if w < 0.0:
+                    w += 1.0
+                if w >= 1.0:
+                    w -= 1.0
+                w_list.append(w)
+                prev = d
+                g = g_list[i]
+                spd_g = spd_l[g]
+                service = fe_fixed + (w * dataset) / (
+                    spd_g if spd_g > 1e-9 else 1e-9
+                )
+                base = res_get(g)
+                if base is None:
+                    base = busy_l[g]
+                res[g] = (base if base > now else now) + service
+
+            finish = now
+            mw = 0.0
+            ms = 0.0
+            half = rtt / 2.0
+            arr_t = now + half
+            # submit + EWMA observe (LIFO: the reference path pops)
+            for i in range(pq - 1, -1, -1):
+                g = g_list[i]
+                work = w_list[i] * dataset
+                b = busy_l[g]
+                wait = b - now
+                if wait < 0.0:
+                    wait = 0.0
+                start_t = arr_t if arr_t > b else b
+                service = srv_fixed_l[g] + work / srv_speed_l[g]
+                f = start_t + service
+                busy_l[g] = f
+                sg_append(g)
+                ssv_append(service)
+                swk_append(work)
+                sf_append(f)
+                sst_append(start_t)
+                eff = service - fe_fixed
+                if eff > 0.0 and work > 0.0:
+                    spd_l[g] = om_alpha * spd_l[g] + alpha * (work / eff)
+                fh = f + half
+                if fh > finish:
+                    finish = fh
+                if wait > mw:
+                    mw = wait
+                if service > ms:
+                    ms = service
+
+            # write-through the final per-server values (only the last
+            # value per server matters to the next query's estimates)
+            for g in res:
+                busy_np[g] = busy_l[g]
+                s_g = spd_l[g]
+                if spd_np[g] != s_g:
+                    spd_np[g] = s_g
+                    Q[g] = wd / s_g
+
+            q_total.append(finish - now)
+            q_mw.append(mw)
+            q_ms.append(ms)
+
+        m = nq * pq
+        bufs.sub_g[:m] = sg
+        bufs.sub_service[:m] = ssv
+        bufs.sub_work[:m] = swk
+        bufs.sub_finish[:m] = sf
+        bufs.sub_start[:m] = sst
+        bufs.q_total[:nq] = q_total
+        bufs.q_mw[:nq] = q_mw
+        bufs.q_ms[:nq] = q_ms
+        rn = len(res)
+        bufs.res_n[0] = rn
+        if rn:
+            keys = list(res)
+            bufs.res_g[:rn] = keys
+            bufs.res_v[:rn] = [res[g] for g in keys]

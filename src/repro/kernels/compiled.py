@@ -38,7 +38,14 @@ try:
 except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None  # type: ignore[assignment]
 
-from .base import KernelUnavailableError, PqEntry, SweepKernel, SweepState
+from .base import (
+    CommitBuffers,
+    CommitPlan,
+    KernelUnavailableError,
+    PqEntry,
+    SweepKernel,
+    SweepState,
+)
 
 __all__ = [
     "CompiledKernel",
@@ -48,7 +55,7 @@ __all__ = [
 ]
 
 _SOURCE = Path(__file__).with_name("csrc") / "sweep.c"
-_ABI_VERSION = 1
+_ABI_VERSION = 2
 
 #: memoised library handle / failure reason (one build attempt per process).
 _lib: Optional[ctypes.CDLL] = None
@@ -97,11 +104,19 @@ def _build_library() -> Path:
     os.close(fd)
     try:
         # -march=native is safe for this JIT-style build (the object is
-        # always built on the machine that runs it, and the kernel contains
-        # no fused-multiply-add candidates, so codegen cannot change the
-        # float results); retry without it for compilers that lack the flag.
+        # always built on the machine that runs it) and optional.
+        # -ffp-contract=off is NOT optional: the fused commit's EWMA update
+        # (om_alpha*spd + alpha*(work/eff)) is a fused-multiply-add
+        # candidate, and both gcc and clang contract by default at -O3,
+        # which would change the float results and break the bit-identity
+        # contract.  A compiler that rejects the flag therefore cannot
+        # build an `exact = True` kernel -- refuse and fall back to the
+        # oracle rather than ship silently-drifting floats.
         base = [compiler, "-O3", "-fPIC", "-shared", "-o", tmp, str(_SOURCE), "-lm"]
-        attempts = (base[:1] + ["-march=native"] + base[1:], base)
+        attempts = (
+            base[:1] + ["-march=native", "-ffp-contract=off"] + base[1:],
+            base[:1] + ["-ffp-contract=off"] + base[1:],
+        )
         stderr = ""
         for cmd in attempts:
             proc = subprocess.run(
@@ -112,7 +127,8 @@ def _build_library() -> Path:
             stderr = proc.stderr.strip()
         else:
             raise KernelUnavailableError(
-                f"C kernel build failed ({compiler}):\n{stderr}"
+                f"C kernel build failed ({compiler}; -ffp-contract=off is "
+                f"required for bit-identity):\n{stderr}"
             )
         os.replace(tmp, out)
     finally:
@@ -147,6 +163,13 @@ def load_sweep_library() -> ctypes.CDLL:
         fn = lib.roar_sweep_select
         fn.restype = ctypes.c_int64
         fn.argtypes = [ctypes.c_void_p, ctypes.c_double]  # (&args, now)
+        cb = lib.roar_commit_batch
+        cb.restype = ctypes.c_int64
+        cb.argtypes = [  # (&args, start, nq)
+            ctypes.c_void_p,
+            ctypes.c_int64,
+            ctypes.c_int64,
+        ]
         _lib = lib
         return lib
     except KernelUnavailableError as exc:
@@ -198,6 +221,83 @@ class _SweepArgs(ctypes.Structure):
     ]
 
 
+class _CommitArgs(ctypes.Structure):
+    """Mirror of ``roar_commit_args`` in ``csrc/sweep.c`` (keep in sync)."""
+
+    _fields_ = [
+        ("sweep", _SweepArgs),
+        ("srv_fixed", ctypes.c_void_p),
+        ("srv_speed", ctypes.c_void_p),
+        ("alpha", ctypes.c_double),
+        ("om_alpha", ctypes.c_double),
+        ("dataset", ctypes.c_double),
+        ("wd", ctypes.c_double),
+        ("off0", ctypes.c_double),
+        ("arrivals", ctypes.c_void_p),
+        ("rtts", ctypes.c_void_p),
+        ("busy_mut", ctypes.c_void_p),
+        ("spd", ctypes.c_void_p),
+        ("q_over_s_mut", ctypes.c_void_p),
+        ("wbuf", ctypes.c_void_p),
+        ("res_g", ctypes.c_void_p),
+        ("res_v", ctypes.c_void_p),
+        ("res_n", ctypes.c_void_p),
+        ("sub_g", ctypes.c_void_p),
+        ("sub_service", ctypes.c_void_p),
+        ("sub_work", ctypes.c_void_p),
+        ("sub_finish", ctypes.c_void_p),
+        ("sub_start", ctypes.c_void_p),
+        ("q_total", ctypes.c_void_p),
+        ("q_mw", ctypes.c_void_p),
+        ("q_ms", ctypes.c_void_p),
+    ]
+
+
+def _sweep_struct(
+    state: SweepState,
+    entry: PqEntry,
+    starts_flat: "np.ndarray",
+    g_buf: "np.ndarray",
+    pts_buf: "np.ndarray",
+    sid_buf: "np.ndarray",
+) -> tuple[_SweepArgs, tuple]:
+    """Fill a :class:`_SweepArgs` for (state, entry); returns (struct, holds)."""
+    pack = entry.table.kernel_pack()
+    lo = np.asarray(state.ring_lo, dtype=np.int64)
+    hi = np.asarray(state.ring_hi, dtype=np.int64)
+    offs = np.asarray(entry.offs, dtype=np.float64)
+    pq = len(entry.offs)
+    cur = np.empty(pq, dtype=np.float64)
+    owner_cur = np.empty(state.n_rings * pq, dtype=np.int64)
+    args = _SweepArgs(
+        busy=state.busy.ctypes.data,
+        q_over_s=entry.Q.ctypes.data,
+        fe_fixed=state.fe_fixed,
+        n=state.n,
+        owners=pack.owner_stack.ctypes.data,
+        ring_lo=lo.ctypes.data,
+        ring_hi=hi.ctypes.data,
+        n_rings=state.n_rings,
+        pq=pq,
+        n_configs=entry.n_configs,
+        evaluated=pack.evaluated_u8.ctypes.data,
+        config_start_id=pack.config_start_id.ctypes.data,
+        offs=offs.ctypes.data,
+        starts_flat=starts_flat.ctypes.data,
+        ev_offsets=pack.ev_offsets.ctypes.data,
+        ev_ring=pack.ev_ring.ctypes.data,
+        ev_point=pack.ev_point.ctypes.data,
+        ev_owner=pack.ev_owner.ctypes.data,
+        cur=cur.ctypes.data,
+        owner_cur=owner_cur.ctypes.data,
+        g_out=g_buf.ctypes.data,
+        pts_out=pts_buf.ctypes.data,
+        start_id_out=sid_buf.ctypes.data,
+    )
+    holds = (lo, hi, offs, pack, starts_flat, cur, owner_cur, state)
+    return args, holds
+
+
 class _EntryBlock:
     """Per-(state, entry) argument block cached on ``entry.ext``.
 
@@ -212,64 +312,116 @@ class _EntryBlock:
     def __init__(
         self, state: SweepState, entry: PqEntry, starts_flat: "np.ndarray"
     ) -> None:
-        pack = entry.table.kernel_pack()
-        lo = np.asarray(state.ring_lo, dtype=np.int64)
-        hi = np.asarray(state.ring_hi, dtype=np.int64)
-        offs = np.asarray(entry.offs, dtype=np.float64)
         pq = len(entry.offs)
         self.g_buf = np.empty(pq, dtype=np.int64)
         self.pts_buf = np.empty(pq, dtype=np.float64)
         self.sid_buf = np.empty(1, dtype=np.float64)
-        cur = np.empty(pq, dtype=np.float64)
-        owner_cur = np.empty(state.n_rings * pq, dtype=np.int64)
-        args = _SweepArgs(
-            busy=state.busy.ctypes.data,
-            q_over_s=entry.Q.ctypes.data,
-            fe_fixed=state.fe_fixed,
-            n=state.n,
-            owners=pack.owner_stack.ctypes.data,
-            ring_lo=lo.ctypes.data,
-            ring_hi=hi.ctypes.data,
-            n_rings=state.n_rings,
-            pq=pq,
-            n_configs=entry.n_configs,
-            evaluated=pack.evaluated_u8.ctypes.data,
-            config_start_id=pack.config_start_id.ctypes.data,
-            offs=offs.ctypes.data,
-            starts_flat=starts_flat.ctypes.data,
-            ev_offsets=pack.ev_offsets.ctypes.data,
-            ev_ring=pack.ev_ring.ctypes.data,
-            ev_point=pack.ev_point.ctypes.data,
-            ev_owner=pack.ev_owner.ctypes.data,
-            cur=cur.ctypes.data,
-            owner_cur=owner_cur.ctypes.data,
-            g_out=self.g_buf.ctypes.data,
-            pts_out=self.pts_buf.ctypes.data,
-            start_id_out=self.sid_buf.ctypes.data,
+        args, holds = _sweep_struct(
+            state, entry, starts_flat, self.g_buf, self.pts_buf, self.sid_buf
         )
         # keep the struct and every array behind its raw pointers alive
-        self._hold = (args, lo, hi, offs, pack, starts_flat, cur, owner_cur, state)
+        self._hold = (args, holds)
         self.args_ptr = ctypes.addressof(args)
         self.state_token = id(state)
 
 
+class _CommitBlock:
+    """Per-(state, entry, plan, bufs) fused-commit argument block.
+
+    Same idea as :class:`_EntryBlock`, one level up: every pointer a whole
+    chunk's sweep+commit needs -- including the engine-owned
+    :class:`~repro.kernels.base.CommitBuffers` out arrays and the batch's
+    arrival times -- lives in one struct, so each chunk marshals three
+    scalar foreign-call arguments (block pointer, start index, count).
+    """
+
+    __slots__ = ("args_ptr", "state_token", "plan_token", "bufs_token", "_hold")
+
+    def __init__(
+        self,
+        state: SweepState,
+        entry: PqEntry,
+        plan: CommitPlan,
+        bufs: CommitBuffers,
+        starts_flat: "np.ndarray",
+    ) -> None:
+        pq = len(entry.offs)
+        g_buf = np.empty(pq, dtype=np.int64)
+        pts_buf = np.empty(pq, dtype=np.float64)
+        sid_buf = np.empty(1, dtype=np.float64)
+        sweep, sweep_holds = _sweep_struct(
+            state, entry, starts_flat, g_buf, pts_buf, sid_buf
+        )
+        wbuf = np.empty(pq, dtype=np.float64)
+        args = _CommitArgs(
+            sweep=sweep,
+            srv_fixed=plan.srv_fixed.ctypes.data,
+            srv_speed=plan.srv_speed.ctypes.data,
+            alpha=plan.alpha,
+            om_alpha=plan.om_alpha,
+            dataset=plan.dataset,
+            wd=entry.wd,
+            off0=entry.off0,
+            arrivals=plan.arrivals.ctypes.data,
+            rtts=bufs.rtts.ctypes.data,
+            busy_mut=state.busy.ctypes.data,
+            spd=plan.spd.ctypes.data,
+            q_over_s_mut=entry.Q.ctypes.data,
+            wbuf=wbuf.ctypes.data,
+            res_g=bufs.res_g.ctypes.data,
+            res_v=bufs.res_v.ctypes.data,
+            res_n=bufs.res_n.ctypes.data,
+            sub_g=bufs.sub_g.ctypes.data,
+            sub_service=bufs.sub_service.ctypes.data,
+            sub_work=bufs.sub_work.ctypes.data,
+            sub_finish=bufs.sub_finish.ctypes.data,
+            sub_start=bufs.sub_start.ctypes.data,
+            q_total=bufs.q_total.ctypes.data,
+            q_mw=bufs.q_mw.ctypes.data,
+            q_ms=bufs.q_ms.ctypes.data,
+        )
+        self._hold = (
+            args,
+            sweep_holds,
+            g_buf,
+            pts_buf,
+            sid_buf,
+            wbuf,
+            plan,
+            bufs,
+        )
+        self.args_ptr = ctypes.addressof(args)
+        self.state_token = id(state)
+        self.plan_token = id(plan)
+        self.bufs_token = id(bufs)
+
+
 class CompiledKernel(SweepKernel):
-    """Fused C implementation of the exact sweep (bit-identical intent).
+    """Fused C implementation of the exact sweep + commit (bit-identical intent).
 
     Replicates :class:`~repro.kernels.exact.ExactNumpyKernel`'s float
     arithmetic operation-for-operation in C (verified by the differential
     tests); ships as an on-first-use build against the system C compiler
     with a graceful fallback when none exists.  ``exact = True``: any
     divergence from the oracle is a bug, not a documented trade.
+
+    Two entry points: :meth:`select` is the per-query sweep (used by the
+    engine's per-query path, e.g. inside failure windows), and
+    :meth:`commit_batch` is the fused sweep+commit -- one C call per
+    chunk of queries, advancing the live mirrors in place and returning
+    the chunk-buffer rows in bulk (``fused_commit = True`` so the engine
+    prefers the bulk seam at any span length).
     """
 
     name = "compiled"
     exact = True
-    description = "fused C sweep via ctypes (>=2x sweep; needs a C toolchain)"
+    fused_commit = True
+    description = "fused C sweep+commit via ctypes (needs a C toolchain)"
 
     def __init__(self) -> None:
         lib = load_sweep_library()
         self._fn = lib.roar_sweep_select
+        self._commit_fn = lib.roar_commit_batch
         self._state: Optional[SweepState] = None
         self._starts_flat: Optional["np.ndarray"] = None
         self._last_entry: Optional[PqEntry] = None
@@ -302,3 +454,25 @@ class CompiledKernel(SweepKernel):
             block.pts_buf.tolist(),
             entry.csi[best],
         )
+
+    def commit_batch(
+        self,
+        state: SweepState,
+        entry: PqEntry,
+        plan: CommitPlan,
+        bufs: CommitBuffers,
+        start: int,
+        nq: int,
+    ) -> None:
+        if state is not self._state:
+            self.bind(state)
+        block = entry.ext.get("compiled_commit")
+        if (
+            block is None
+            or block.state_token != id(state)
+            or block.plan_token != id(plan)
+            or block.bufs_token != id(bufs)
+        ):
+            block = _CommitBlock(state, entry, plan, bufs, self._starts_flat)
+            entry.ext["compiled_commit"] = block
+        self._commit_fn(block.args_ptr, start, nq)

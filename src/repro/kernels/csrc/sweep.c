@@ -1,13 +1,21 @@
-/* The compiled scheduling kernel: Algorithm 1's precomputed sweep in C.
+/* The compiled scheduling kernel: Algorithm 1's precomputed sweep in C,
+ * plus the fused per-chunk commit stage.
  *
- * One call replaces the engine's whole per-query scheduling block --
+ * roar_sweep_select replaces the engine's per-query scheduling block --
  * estimate evaluation, the owner-timeline sweep (gather / min across
  * rings / max across points / first-wins argmin across evaluated
  * configurations), and the final assignment re-derivation by binary
- * search.  Every float operation replicates the numpy oracle's order
- * exactly (IEEE-754 doubles, same comparisons, same tie-breaking), so
- * the result is bit-identical; the speedup comes from fusing ~10 numpy
- * dispatches and their temporaries into one pass with no allocation.
+ * search.  roar_commit_batch goes further: it consumes a whole chunk of
+ * queries per call, running the sweep AND the closed-form commit for
+ * each -- sub-query widths, the front-end reserve, queue submit, EWMA
+ * speed observation, and the q_over_s write-through -- against the live
+ * mirror arrays, emitting the per-sub-query chunk-buffer rows in bulk
+ * for the engine's numpy flush.  Every float operation replicates the
+ * python engine's order exactly (IEEE-754 doubles, same comparisons,
+ * same tie-breaking; the build passes -ffp-contract=off so the EWMA's
+ * a*b + c*d cannot be contracted into an FMA), so the results are
+ * bit-identical; the speedup comes from fusing per-query python
+ * interpretation and ~10 numpy dispatches into one pass per chunk.
  *
  * The library is plain C with no Python.h dependency: it is built with
  * the system C compiler into a shared object and driven through ctypes
@@ -222,5 +230,178 @@ int64_t roar_sweep_select(const roar_sweep_args *a, double now)
     return best;
 }
 
+/* -- the fused commit stage ------------------------------------------------
+ *
+ * Everything the python engine does between the scheduling decision and
+ * the chunk flush is closed-form per-server float arithmetic: sub-query
+ * widths from the chosen start id, the front-end's FIFO reserve, the
+ * LIFO queue submit with EWMA speed observation, and the q_over_s
+ * write-through that keeps the estimate quotient fresh for the next
+ * query's sweep.  roar_commit_batch runs sweep + commit for a whole
+ * chunk of queries in one call, advancing the live mirrors (`busy_mut`,
+ * `spd`, `q_over_s_mut`) in place and emitting the per-sub-query rows
+ * (server, service, work, finish, start; submit order) plus the
+ * per-query reductions (total delay, max wait, max service) into the
+ * engine-owned out buffers consumed by the numpy flush.
+ *
+ * Exactness: each operation replicates the python engine's scalar float
+ * ops in the same order (see _Engine._run_span in sim/fastpath.py and
+ * SweepKernel.commit_batch in kernels/base.py); any divergence from the
+ * exact_numpy oracle is a bug.  The caller guarantees no server in the
+ * span's schedules is failed (the engine never enters the fused path
+ * inside a failure window) and that pq is constant across the span.
+ */
+typedef struct {
+    roar_sweep_args sweep;         /* embedded; its busy/q_over_s alias   */
+                                   /* busy_mut/q_over_s_mut below         */
+    const double *srv_fixed;       /* [n] per-server fixed overhead       */
+    const double *srv_speed;       /* [n] true server speeds (submit)     */
+    double alpha;                  /* EWMA weight of the new observation  */
+    double om_alpha;               /* 1 - alpha                           */
+    double dataset;                /* dataset size (work = width*dataset) */
+    double wd;                     /* work*dataset of this pq entry       */
+    double off0;                   /* -1/pq (first width wraps from here) */
+    const double *arrivals;        /* [n_total] full-batch arrival times  */
+    const double *rtts;            /* [>=nq] span's pregenerated RTT draws */
+    double *busy_mut;              /* [n] live queue mirror, writable     */
+    double *spd;                   /* [n] live EWMA speed mirror          */
+    double *q_over_s_mut;          /* [n] wd/spd quotient, kept fresh     */
+    double *wbuf;                  /* [pq] scratch: sub-query widths      */
+    int64_t *res_g;                /* [pq] out: last query's reserve keys */
+    double *res_v;                 /* [pq] out: last query's reserve vals */
+    int64_t *res_n;                /* [1]  out: reserve entry count       */
+    int64_t *sub_g;                /* [cap*pq] out: global server index   */
+    double *sub_service;           /* [cap*pq] out: service time          */
+    double *sub_work;              /* [cap*pq] out: objects matched       */
+    double *sub_finish;            /* [cap*pq] out: finish time           */
+    double *sub_start;             /* [cap*pq] out: execution start       */
+    double *q_total;               /* [cap] out: finish - now             */
+    double *q_mw;                  /* [cap] out: max sub-query wait       */
+    double *q_ms;                  /* [cap] out: max sub-query service    */
+} roar_commit_args;
+
+int64_t roar_commit_batch(const roar_commit_args *a, int64_t start,
+                          int64_t nq)
+{
+    const roar_sweep_args *sw = &a->sweep;
+    const int64_t pq = sw->pq;
+    const double fe_fixed = sw->fe_fixed;
+    const int64_t *g_list = sw->g_out;
+    const double *pts = sw->pts_out;
+    const double *srv_fixed = a->srv_fixed;
+    const double *srv_speed = a->srv_speed;
+    const double alpha = a->alpha, om_alpha = a->om_alpha;
+    const double dataset = a->dataset, wd = a->wd, off0 = a->off0;
+    double *busy = a->busy_mut;
+    double *spd = a->spd;
+    double *q_over_s = a->q_over_s_mut;
+    double *wbuf = a->wbuf;
+    int64_t *res_g = a->res_g;
+    double *res_v = a->res_v;
+    int64_t si = 0;
+    int64_t k, i, j;
+
+    for (k = 0; k < nq; k++) {
+        const double now = a->arrivals[start + k];
+        const double rtt = a->rtts[k];
+        (void)roar_sweep_select(sw, now);
+        const double start_id = sw->start_id_out[0];
+
+        /* widths + reserve (FIFO over sub-queries; the first occurrence
+         * of a server syncs the live queue, repeats accumulate) */
+        double v = fmod(start_id + off0, 1.0);
+        if (v < 0.0) {
+            v += 1.0;
+        }
+        if (v >= 1.0) {
+            v -= 1.0;
+        }
+        double prev = v;
+        int64_t rn = 0;
+        for (i = 0; i < pq; i++) {
+            const double d = pts[i];
+            double w = fmod(d - prev, 1.0);
+            if (w < 0.0) {
+                w += 1.0;
+            }
+            if (w >= 1.0) {
+                w -= 1.0;
+            }
+            wbuf[i] = w;
+            prev = d;
+            const int64_t g = g_list[i];
+            const double spd_g = spd[g];
+            const double service =
+                fe_fixed + (w * dataset) / (spd_g > 1e-9 ? spd_g : 1e-9);
+            int64_t slot = -1;
+            for (j = 0; j < rn; j++) {  /* pq is small: linear map */
+                if (res_g[j] == g) {
+                    slot = j;
+                    break;
+                }
+            }
+            double base;
+            if (slot < 0) {
+                base = busy[g];
+                slot = rn;
+                res_g[rn++] = g;
+            } else {
+                base = res_v[slot];
+            }
+            res_v[slot] = (base > now ? base : now) + service;
+        }
+        *a->res_n = rn;
+
+        /* submit + EWMA observe (LIFO: the reference path pops) */
+        double finish = now, mw = 0.0, ms = 0.0;
+        const double half = rtt / 2.0;
+        const double arr_t = now + half;
+        for (i = pq - 1; i >= 0; i--) {
+            const int64_t g = g_list[i];
+            const double work = wbuf[i] * dataset;
+            const double b = busy[g];
+            double wait = b - now;
+            if (wait < 0.0) {
+                wait = 0.0;
+            }
+            const double start_t = arr_t > b ? arr_t : b;
+            const double service = srv_fixed[g] + work / srv_speed[g];
+            const double f = start_t + service;
+            busy[g] = f;
+            a->sub_g[si] = g;
+            a->sub_service[si] = service;
+            a->sub_work[si] = work;
+            a->sub_finish[si] = f;
+            a->sub_start[si] = start_t;
+            si++;
+            const double eff = service - fe_fixed;
+            if (eff > 0.0 && work > 0.0) {
+                spd[g] = om_alpha * spd[g] + alpha * (work / eff);
+            }
+            const double fh = f + half;
+            if (fh > finish) {
+                finish = fh;
+            }
+            if (wait > mw) {
+                mw = wait;
+            }
+            if (service > ms) {
+                ms = service;
+            }
+        }
+
+        /* write-through: q_over_s tracks wd/spd for the touched servers
+         * (only the final per-server speed matters to the next sweep) */
+        for (j = 0; j < rn; j++) {
+            const int64_t g = res_g[j];
+            q_over_s[g] = wd / spd[g];
+        }
+        a->q_total[k] = finish - now;
+        a->q_mw[k] = mw;
+        a->q_ms[k] = ms;
+    }
+    return nq;
+}
+
 /* Build-probe symbol so the loader can verify the ABI revision it built. */
-int64_t roar_sweep_abi_version(void) { return 1; }
+int64_t roar_sweep_abi_version(void) { return 2; }

@@ -17,7 +17,8 @@ its timestamp falls, and the batched engine fires it *between those two
 queries* with fully materialised deployment state.  A mid-batch update is
 therefore visible to the very next query -- the old segment-batched runner's
 "updates land up to ``batch_interval`` late" caveat is gone, at full batch
-speed.  The ``engine="reference"`` backend replays the same action schedule
+speed (``UpdateSpec.batch_interval`` is deprecated and ignored; passing it
+warns).  The ``engine="reference"`` backend replays the same action schedule
 through the per-query path, so both engines agree on *when* every stimulus
 lands.  Discrete-event work scheduled on the internal
 :class:`~repro.sim.engine.Simulation` (reconfiguration node steps, delayed

@@ -11,6 +11,7 @@ outcome.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 __all__ = [
@@ -56,6 +57,18 @@ class WorkloadSpec:
       ``peak_to_trough`` ratio, starting at the trough;
     * ``ramp``: linear climb from ``rate`` to ``end_rate``;
     * ``replay``: verbatim ``trace`` times (rate/duration ignored).
+
+    Examples::
+
+        >>> WorkloadSpec(kind="flash-crowd", rate=100.0, duration=60.0).horizon
+        60.0
+        >>> WorkloadSpec(kind="replay", trace=(0.0, 0.5, 2.0)).horizon
+        2.0
+        >>> WorkloadSpec(kind="warp")
+        Traceback (most recent call last):
+            ...
+        ValueError: unknown workload kind 'warp'; pick one of ('poisson', \
+'uniform', 'diurnal', 'flash-crowd', 'ramp', 'replay')
     """
 
     kind: str = "poisson"
@@ -105,17 +118,29 @@ class UpdateSpec:
     Updates land with **exact event-time semantics**: the runner compiles
     each one to an action at the precise query index where its timestamp
     falls, so an update is visible to the very next query on either engine.
+
+    Example -- a hot write stream with mild skew::
+
+        >>> spec = UpdateSpec(rate=50.0, zipf_s=1.2, hotspots=8)
+        >>> spec.hotspots
+        8
+        >>> UpdateSpec(rate=-1.0)
+        Traceback (most recent call last):
+            ...
+        ValueError: update rate must be positive
     """
 
     rate: float = 20.0
     zipf_s: float = 1.1
     hotspots: int = 16
     jitter: float = 0.01
-    #: legacy knob of the segment-batched runner (updates used to apply at
-    #: batch boundaries, up to this many seconds late).  The exact-time
-    #: action queue made it obsolete; it is kept so existing scenario
-    #: definitions still construct, and ignored by the runner.
-    batch_interval: float = 1.0
+    #: **Deprecated.**  Knob of the retired segment-batched runner, where
+    #: updates applied at batch boundaries up to this many seconds late.
+    #: The exact-time action queue replaced it: every update now lands at
+    #: the precise query index where its timestamp falls (see
+    #: :class:`repro.sim.fastpath.Action` and ``docs/architecture.md``).
+    #: Passing a value warns and has no effect; the field will be removed.
+    batch_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -124,6 +149,14 @@ class UpdateSpec:
             raise ValueError("need at least one hotspot")
         if self.zipf_s < 0:
             raise ValueError("zipf_s must be non-negative")
+        if self.batch_interval is not None:
+            warnings.warn(
+                "UpdateSpec.batch_interval is deprecated and ignored: "
+                "updates land at exact event times through the engine's "
+                "action queue (docs/architecture.md); drop the argument",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
 
 @dataclass(frozen=True)
@@ -209,7 +242,27 @@ class ControlSpec:
 
 @dataclass(frozen=True)
 class Scenario:
-    """One fully specified environment for a ROAR deployment."""
+    """One fully specified environment for a ROAR deployment.
+
+    Every random choice the runner makes derives from ``seed``, so a
+    scenario *is* its outcome; :meth:`with_` produces grid variants.
+
+    Examples::
+
+        >>> s = Scenario(name="steady", n_servers=8, p=4)
+        >>> s.with_(n_servers=16).n_servers
+        16
+        >>> s.needs_stores        # repartition policies need object stores
+        False
+        >>> big = s.with_(events=(EventSpec(at=5.0, action="repartition",
+        ...                                 value=8),))
+        >>> big.needs_stores
+        True
+        >>> Scenario(name="bad", n_servers=4, p=9)
+        Traceback (most recent call last):
+            ...
+        ValueError: need 1 <= p <= n_servers
+    """
 
     name: str
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)

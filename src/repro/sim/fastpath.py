@@ -34,6 +34,21 @@ the accounting loop (reserve/submit/EWMA).  This module removes that loop:
   (see :mod:`repro.kernels`).  Accounting, mirrors, actions, and the
   failure fall-back are shared across kernels.
 
+* **The bulk commit seam.**  Between two cut points (exact-time actions,
+  failure windows, the chunk cap) the engine hands the kernel a whole
+  span of queries at once through
+  :meth:`~repro.kernels.base.SweepKernel.commit_batch`: the kernel runs
+  sweep *and* commit -- widths, reserve, queue submit, EWMA observation,
+  write-through -- for every query of the chunk, advancing the live
+  mirrors in place and returning the per-sub-query rows in bulk, which
+  :meth:`_Engine._flush_bulk` turns into the same numpy reductions the
+  buffered path uses.  The default ``commit_batch`` is the reference
+  python loop (so every kernel takes the seam); the compiled kernel
+  fuses the whole span into one C call, which removes the last
+  per-query python from the hot path.  Failure windows and per-query
+  ``pq_fn`` callables stay on the inline per-query loop, where the
+  delegation machinery and rng draw order live.
+
 * **Exact-time action queue.**  :class:`Action` schedules a callback to run
   *between two specific queries* (before ``arrival_times[index]``).  The
   engine flushes and materialises full object state before each callback --
@@ -68,7 +83,13 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None  # type: ignore[assignment]
 
 from ..core.covertable import CoverTableCache, require_numpy
-from ..kernels.base import PqEntry, SweepKernel, SweepState
+from ..kernels.base import (
+    CommitBuffers,
+    CommitPlan,
+    PqEntry,
+    SweepKernel,
+    SweepState,
+)
 from ..kernels.registry import get_kernel
 from ..sim.tracing import QueryRecord
 from .server import TaskRecord
@@ -90,7 +111,16 @@ _PqTable = PqEntry
 
 #: Queries buffered before a chunk is force-flushed (bounds buffer memory;
 #: the flush itself is O(chunk) numpy work, so larger is mildly better).
+#: Also the span size of one bulk ``commit_batch`` call, so chunk cuts are
+#: identical between the buffered and bulk paths.
 CHUNK_CAP = 8192
+
+#: Minimum span length for which a python-commit kernel is routed through
+#: the bulk seam; shorter spans use the inline per-query loop (results are
+#: bit-identical either way -- the bulk machinery just carries fixed
+#: per-span costs that want amortising).  Kernels with
+#: ``fused_commit = True`` (one C call per span) always take the seam.
+BULK_MIN_SPAN = 32
 
 #: How much of the deployment an action callback may have touched, from the
 #: engine's point of view -- picks the cheapest sufficient mirror refresh.
@@ -245,6 +275,11 @@ class _Engine:
         self.last_res: Optional[list[tuple[int, float]]] = None
         self.st_sync_pending = False
 
+        #: per-pq bulk-commit out buffers (stable objects, so compiled
+        #: kernels can cache raw pointers against them for the whole run).
+        self.commit_bufs: dict[int, CommitBuffers] = {}
+        self.bulk_cap = min(CHUNK_CAP, max(1, n_q))
+
         self._build()
         self._reset_buffers()
 
@@ -304,6 +339,19 @@ class _Engine:
             self.ring_starts,
         )
         self.kernel.bind(self.state)
+
+        #: the kernel-facing commit constants + mirrors (paired with
+        #: ``state``: a fresh instance per membership epoch).
+        self.plan = CommitPlan(
+            self.arrivals,
+            self.arr_l,
+            self.spd,
+            self.srv_fixed_l,
+            self.srv_speed_l,
+            self.alpha,
+            self.one_minus_alpha,
+            self.dataset,
+        )
 
         self.tables: dict[int, PqEntry] = {}
         self.any_failed = any(s.failed for s in dep.servers.values())
@@ -382,49 +430,23 @@ class _Engine:
         self.query_ids[qidx] = np.array(qqid_t, dtype=np.int64)
         self.pqs[qidx] = np.array(qpq_t, dtype=np.int64)
 
+        self._emit_records(
+            qnow_t,
+            fr.tolist(),
+            qpq_t,
+            qqid_t,
+            qrtt_t,
+            qsched_t,
+            qtotal_t,
+            qmw_t,
+            qms_t,
+            sg_t,
+            sst_t,
+            sf_t,
+            swk_t,
+        )
+
         dep = self.dep
-        listeners = dep.query_listeners
-        breakdowns = dep.breakdowns
-        records = self.log.records
-        fr_l = fr.tolist()
-        from ..cluster.deployment import QueryBreakdown
-
-        for k in range(nq):
-            record = QueryRecord(
-                query_id=qqid_t[k],
-                arrival=qnow_t[k],
-                finish=fr_l[k],
-                pq=qpq_t[k],
-                subqueries=qpq_t[k],
-                scheduling_delay=qsched_t[k],
-            )
-            records.append(record)
-            for listener in listeners:
-                listener(record)
-            breakdowns.append(
-                QueryBreakdown(
-                    scheduling=qsched_t[k],
-                    network=qrtt_t[k],
-                    queueing=qmw_t[k],
-                    service=qms_t[k],
-                    total=qtotal_t[k],
-                )
-            )
-
-        if self.trace_any:
-            off = 0
-            for k in range(nq):
-                pq = qpq_t[k]
-                arr_t = qnow_t[k] + qrtt_t[k] / 2.0
-                qid = qqid_t[k]
-                for j in range(off, off + pq):
-                    server = self.servers_flat[sg_t[j]]
-                    if server.keep_trace:
-                        server.trace.append(
-                            TaskRecord(qid, arr_t, sst_t[j], sf_t[j], swk_t[j])
-                        )
-                off += pq
-
         fe = self.fe
         fe.total_iterations += self.it_acc
         fe.total_estimates += self.est_acc
@@ -441,6 +463,76 @@ class _Engine:
 
         self.chunk_sizes.append(nq)
         self._reset_buffers()
+
+    def _emit_records(
+        self,
+        qnow_l,
+        fr_l,
+        qpq_l,
+        qqid_l,
+        qrtt_l,
+        qsched_l,
+        qtotal_l,
+        qmw_l,
+        qms_l,
+        sg_l,
+        sst_l,
+        sf_l,
+        swk_l,
+    ) -> None:
+        """One pass emitting a chunk's observable per-query objects.
+
+        QueryRecords (+ listeners), QueryBreakdowns, and -- when any
+        server keeps a trace -- per-sub-query TaskRecords.  Shared by the
+        buffered flush (tuple rows) and the bulk flush (kernel out
+        buffers), so the two paths cannot drift in what they record.
+        All ``q*`` arguments are per-query sequences; ``s*`` are flat
+        per-sub-query sequences in submit order, consumed ``qpq_l[k]`` at
+        a time (only read when tracing is on).
+        """
+        dep = self.dep
+        listeners = dep.query_listeners
+        breakdowns = dep.breakdowns
+        records = self.log.records
+        from ..cluster.deployment import QueryBreakdown
+
+        nq = len(qnow_l)
+        for k in range(nq):
+            record = QueryRecord(
+                query_id=qqid_l[k],
+                arrival=qnow_l[k],
+                finish=fr_l[k],
+                pq=qpq_l[k],
+                subqueries=qpq_l[k],
+                scheduling_delay=qsched_l[k],
+            )
+            records.append(record)
+            for listener in listeners:
+                listener(record)
+            breakdowns.append(
+                QueryBreakdown(
+                    scheduling=qsched_l[k],
+                    network=qrtt_l[k],
+                    queueing=qmw_l[k],
+                    service=qms_l[k],
+                    total=qtotal_l[k],
+                )
+            )
+
+        if self.trace_any:
+            servers_flat = self.servers_flat
+            off = 0
+            for k in range(nq):
+                pq = qpq_l[k]
+                arr_t = qnow_l[k] + qrtt_l[k] / 2.0
+                qid = qqid_l[k]
+                for j in range(off, off + pq):
+                    server = servers_flat[sg_l[j]]
+                    if server.keep_trace:
+                        server.trace.append(
+                            TaskRecord(qid, arr_t, sst_l[j], sf_l[j], swk_l[j])
+                        )
+                off += pq
 
     def _materialise(self) -> None:
         """Flush, then write exact object state (servers + node stats)."""
@@ -502,7 +594,218 @@ class _Engine:
 
     # -- the hot loop ------------------------------------------------------
     def run(self) -> BatchResult:
+        """Drive the batch as spans between cut points.
+
+        A span is a maximal run of queries with no exact-time action
+        inside it.  Spans outside failure windows (and without a
+        per-query ``pq_fn`` callable) go through the kernel's bulk
+        sweep+commit seam (:meth:`_run_span_bulk`); everything else takes
+        the inline per-query path (:meth:`_run_span`), which owns the
+        failure-delegation machinery.  Both produce bit-identical state.
+        """
         wall_start = time.perf_counter()
+        n_q = len(self.arr_l)
+        acts = self.actions
+        n_act = len(acts)
+        ai = 0
+        pq_callable = callable(self.pq_fn)
+        pos = 0
+        while pos < n_q:
+            while ai < n_act and acts[ai].index <= pos:
+                self._fire(acts[ai])
+                ai += 1
+            end = n_q if ai >= n_act else min(n_q, acts[ai].index)
+            if (
+                not pq_callable
+                and not self.any_failed
+                and (self.kernel.fused_commit or end - pos >= BULK_MIN_SPAN)
+            ):
+                pos = self._run_span_bulk(pos, end)
+            else:
+                pos = self._run_span(pos, end)
+        while ai < n_act:
+            self._fire(acts[ai])
+            ai += 1
+        self._materialise()
+
+        return BatchResult(
+            arrivals=self.arrivals,
+            latencies=self.latencies,
+            finishes=self.finishes,
+            query_ids=self.query_ids,
+            pqs=self.pqs,
+            completed=self.completed,
+            dropped=self.dropped,
+            assignments=self.assignments,
+            fast_scheduled=self.fast_scheduled,
+            delegated=self.delegated,
+            wall_seconds=time.perf_counter() - wall_start,
+            chunk_sizes=self.chunk_sizes,
+            actions_applied=self.actions_applied,
+        )
+
+    # -- the bulk seam -----------------------------------------------------
+    def _bufs_for(self, pq: int) -> CommitBuffers:
+        bufs = self.commit_bufs.get(pq)
+        if bufs is None:
+            bufs = CommitBuffers(self.bulk_cap, pq)
+            self.commit_bufs[pq] = bufs
+        return bufs
+
+    def _run_span_bulk(self, span_start: int, span_end: int) -> int:
+        """Process ``[span_start, span_end)`` through the fused seam.
+
+        Chunks of up to :data:`CHUNK_CAP` queries go to the kernel's
+        ``commit_batch`` (the span is failure-free and pq-constant by the
+        caller's checks), which advances the live mirror arrays in place;
+        each chunk is flushed straight from the bulk out buffers.  After
+        the span the scalar list shadows and any sibling pq tables are
+        re-derived from the arrays.
+        """
+        pq = self.pq_override if self.pq_override is not None else self.pq_fn
+        pq = pq or self.cfg.p
+        if pq < self.p_store_cur - 1e-9:
+            self._materialise()
+            raise ValueError(
+                f"pq={pq} below stored partitioning level "
+                f"{self.p_store_cur}; reconfigure first (Section 4.5)"
+            )
+        entry = self._table_for(pq)
+        plan = self.plan
+        bufs = self._bufs_for(pq)
+        commit = self.kernel.commit_batch
+        sample_rtt = self.network.sample_rtt
+        perf = time.perf_counter
+        cap = bufs.cap
+        pos = span_start
+        while pos < span_end:
+            nq = min(span_end - pos, cap)
+            # pre-draw the span's RTTs in arrival order: the rng stream
+            # must advance exactly as the per-query path would
+            rtt_l = [sample_rtt() for _ in range(nq)]
+            bufs.rtts[:nq] = rtt_l
+            t0 = perf()
+            commit(self.state, entry, plan, bufs, pos, nq)
+            chunk_wall = perf() - t0
+            self._flush_bulk(pos, nq, pq, rtt_l, chunk_wall, entry, bufs)
+            pos += nq
+        # re-derive the scalar shadows and sibling pq tables from the
+        # arrays the kernel advanced in place (elementwise division is
+        # pure, so a full recompute matches the scatter updates bit-wise)
+        self.busy_l = self.busy.tolist()
+        self.spd_l = self.spd.tolist()
+        for tb in self.tables.values():
+            if tb is not entry:
+                np.divide(tb.wd, self.spd, out=tb.Q)
+        rn = int(bufs.res_n[0])
+        self.last_res = list(
+            zip(bufs.res_g[:rn].tolist(), bufs.res_v[:rn].tolist())
+        )
+        self.st_sync_pending = True
+        return span_end
+
+    def _flush_bulk(
+        self,
+        pos: int,
+        nq: int,
+        pq: int,
+        rtt_l: list,
+        chunk_wall: float,
+        entry: PqEntry,
+        bufs: CommitBuffers,
+    ) -> None:
+        """Account one bulk chunk straight from the kernel's out buffers.
+
+        The same reductions as :meth:`_flush`, minus the tuple-buffer
+        transposition: the kernel already delivered flat arrays in submit
+        order.  Per-query ``scheduling_delay`` is the chunk's kernel wall
+        time amortised over its queries (the fused call does not observe
+        per-query boundaries; with ``charge_scheduling`` the amortised
+        value is what lands in the latency).
+        """
+        m = nq * pq
+        sg = bufs.sub_g[:m]
+        np.add.at(self.bt, sg, bufs.sub_service[:m])
+        np.add.at(self.om, sg, bufs.sub_work[:m])
+        counts = np.bincount(sg, minlength=len(self.tasks))
+        self.tasks += counts
+        self.cc += counts
+        np.maximum.at(self.ls, sg, bufs.sub_finish[:m])
+        self.touched[sg] = True
+
+        qnow = self.arrivals[pos : pos + nq]
+        qtotal = bufs.q_total[:nq]
+        sched_each = chunk_wall / nq
+        if self.charge:
+            qtotal = qtotal + sched_each
+        fr = qnow + qtotal
+        delay = fr - qnow
+        self.latencies[pos : pos + nq] = delay
+        self.finishes[pos : pos + nq] = fr
+        qid0 = self.qid_last
+        self.query_ids[pos : pos + nq] = np.arange(
+            qid0 + 1, qid0 + nq + 1, dtype=np.int64
+        )
+        self.qid_last = qid0 + nq
+        self.pqs[pos : pos + nq] = pq
+
+        now_l = self.arr_l[pos : pos + nq]
+        if self.trace_any:
+            sg_l = sg.tolist()
+            sst_l = bufs.sub_start[:m].tolist()
+            sf_l = bufs.sub_finish[:m].tolist()
+            swk_l = bufs.sub_work[:m].tolist()
+        else:
+            sg_l = sst_l = sf_l = swk_l = ()
+        self._emit_records(
+            now_l,
+            fr.tolist(),
+            (pq,) * nq,
+            range(qid0 + 1, qid0 + nq + 1),
+            rtt_l,
+            (sched_each,) * nq,
+            qtotal.tolist(),
+            bufs.q_mw[:nq].tolist(),
+            bufs.q_ms[:nq].tolist(),
+            sg_l,
+            sst_l,
+            sf_l,
+            swk_l,
+        )
+
+        dep = self.dep
+        if self.assignments is not None:
+            names = self.names_flat
+            # sub rows are in submit (LIFO) order; assignments record the
+            # selection (point) order, so reverse each query's row
+            for row in bufs.sub_g[:m].reshape(nq, pq)[:, ::-1].tolist():
+                self.assignments.append(tuple(names[g] for g in row))
+
+        fe = self.fe
+        fe.total_iterations += nq * entry.iterations
+        fe.total_estimates += nq * entry.estimates
+        fe.queries_scheduled += nq
+        fe._query_counter = self.qid_last
+        dep.scheduling_wallclock += chunk_wall
+        self.ledger.record_query(nq * pq)
+        self.ledger.record_result(nq * pq)
+        self.completed += nq
+        self.fast_scheduled += nq
+        self.chunk_sizes.append(nq)
+
+    # -- the per-query path ------------------------------------------------
+    def _run_span(self, span_start: int, span_end: int) -> int:
+        """Process ``[span_start, span_end)`` one query at a time.
+
+        This is the path that owns failure delegation (select first, check
+        the schedule against the failed set, hand the query to the
+        reference path when it hits) and per-query ``pq_fn`` evaluation;
+        it is also what short spans use when the kernel's bulk commit is a
+        python loop anyway.  Commit arithmetic here, the kernel's default
+        ``commit_batch``, and ``roar_commit_batch`` in ``csrc/sweep.c``
+        are three copies of the same float-op sequence, pinned together by
+        the differential tests.
+        """
         cfg = self.cfg
         dataset = self.dataset
         fe_fixed = self.fe_fixed
@@ -517,13 +820,8 @@ class _Engine:
         record_assignments = self.assignments is not None
         select = self.kernel.select
         arr = self.arr_l
-        n_q = len(arr)
 
-        acts = self.actions
-        n_act = len(acts)
-        ai = 0
-
-        # aliases refreshed whenever mirrors rebuild (actions, delegation)
+        # aliases refreshed whenever mirrors rebuild (delegation)
         def local_state():
             return (
                 self.busy_l,
@@ -551,23 +849,7 @@ class _Engine:
         last_pq = -1
         entry = None
 
-        for q_i in range(n_q):
-            if ai < n_act and acts[ai].index <= q_i:
-                while ai < n_act and acts[ai].index <= q_i:
-                    self._fire(acts[ai])
-                    ai += 1
-                (
-                    busy_l,
-                    spd_l,
-                    busy_np,
-                    spd_np,
-                    state,
-                    srv_fixed_l,
-                    srv_speed_l,
-                    any_failed,
-                    failed_l,
-                ) = local_state()
-                last_pq = -1
+        for q_i in range(span_start, span_end):
             now = arr[q_i]
             if pq_callable:
                 pq = pq_fn(now)
@@ -708,26 +990,7 @@ class _Engine:
             if len(self.qrows) >= CHUNK_CAP:
                 self._flush()
 
-        while ai < n_act:
-            self._fire(acts[ai])
-            ai += 1
-        self._materialise()
-
-        return BatchResult(
-            arrivals=self.arrivals,
-            latencies=self.latencies,
-            finishes=self.finishes,
-            query_ids=self.query_ids,
-            pqs=self.pqs,
-            completed=self.completed,
-            dropped=self.dropped,
-            assignments=self.assignments,
-            fast_scheduled=self.fast_scheduled,
-            delegated=self.delegated,
-            wall_seconds=time.perf_counter() - wall_start,
-            chunk_sizes=self.chunk_sizes,
-            actions_applied=self.actions_applied,
-        )
+        return span_end
 
     def _delegate(self, q_i: int, now: float, pq: int) -> None:
         """Route one failure-window query through the reference path."""

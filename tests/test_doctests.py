@@ -1,0 +1,40 @@
+"""Execute the public surface's doctest examples.
+
+The docstring examples on the public API (``Deployment.run_queries_fast``,
+the scenario spec vocabulary, the ``repro`` CLI parser, the circular-id
+helpers) are contracts: if the code drifts, the docs must fail, not rot.
+This module runs them as part of tier-1, so every example in the
+documentation (and in ``docs/``, which links to these docstrings) stays
+executable.
+"""
+
+import doctest
+
+import pytest
+
+pytest.importorskip("numpy")  # run_queries_fast examples need the fast path
+
+import repro.cli
+import repro.cluster.deployment
+import repro.core.ids
+import repro.scenarios.spec
+
+#: every module whose docstring examples are part of the documented
+#: contract; add modules here when giving them doctest examples.
+DOCTEST_MODULES = (
+    repro.cli,
+    repro.cluster.deployment,
+    repro.core.ids,
+    repro.scenarios.spec,
+)
+
+
+@pytest.mark.parametrize(
+    "module", DOCTEST_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(
+        module, optionflags=doctest.ELLIPSIS, verbose=False
+    )
+    assert result.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert result.failed == 0

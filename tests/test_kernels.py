@@ -376,6 +376,156 @@ class TestBenchKernelDimension:
         assert "toolchain" in row["reason"]
 
 
+def _result_bytes(result):
+    """Every array of a BatchResult, as raw bytes (NaN-pattern exact)."""
+    return (
+        result.arrivals.tobytes(),
+        result.latencies.tobytes(),
+        result.finishes.tobytes(),
+        result.query_ids.tobytes(),
+        result.pqs.tobytes(),
+    )
+
+
+class TestFusedCommitSeam:
+    """The bulk sweep+commit seam: one `commit_batch` call per chunk.
+
+    The seam has three implementations of the same float-op sequence --
+    the engine's inline per-query loop, the kernel base class's python
+    `commit_batch`, and `roar_commit_batch` in C -- and they must be
+    byte-interchangeable: identical `BatchResult` arrays, identical
+    deployment state, identical chunk cuts.
+    """
+
+    def _run(self, kernel, *, with_actions=False, n=16, queries=400):
+        from repro.sim.fastpath import Action
+
+        arrivals = PoissonArrivals(40.0, seed=9).times(queries)
+        dep = _build(n=n, seed=5)
+        actions = None
+        if with_actions:
+            k1, k2 = queries // 3, 2 * queries // 3
+            actions = [
+                Action(k1, arrivals[k1 - 1], lambda now: None, scope="none"),
+                Action(
+                    k2,
+                    arrivals[k2 - 1],
+                    lambda now: dep.apply_update(now) or None,
+                    scope="busy",
+                ),
+            ]
+        result = dep.run_queries_fast(
+            arrivals, 5, record_assignments=True, actions=actions, kernel=kernel
+        )
+        return dep, result
+
+    def test_python_seam_byte_identical_to_inline_loop(self, monkeypatch):
+        """The bulk seam vs the inline per-query loop, pure python both
+        sides: this is the 'without the C kernel' half of the fused-commit
+        contract, and it runs under REPRO_NO_COMPILED_KERNEL unchanged."""
+        from repro.sim import fastpath
+
+        monkeypatch.setattr(fastpath, "BULK_MIN_SPAN", 10**9)  # force inline
+        dep_inline, r_inline = self._run("exact_numpy")
+        monkeypatch.setattr(fastpath, "BULK_MIN_SPAN", 0)  # force the seam
+        dep_bulk, r_bulk = self._run("exact_numpy")
+
+        assert _result_bytes(r_inline) == _result_bytes(r_bulk)
+        assert r_inline.assignments == r_bulk.assignments
+        assert r_inline.chunk_sizes == r_bulk.chunk_sizes
+        assert_deployments_identical(dep_inline, dep_bulk)
+
+    @needs_compiled
+    def test_fused_c_byte_identical_to_python_seam(self):
+        """`BatchResult` arrays with and without the C kernel, byte for
+        byte -- the fused-commit acceptance bar."""
+        dep_py, r_py = self._run("exact_numpy")
+        dep_c, r_c = self._run("compiled")
+        assert _result_bytes(r_py) == _result_bytes(r_c)
+        assert r_py.assignments == r_c.assignments
+        assert r_py.chunk_sizes == r_c.chunk_sizes
+        assert_deployments_identical(dep_py, dep_c)
+
+    @needs_compiled
+    def test_fused_c_with_actions_and_traces(self):
+        """Actions cut the bulk spans; traces, listeners, and the reserve
+        parity must survive the cuts identically."""
+        dep_py, r_py = self._run("exact_numpy", with_actions=True)
+        dep_c, r_c = self._run("compiled", with_actions=True)
+        assert r_py.actions_applied == r_c.actions_applied == 2
+        assert _result_bytes(r_py) == _result_bytes(r_c)
+        assert r_py.chunk_sizes == r_c.chunk_sizes
+        assert_deployments_identical(dep_py, dep_c)
+
+    @needs_compiled
+    def test_fused_c_multiple_pq_tables(self):
+        """pq changes via actions exercise the sibling-table Q refresh
+        after a bulk span (only the active entry's Q is maintained in C)."""
+        from repro.sim.fastpath import Action
+
+        arrivals = PoissonArrivals(30.0, seed=21).times(300)
+
+        def run(dep, kernel):
+            actions = [
+                Action(100, arrivals[99], lambda now: 6, scope="none"),
+                Action(200, arrivals[199], lambda now: 4, scope="none"),
+            ]
+            dep.run_queries_fast(arrivals, 4, actions=actions, kernel=kernel)
+
+        a, b = _build(n=16, seed=5), _build(n=16, seed=5)
+        run(a, "exact_numpy")
+        run(b, "compiled")
+        assert_deployments_identical(a, b)
+
+    def test_fused_commit_flag_shape(self):
+        """The seam's routing flag: compiled fuses, the python kernels
+        don't (they take the seam only when the span amortises it)."""
+        assert SweepKernel.fused_commit is False
+        assert get_kernel("exact_numpy").fused_commit is False
+        if compiled_available():
+            assert get_kernel("compiled").fused_commit is True
+
+    def test_bulk_seam_under_forced_pure_python_fallback(self):
+        """End-to-end under REPRO_NO_COMPILED_KERNEL: the bulk-commit seam
+        must produce byte-identical BatchResult arrays against the
+        per-query reference path with no C kernel anywhere."""
+        code = (
+            "import numpy as np\n"
+            "from repro.kernels.compiled import compiled_available\n"
+            "from repro._rng import reset_default_streams\n"
+            "from repro.cluster import Deployment, DeploymentConfig, hen_testbed\n"
+            "from repro.sim import PoissonArrivals\n"
+            "assert not compiled_available()\n"
+            "def build():\n"
+            "    reset_default_streams()\n"
+            "    return Deployment(DeploymentConfig(models=hen_testbed(12),\n"
+            "        p=4, dataset_size=2e6, seed=3, charge_scheduling=False))\n"
+            "arr = PoissonArrivals(40.0, seed=9).times(300)\n"
+            "slow, fast = build(), build()\n"
+            "slow.run_queries(arr, 4)\n"
+            "res = fast.run_queries_fast(arr, 4)\n"
+            "assert res.fast_scheduled == 300\n"
+            "a = [(r.query_id, r.arrival, r.finish) for r in slow.log.records]\n"
+            "b = [(r.query_id, r.arrival, r.finish) for r in fast.log.records]\n"
+            "assert a == b\n"
+            "print('seam-fallback-ok')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={
+                "REPRO_NO_COMPILED_KERNEL": "1",
+                "PYTHONPATH": "src",
+                "PATH": "/usr/bin:/bin",
+            },
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parents[1]),
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "seam-fallback-ok" in proc.stdout
+
+
 class TestCompiledFallbackWithoutToolchain:
     def test_disabled_compiled_kernel_degrades_gracefully(self):
         """With the build disabled, the registry refuses `compiled` with a
