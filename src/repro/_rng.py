@@ -8,28 +8,54 @@ command twice" produce different rings, placements and failure splits.
 fixed default, so unseeded runs are still *reproducible* runs.  Callers
 that genuinely want OS entropy can always pass ``random.Random()``
 explicitly.
+
+Two extensions support the telemetry subsystem's snapshot/restore
+(:mod:`repro.telemetry.snapshot`):
+
+* **Named streams** (:func:`named_stream`): a registry of generators keyed
+  by a stable string, each seeded from :data:`DEFAULT_SEED` plus a stable
+  hash of the name.  Unlike the counter-based fallback, a named stream's
+  identity does not depend on construction order, so its state can be
+  captured and restored across processes.
+* **State capture** (:func:`stream_state` / :func:`stream_from_state`,
+  :func:`capture_streams` / :func:`restore_streams`): loss-free,
+  JSON-able serialisation of ``random.Random`` state -- a restored stream
+  reproduces the exact draw sequence of the original.
 """
 
 from __future__ import annotations
 
-import itertools
 import random
+import zlib
 
-__all__ = ["DEFAULT_SEED", "ensure_rng", "reset_default_streams"]
+__all__ = [
+    "DEFAULT_SEED",
+    "ensure_rng",
+    "reset_default_streams",
+    "named_stream",
+    "stream_state",
+    "stream_from_state",
+    "capture_streams",
+    "restore_streams",
+]
 
 #: Base seed used whenever a component is not handed an explicit generator
 #: (the paper's publication year, for want of a more principled constant).
 DEFAULT_SEED = 2009
 
+#: Large odd stride so consecutive fallback seeds land far apart.
+_STRIDE = 0x9E3779B1
+
 #: Each unseeded fallback gets its own stream: handing every component the
 #: *identical* stream would silently synchronise decisions that must stay
 #: decorrelated (e.g. decoupled front-ends sampling random rotations in
 #: lockstep -- see multifrontend.py).  The counter keeps construction-order
-#: determinism: the same program run twice draws the same sequences.
-_counter = itertools.count()
+#: determinism: the same program run twice draws the same sequences.  (A
+#: plain int rather than ``itertools.count`` so snapshots can capture it.)
+_counter = 0
 
-#: Large odd stride so consecutive fallback seeds land far apart.
-_STRIDE = 0x9E3779B1
+#: Named-stream registry (see :func:`named_stream`).
+_named: dict[str, random.Random] = {}
 
 
 def ensure_rng(
@@ -41,11 +67,29 @@ def ensure_rng(
     seeded from :data:`DEFAULT_SEED` plus a per-call counter -- reproducible
     across runs, decorrelated across components.
     """
+    global _counter
     if rng is not None:
         return rng
     if seed is not None:
         return random.Random(seed)
-    return random.Random(DEFAULT_SEED + _STRIDE * next(_counter))
+    idx = _counter
+    _counter += 1
+    return random.Random(DEFAULT_SEED + _STRIDE * idx)
+
+
+def named_stream(name: str) -> random.Random:
+    """The process-wide generator registered under *name* (created lazily).
+
+    The seed derives from :data:`DEFAULT_SEED` and a CRC of the name, so a
+    given name maps to the same stream in every process, independent of how
+    many other streams were created first -- which is what makes named
+    streams capturable by :func:`capture_streams`.
+    """
+    rng = _named.get(name)
+    if rng is None:
+        rng = random.Random(DEFAULT_SEED + _STRIDE * zlib.crc32(name.encode()))
+        _named[name] = rng
+    return rng
 
 
 def reset_default_streams() -> None:
@@ -57,7 +101,55 @@ def reset_default_streams() -> None:
     that means earlier tests change later tests' streams -- classic seed
     leakage, and the reason suites pass in file order but fail under
     reordering.  The test harnesses call this in an autouse fixture so every
-    test starts from stream zero regardless of what ran before it.
+    test starts from stream zero regardless of what ran before it.  Named
+    streams are dropped for the same reason: the next :func:`named_stream`
+    call recreates them at their initial state.
     """
     global _counter
-    _counter = itertools.count()
+    _counter = 0
+    _named.clear()
+
+
+# -- state capture (snapshot/restore support) -------------------------------
+def stream_state(rng: random.Random) -> list:
+    """JSON-able, loss-free state of *rng* (see :func:`stream_from_state`).
+
+    ``random.Random.getstate()`` is a nest of tuples and ints; converting
+    tuples to lists makes it JSON-serialisable, and the round trip is exact
+    because every element is an int (or None for the gauss cache).
+    """
+
+    def conv(x):
+        return [conv(e) for e in x] if isinstance(x, tuple) else x
+
+    return conv(rng.getstate())
+
+
+def stream_from_state(state) -> random.Random:
+    """A fresh generator continuing exactly where *state* was captured."""
+    rng = random.Random()
+    rng.setstate(_to_state_tuple(state))
+    return rng
+
+
+def _to_state_tuple(state):
+    return tuple(
+        _to_state_tuple(e) if isinstance(e, (list, tuple)) else e for e in state
+    )
+
+
+def capture_streams() -> dict:
+    """Snapshot of this module's global stream state (JSON-able)."""
+    return {
+        "counter": _counter,
+        "named": {name: stream_state(rng) for name, rng in _named.items()},
+    }
+
+
+def restore_streams(data: dict) -> None:
+    """Restore the global stream state captured by :func:`capture_streams`."""
+    global _counter
+    _counter = int(data.get("counter", 0))
+    _named.clear()
+    for name, state in data.get("named", {}).items():
+        _named[name] = stream_from_state(state)

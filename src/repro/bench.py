@@ -116,7 +116,11 @@ def _chunk_histogram(chunk_sizes) -> dict[str, int]:
     return dict(sorted(hist.items(), key=lambda kv: int(kv[0][2:])))
 
 
-def run_sweep(spec: SweepSpec, kernels: Sequence[str] | None = None) -> dict:
+def run_sweep(
+    spec: SweepSpec,
+    kernels: Sequence[str] | None = None,
+    archive_dir: str | None = None,
+) -> dict:
     """Run one sweep; returns the JSON-ready result dict.
 
     *kernels* names the scheduling kernels to time on top of the default
@@ -125,6 +129,8 @@ def run_sweep(spec: SweepSpec, kernels: Sequence[str] | None = None) -> dict:
     sweep-only us/query (the deployment's accumulated scheduling
     wall-clock), and whether its per-query delays matched the exact run
     bit for bit -- the per-kernel matrix dimension the CI artifact carries.
+    *archive_dir* writes the batched run's telemetry columns as a
+    compressed archive (``<sweep>.npz``).
     """
     from .cluster import Deployment, DeploymentConfig, hen_testbed
     from .kernels import DEFAULT_KERNEL, get_kernel, kernel_names
@@ -158,8 +164,26 @@ def run_sweep(spec: SweepSpec, kernels: Sequence[str] | None = None) -> dict:
     result = fast.run_queries_fast(arrivals, spec.pq)
     fast_wall = time.perf_counter() - t0
     fast_us = 1e6 * fast_wall / spec.queries
-    exact_delays = [r.delay for r in fast.log.records]
+    exact_delays = fast.log.delays()
     exact_sweep_us = 1e6 * fast.scheduling_wallclock / spec.queries
+
+    if archive_dir is not None:
+        import os
+
+        from .telemetry.archive import write_archive
+
+        os.makedirs(archive_dir, exist_ok=True)
+        write_archive(
+            os.path.join(archive_dir, f"{spec.name}.npz"),
+            fast,
+            meta={
+                "sweep": spec.name,
+                "servers": spec.servers,
+                "queries": spec.queries,
+                "pq": spec.pq,
+                "seed": spec.seed,
+            },
+        )
 
     ref = build()
     n_ref = min(spec.ref_queries, spec.queries)
@@ -170,7 +194,7 @@ def run_sweep(spec: SweepSpec, kernels: Sequence[str] | None = None) -> dict:
 
     # the speedup is meaningless unless the engines agree: compare the
     # reference subset's delays against the batched run, bit for bit
-    identical = [r.delay for r in ref.log.records] == exact_delays[:n_ref]
+    identical = ref.log.delays() == exact_delays[:n_ref]
 
     # per-kernel dimension: the default run above *is* the exact_numpy row.
     # "sweep_us_per_query" is the in-kernel wall (scheduling wallclock):
@@ -213,10 +237,14 @@ def run_sweep(spec: SweepSpec, kernels: Sequence[str] | None = None) -> dict:
             "commit_us_per_query": round(us - sweep_us, 3),
             "sweep_speedup_vs_exact": round(exact_sweep_us / sweep_us, 2),
             "speedup_vs_exact": round(fast_us / us, 2),
-            "identical_to_exact": [r.delay for r in dep.log.records]
-            == exact_delays,
+            "identical_to_exact": dep.log.delays() == exact_delays,
         }
 
+    # latency distribution columns (seconds, simulated latency only --
+    # charge_scheduling=False above), via the bit-exact array percentile
+    from .telemetry.columns import array_percentile
+
+    lat = fast.log.column("finish") - fast.log.column("arrival")
     return {
         "servers": spec.servers,
         "queries": spec.queries,
@@ -226,6 +254,9 @@ def run_sweep(spec: SweepSpec, kernels: Sequence[str] | None = None) -> dict:
         "fast_us_per_query": round(fast_us, 3),
         "ref_us_per_query": round(ref_us, 3),
         "speedup_vs_reference": round(ref_us / fast_us, 2),
+        "p50_delay": round(array_percentile(lat, 50), 6),
+        "p95_delay": round(array_percentile(lat, 95), 6),
+        "p99_delay": round(array_percentile(lat, 99), 6),
         "identical_sample": identical,
         "completed": result.completed,
         "delegated": result.delegated,
@@ -251,7 +282,10 @@ def _revision() -> str:
 
 
 def collect(
-    profile: str = "full", progress=None, kernels: Sequence[str] | None = None
+    profile: str = "full",
+    progress=None,
+    kernels: Sequence[str] | None = None,
+    archive_dir: str | None = None,
 ) -> dict:
     """Run every sweep of *profile* and assemble the snapshot dict."""
     if profile not in PROFILES:
@@ -260,7 +294,7 @@ def collect(
         )
     sweeps = {}
     for spec in PROFILES[profile]:
-        sweeps[spec.name] = run_sweep(spec, kernels=kernels)
+        sweeps[spec.name] = run_sweep(spec, kernels=kernels, archive_dir=archive_dir)
         if progress is not None:
             progress(spec.name, sweeps[spec.name])
     return {
@@ -383,7 +417,12 @@ def main_bench(args) -> int:
         except ValueError as exc:
             print(f"bad --kernels: {exc}", file=sys.stderr)
             return 2
-    snapshot = collect(args.profile, progress=progress, kernels=kernels)
+    snapshot = collect(
+        args.profile,
+        progress=progress,
+        kernels=kernels,
+        archive_dir=getattr(args, "archive_dir", None),
+    )
     print(render_report(snapshot, baseline))
 
     out = args.out or f"BENCH_{snapshot['revision']}.json"

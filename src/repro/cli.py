@@ -12,6 +12,8 @@ notebooks should import :mod:`repro` directly):
   snapshot, optionally gated against a baseline (``docs/benchmarks.md``);
 * ``kernels``  -- list scheduling kernels, optionally measure divergence
   against the exact oracle (``docs/kernels.md``);
+* ``archive``  -- inspect/diff compressed telemetry archives written by
+  ``matrix --archive-dir`` / ``bench --archive-dir`` (``docs/telemetry.md``);
 * ``pps-demo`` -- encrypted-search application demo.
 
 Usage (after installation)::
@@ -33,6 +35,10 @@ The parser is plain argparse and safe to drive programmatically::
     'compiled'
     >>> parser.parse_args(["kernels"]).divergence
     False
+    >>> parser.parse_args(["archive", "info", "run.npz"]).archive_command
+    'info'
+    >>> parser.parse_args(["archive", "diff", "a.npz", "b.npz"]).path_b
+    'b.npz'
 """
 
 from __future__ import annotations
@@ -138,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
     mtx.add_argument("--seed", type=int, default=1)
     mtx.add_argument("--csv", default=None, metavar="PATH",
                      help="also write the table as CSV")
+    mtx.add_argument("--archive-dir", default=None, metavar="DIR",
+                     help="write one compressed telemetry archive "
+                          "(<scenario>.npz) per scenario into DIR")
 
     bench = sub.add_parser(
         "bench",
@@ -159,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--kernels", default=None, metavar="LIST",
                        help="comma list of scheduling kernels to time per "
                             "sweep (default: every available kernel)")
+    bench.add_argument("--archive-dir", default=None, metavar="DIR",
+                       help="write one compressed telemetry archive "
+                            "(<sweep>.npz) per sweep into DIR")
 
     kern = sub.add_parser(
         "kernels",
@@ -172,6 +184,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="battery fleet size for --divergence")
     kern.add_argument("--duration", type=float, default=15.0,
                       help="battery duration for --divergence")
+
+    arch = sub.add_parser(
+        "archive",
+        help="inspect or diff compressed telemetry archives (.npz)",
+    )
+    arch_sub = arch.add_subparsers(dest="archive_command", required=True)
+    arch_info = arch_sub.add_parser(
+        "info", help="summarise one archive (queries, delays, bytes/query)"
+    )
+    arch_info.add_argument("path", help="archive file (.npz)")
+    arch_info.add_argument("--gate-bytes-per-query", type=float, default=None,
+                           metavar="N",
+                           help="exit 1 if the archive costs more than N "
+                                "bytes per query")
+    arch_diff = arch_sub.add_parser(
+        "diff", help="column-by-column comparison of two archives"
+    )
+    arch_diff.add_argument("path_a", help="first archive (.npz)")
+    arch_diff.add_argument("path_b", help="second archive (.npz)")
+    arch_diff.add_argument("--strict", action="store_true",
+                           help="gate on wall-clock columns too (default: "
+                                "only simulated-time columns gate)")
 
     demo = sub.add_parser("pps-demo", help="encrypted search demo")
     demo.add_argument("--files", type=int, default=200)
@@ -321,7 +355,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
               f"{result.wall_seconds:.2f}s wall", file=sys.stderr)
 
     res = run_matrix(
-        scenarios, engine=args.engine, kernel=args.kernel, progress=progress
+        scenarios, engine=args.engine, kernel=args.kernel, progress=progress,
+        archive_dir=args.archive_dir,
     )
     print(res.table())
     if args.csv:
@@ -335,6 +370,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import main_bench
 
     return main_bench(args)
+
+
+def _cmd_archive(args: argparse.Namespace) -> int:
+    from .telemetry.archive import archive_diff, archive_info, read_archive
+
+    if args.archive_command == "info":
+        info = archive_info(read_archive(args.path))
+        print(f"path           : {info['path']}")
+        print(f"schema         : {info['schema']}")
+        print(f"queries        : {info['n_queries']} "
+              f"({info['dropped']} dropped)")
+        print(f"columns        : {len(info['columns'])}")
+        if "file_bytes" in info:
+            print(f"file size      : {info['file_bytes']} B "
+                  f"({info['bytes_per_query']:.1f} B/query)")
+        if "mean_delay" in info:
+            print(f"mean delay     : {info['mean_delay'] * 1000:.2f} ms")
+            for q in (50, 95, 99):
+                print(f"p{q} delay      : "
+                      f"{info[f'p{q}_delay'] * 1000:.2f} ms")
+        for k in sorted(info["meta"]):
+            print(f"meta.{k:<10s}: {info['meta'][k]}")
+        gate = args.gate_bytes_per_query
+        if gate is not None:
+            bpq = info.get("bytes_per_query")
+            if bpq is None or not bpq == bpq or bpq > gate:  # NaN or over
+                print(f"GATE FAIL: {bpq} bytes/query exceeds budget {gate:g}",
+                      file=sys.stderr)
+                return 1
+            print(f"gate           : OK ({bpq:.1f} <= {gate:g} B/query)")
+        return 0
+
+    diff = archive_diff(read_archive(args.path_a), read_archive(args.path_b))
+    for name in sorted(diff["columns"]):
+        entry = diff["columns"][name]
+        if entry["equal"]:
+            print(f"{name:16s} equal ({entry['n_a']} values)")
+        elif "missing_in" in entry:
+            print(f"{name:16s} MISSING in archive {entry['missing_in']}")
+        else:
+            extra = ""
+            if "max_abs_diff" in entry:
+                extra = f", max |diff| {entry['max_abs_diff']:.3g}"
+            print(f"{name:16s} DIFFERS at index "
+                  f"{entry['first_divergence']}"
+                  f" ({entry['n_a']} vs {entry['n_b']} values{extra})")
+    key = "identical" if args.strict else "gated_identical"
+    verdict = diff[key]
+    scope = "all columns" if args.strict else "simulated-time columns"
+    print(f"{'identical' if verdict else 'DIVERGENT'} ({scope})")
+    return 0 if verdict else 1
 
 
 def _cmd_kernels(args: argparse.Namespace) -> int:
@@ -403,6 +489,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "matrix": _cmd_matrix,
         "bench": _cmd_bench,
         "kernels": _cmd_kernels,
+        "archive": _cmd_archive,
         "pps-demo": _cmd_pps_demo,
     }
     return handlers[args.command](args)

@@ -33,7 +33,13 @@ from ..core.ring import Ring, RingNode
 from ..sim.energy import EnergyReport, measure_energy
 from ..sim.network import NetworkModel, TrafficLedger
 from ..sim.server import SimServer
-from ..sim.tracing import DelayLog, QueryRecord
+from ..telemetry.listeners import ChunkListener, ListenerList
+from ..telemetry.records import (
+    BreakdownLog,
+    DelayLog,
+    QueryBreakdown,
+    QueryRecord,
+)
 from .models import MODEL_CATALOGUE, ServerModel, hen_testbed, make_sim_server
 
 __all__ = ["DeploymentConfig", "QueryBreakdown", "Deployment", "DynamicPController"]
@@ -66,17 +72,6 @@ class DeploymentConfig:
     #: then contains simulated components only, which is what the golden
     #: regression tests and the batched/per-query differential tests pin.
     charge_scheduling: bool = True
-
-
-@dataclass(slots=True)
-class QueryBreakdown:
-    """Fig 7.11's delay decomposition for one query."""
-
-    scheduling: float  # real wall-clock spent in the scheduler
-    network: float  # rtt components
-    queueing: float  # max sub-query wait behind prior work
-    service: float  # max sub-query execution time
-    total: float
 
 
 class Deployment:
@@ -115,7 +110,7 @@ class Deployment:
         self.network = config.network or NetworkModel.data_center(config.seed)
         self.ledger = TrafficLedger()
         self.log = DelayLog()
-        self.breakdowns: list[QueryBreakdown] = []
+        self.breakdowns = BreakdownLog()
         self.scheduling_wallclock = 0.0
 
         # Optional real object stores (harvest verification).
@@ -133,8 +128,13 @@ class Deployment:
         #: known-dead bookkeeping: name -> time the front-end learned of it.
         self._known_dead: dict[str, float] = {}
 
-        #: callbacks invoked with each completed QueryRecord (metrics hooks).
-        self.query_listeners: list[Callable[[QueryRecord], None]] = []
+        #: legacy per-query callbacks (deprecated -- appending warns once;
+        #: prefer chunk_listeners, which see whole flushed chunks as arrays).
+        self.query_listeners: ListenerList = ListenerList()
+        #: chunk-array subscribers (:class:`~repro.telemetry.ChunkListener`):
+        #: one ``observe_chunk`` call per flushed chunk on the batched path,
+        #: ``observe_record`` per query on the reference path.
+        self.chunk_listeners: list[ChunkListener] = []
         #: servers drained out by elastic shrinking, kept for accounting.
         self.retired: dict[str, SimServer] = {}
         self._next_node_idx = len(models)
@@ -358,15 +358,16 @@ class Deployment:
         self.log.add(record)
         for listener in self.query_listeners:
             listener(record)
-        self.breakdowns.append(
-            QueryBreakdown(
-                scheduling=sched_wall,
-                network=rtt,
-                queueing=max_wait,
-                service=max_service,
-                total=total,
-            )
+        breakdown = QueryBreakdown(
+            scheduling=sched_wall,
+            network=rtt,
+            queueing=max_wait,
+            service=max_service,
+            total=total,
         )
+        self.breakdowns.append(breakdown)
+        for chunk_listener in self.chunk_listeners:
+            chunk_listener.observe_record(record, breakdown)
         return record
 
     def run_queries(
@@ -471,7 +472,7 @@ class Deployment:
         for server in self.servers.values():
             server.reset()
         self.log = DelayLog()
-        self.breakdowns = []
+        self.breakdowns = BreakdownLog()
         self.ledger = TrafficLedger()
         self.scheduling_wallclock = 0.0
 

@@ -24,7 +24,8 @@ from typing import Sequence
 from ..core.frontend import FrontEnd, FrontEndConfig
 from ..core.membership import MembershipServer
 from ..sim.server import SimServer
-from ..sim.tracing import DelayLog, QueryRecord
+from ..telemetry.listeners import ChunkListener, ListenerList
+from ..telemetry.records import DelayLog, QueryRecord
 
 __all__ = ["MultiFrontEndDeployment"]
 
@@ -82,8 +83,12 @@ class MultiFrontEndDeployment:
         self.log = DelayLog()
         self._counter = 0
         self._fe_seed = seed + n_frontends
-        #: callbacks invoked with each completed QueryRecord (metrics hooks).
-        self.query_listeners: list = []
+        #: legacy per-query callbacks (deprecated -- appending warns once;
+        #: prefer chunk_listeners).
+        self.query_listeners: ListenerList = ListenerList()
+        #: chunk-array subscribers; fed via ``observe_record`` here (the
+        #: multi-front-end path has no batched engine).
+        self.chunk_listeners: list[ChunkListener] = []
 
     def _pick_frontend(self) -> FrontEnd:
         fe = self.frontends[self._counter % len(self.frontends)]
@@ -157,6 +162,8 @@ class MultiFrontEndDeployment:
         self.log.add(record)
         for listener in self.query_listeners:
             listener(record)
+        for chunk_listener in self.chunk_listeners:
+            chunk_listener.observe_record(record)
         return record
 
     def run(self, arrival_times: Sequence[float]) -> DelayLog:

@@ -8,26 +8,39 @@ past rather than the whole run.
 
 :class:`MetricsCollector` is the observation half of the loop:
 
-* it subscribes to a deployment's ``query_listeners`` hook and folds every
-  completed :class:`~repro.sim.tracing.QueryRecord` into a sliding latency
-  window plus a cumulative log-bucketed histogram;
+* it subscribes to a deployment's ``chunk_listeners`` hook (one
+  :meth:`~repro.telemetry.ChunkListener.observe_chunk` call per flushed
+  chunk on the batched engine) and folds whole numpy slices of completed
+  queries into a sliding latency window plus a cumulative log-bucketed
+  histogram -- no per-query python on the hot path;
 * a periodic sampling tick (driven by :meth:`sample_servers`) records
   per-server utilisation over the sampling interval and instantaneous
   queue depths;
 * :meth:`snapshot` freezes everything into a :class:`MetricsSnapshot` --
   the only thing controllers are allowed to see, which keeps policies
   decoupled from the deployment internals.
+
+All window statistics are bit-identical to the historic deque-backed
+implementation: means keep python left-to-right summation, percentiles run
+the exact interpolation arithmetic via
+:func:`~repro.telemetry.columns.array_percentile` (``np.partition``).
 """
 
 from __future__ import annotations
 
 import math
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Iterable, Mapping
+from typing import Mapping
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
 
 from ..sim.server import SimServer
-from ..sim.tracing import QueryRecord, percentile
+from ..telemetry.columns import GrowArray, array_percentile
+from ..telemetry.listeners import ChunkArrays, ChunkListener
+from ..telemetry.records import QueryRecord, percentile
 
 __all__ = [
     "SlidingWindow",
@@ -36,41 +49,86 @@ __all__ = [
     "MetricsCollector",
 ]
 
+#: compact the window's backing arrays once this many pruned rows pile up
+#: at the front (and they outnumber the live ones)
+_COMPACT_MIN = 4096
+
 
 class SlidingWindow:
-    """Timestamped samples retained for a fixed trailing duration."""
+    """Timestamped samples retained for a fixed trailing duration.
+
+    Columnar: timestamps and values live in parallel
+    :class:`~repro.telemetry.columns.GrowArray` columns with a prune
+    cursor, so a whole chunk of samples lands as one array copy and
+    pruning is a ``searchsorted`` instead of a popleft loop.  Semantics
+    match the historic deque implementation exactly: samples must arrive
+    in time order, pruning keeps ``t >= now - duration``, and the summary
+    statistics reproduce the same float operations bit for bit.
+    """
 
     def __init__(self, duration: float) -> None:
         if duration <= 0:
             raise ValueError(f"window duration must be positive, got {duration}")
         self.duration = duration
-        self._samples: Deque[tuple[float, float]] = deque()
+        self._t = GrowArray()
+        self._v = GrowArray()
+        self._lo = 0  # rows below this index are pruned
+
+    def _last_time(self) -> float | None:
+        if self._t.n > self._lo:
+            return float(self._t.view()[-1])
+        return None
 
     def add(self, t: float, value: float) -> None:
-        if self._samples and t < self._samples[-1][0]:
+        last = self._last_time()
+        if last is not None and t < last:
             raise ValueError("samples must arrive in time order")
-        self._samples.append((t, value))
+        self._t.append(t)
+        self._v.append(value)
+
+    def extend(self, ts, values) -> None:
+        """Bulk-append one chunk of (time, value) samples, in time order."""
+        ts = np.asarray(ts, dtype=np.float64)
+        if ts.size == 0:
+            return
+        last = self._last_time()
+        if (last is not None and ts[0] < last) or (
+            ts.size > 1 and bool(np.any(ts[1:] < ts[:-1]))
+        ):
+            raise ValueError("samples must arrive in time order")
+        self._t.extend(ts)
+        self._v.extend(values)
 
     def prune(self, now: float) -> None:
         cutoff = now - self.duration
-        while self._samples and self._samples[0][0] < cutoff:
-            self._samples.popleft()
+        lo = int(np.searchsorted(self._t.view(), cutoff, side="left"))
+        if lo > self._lo:
+            self._lo = lo
+        if self._lo >= _COMPACT_MIN and self._lo * 2 >= self._t.n:
+            self._t.shift_down(self._lo)
+            self._v.shift_down(self._lo)
+            self._lo = 0
+
+    def _live(self) -> "np.ndarray":
+        return self._v.view()[self._lo :]
 
     def values(self, now: float | None = None) -> list[float]:
         if now is not None:
             self.prune(now)
-        return [v for _, v in self._samples]
+        return self._live().tolist()
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._t.n - self._lo
 
     def mean(self, now: float | None = None) -> float:
         vals = self.values(now)
         return sum(vals) / len(vals) if vals else math.nan
 
     def percentile(self, q: float, now: float | None = None) -> float:
-        vals = self.values(now)
-        return percentile(vals, q) if vals else math.nan
+        if now is not None:
+            self.prune(now)
+        live = self._live()
+        return array_percentile(live, q) if live.size else math.nan
 
     def rate(self, now: float) -> float:
         """Samples per second over the window (arrival-rate estimator).
@@ -82,7 +140,7 @@ class SlidingWindow:
         under-read during the first window of the run.
         """
         self.prune(now)
-        return len(self._samples) / self.duration
+        return len(self) / self.duration
 
 
 class LatencyHistogram:
@@ -103,6 +161,7 @@ class LatencyHistogram:
         n_buckets = max(1, int(math.ceil(n_decades * buckets_per_decade)))
         ratio = (hi / lo) ** (1.0 / n_buckets)
         self.bounds = [lo * ratio**i for i in range(n_buckets + 1)]
+        self._bounds_arr = np.array(self.bounds)
         self.counts = [0] * (n_buckets + 2)  # + underflow/overflow
         self.total = 0
 
@@ -122,6 +181,25 @@ class LatencyHistogram:
             else:
                 hi = mid
         self.counts[lo + 1] += 1
+
+    def record_many(self, values) -> None:
+        """Bucket one chunk of samples in a single vectorised pass.
+
+        ``searchsorted(bounds, v, side='right')`` returns exactly the
+        count index the scalar binary search increments: 0 for underflow,
+        ``len(bounds)`` (== the overflow slot) for ``v >= bounds[-1]``,
+        and ``lo + 1`` for an interior bucket.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        self.total += int(values.size)
+        idx = np.searchsorted(self._bounds_arr, values, side="right")
+        binc = np.bincount(idx, minlength=len(self.counts))
+        counts = self.counts
+        for i, c in enumerate(binc.tolist()):
+            if c:
+                counts[i] += c
 
     def quantile(self, q: float) -> float:
         """The *q*-th (0..100) quantile, interpolated within its bucket."""
@@ -184,7 +262,7 @@ class MetricsSnapshot:
         return max(self.queue_depths.values(), default=0.0)
 
 
-class MetricsCollector:
+class MetricsCollector(ChunkListener):
     """Observation plane: sliding latency windows + periodic server samples."""
 
     def __init__(self, window: float = 30.0) -> None:
@@ -199,8 +277,20 @@ class MetricsCollector:
 
     # -- hooks -------------------------------------------------------------
     def attach(self, deployment) -> "MetricsCollector":
-        """Subscribe to any object exposing a ``query_listeners`` list."""
-        deployment.query_listeners.append(self.observe_query)
+        """Subscribe to a deployment's completion stream.
+
+        Prefers the chunk-array hook (``chunk_listeners``): the batched
+        engine then feeds whole flushed chunks through
+        :meth:`observe_chunk` and the reference path feeds single records
+        through :meth:`observe_record` -- identical statistics either
+        way.  Hosts exposing only the legacy per-query ``query_listeners``
+        list still work unchanged.
+        """
+        hook = getattr(deployment, "chunk_listeners", None)
+        if hook is not None:
+            hook.append(self)
+        else:
+            deployment.query_listeners.append(self.observe_query)
         return self
 
     def observe_query(self, record: QueryRecord) -> None:
@@ -210,6 +300,15 @@ class MetricsCollector:
         self.queries_seen += 1
         self.window.add(record.arrival, record.delay)
         self.histogram.record(record.delay)
+
+    def observe_record(self, record: QueryRecord, breakdown=None) -> None:
+        self.observe_query(record)
+
+    def observe_chunk(self, arrays: ChunkArrays, start: int, nq: int) -> None:
+        delays = arrays.delays()
+        self.queries_seen += nq
+        self.window.extend(arrays.arrivals, delays)
+        self.histogram.record_many(delays)
 
     def sample_servers(
         self, now: float, servers: Mapping[str, SimServer]

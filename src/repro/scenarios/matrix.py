@@ -13,6 +13,7 @@ under a closed loop, and adversarial compositions of the above.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -219,15 +220,27 @@ def run_matrix(
     engine: str = "batched",
     kernel: str | None = None,
     progress: Optional[Callable[[Scenario, ScenarioResult], None]] = None,
+    archive_dir: str | None = None,
 ) -> MatrixResult:
     """Run every scenario and collect the comparable table.
 
     *kernel* overrides every scenario's ``kernel:`` field (batched engine
     only; the reference engine schedules through the original heap).
+    *archive_dir* writes one compressed telemetry archive
+    (``<scenario>.npz``; see :mod:`repro.telemetry.archive`) per scenario.
     """
+    if archive_dir is not None:
+        os.makedirs(archive_dir, exist_ok=True)
     out = MatrixResult()
     for scenario in scenarios:
-        result = run_scenario_spec(scenario, engine=engine, kernel=kernel)
+        archive_path = (
+            os.path.join(archive_dir, f"{scenario.name}.npz")
+            if archive_dir is not None
+            else None
+        )
+        result = run_scenario_spec(
+            scenario, engine=engine, kernel=kernel, archive_path=archive_path
+        )
         out.results.append(result)
         if progress is not None:
             progress(scenario, result)

@@ -257,12 +257,15 @@ def execute_scenario(
     engine: str = "batched",
     kernel: str | None = None,
     record_assignments: bool = False,
+    archive_path: str | None = None,
 ) -> ScenarioExecution:
     """Execute one scenario end to end; returns the raw execution.
 
     *kernel* overrides ``scenario.kernel`` (batched engine only).  With
     *record_assignments* the batch result carries every query's server
-    set -- what the kernel divergence harness compares.
+    set -- what the kernel divergence harness compares.  *archive_path*
+    writes the run's telemetry columns as a compressed archive
+    (:func:`repro.telemetry.archive.write_archive`) after execution.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
@@ -541,6 +544,22 @@ def execute_scenario(
         kernel_name = "reference"
     sim.run(until=horizon)  # drain sim work scheduled after the last action
 
+    if archive_path is not None:
+        from ..telemetry.archive import write_archive
+
+        write_archive(
+            archive_path,
+            deployment,
+            meta={
+                "scenario": scenario.name,
+                "engine": engine,
+                "kernel": kernel_name,
+                "seed": scenario.seed,
+                "n_servers": scenario.n_servers,
+                "p": scenario.p,
+            },
+        )
+
     return ScenarioExecution(
         scenario=scenario,
         engine=engine,
@@ -559,10 +578,15 @@ def execute_scenario(
 
 
 def run_scenario_spec(
-    scenario: Scenario, engine: str = "batched", kernel: str | None = None
+    scenario: Scenario,
+    engine: str = "batched",
+    kernel: str | None = None,
+    archive_path: str | None = None,
 ) -> ScenarioResult:
     """Execute one scenario end to end and summarise it."""
-    ex = execute_scenario(scenario, engine=engine, kernel=kernel)
+    ex = execute_scenario(
+        scenario, engine=engine, kernel=kernel, archive_path=archive_path
+    )
     deployment = ex.deployment
     horizon = ex.horizon
     log = deployment.log

@@ -91,7 +91,7 @@ from ..kernels.base import (
     SweepState,
 )
 from ..kernels.registry import get_kernel
-from ..sim.tracing import QueryRecord
+from ..telemetry.listeners import ChunkArrays, drive_legacy_listeners
 from .server import TaskRecord
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -427,19 +427,21 @@ class _Engine:
         delay = fr - qnow
         self.latencies[qidx] = delay
         self.finishes[qidx] = fr
-        self.query_ids[qidx] = np.array(qqid_t, dtype=np.int64)
-        self.pqs[qidx] = np.array(qpq_t, dtype=np.int64)
+        qqid = np.array(qqid_t, dtype=np.int64)
+        qpq = np.array(qpq_t, dtype=np.int64)
+        self.query_ids[qidx] = qqid
+        self.pqs[qidx] = qpq
 
         self._emit_records(
-            qnow_t,
-            fr.tolist(),
-            qpq_t,
-            qqid_t,
-            qrtt_t,
-            qsched_t,
-            qtotal_t,
-            qmw_t,
-            qms_t,
+            qqid,
+            qnow,
+            fr,
+            qpq,
+            np.array(qrtt_t),
+            np.array(qsched_t),
+            qtotal,
+            np.array(qmw_t),
+            np.array(qms_t),
             sg_t,
             sst_t,
             sf_t,
@@ -466,61 +468,76 @@ class _Engine:
 
     def _emit_records(
         self,
-        qnow_l,
-        fr_l,
-        qpq_l,
-        qqid_l,
-        qrtt_l,
-        qsched_l,
-        qtotal_l,
-        qmw_l,
-        qms_l,
+        qqid,
+        qnow,
+        fr,
+        qpq,
+        qrtt,
+        qsched,
+        qtotal,
+        qmw,
+        qms,
         sg_l,
         sst_l,
         sf_l,
         swk_l,
     ) -> None:
-        """One pass emitting a chunk's observable per-query objects.
+        """Land one chunk's per-query telemetry as columns.
 
-        QueryRecords (+ listeners), QueryBreakdowns, and -- when any
-        server keeps a trace -- per-sub-query TaskRecords.  Shared by the
-        buffered flush (tuple rows) and the bulk flush (kernel out
-        buffers), so the two paths cannot drift in what they record.
-        All ``q*`` arguments are per-query sequences; ``s*`` are flat
-        per-sub-query sequences in submit order, consumed ``qpq_l[k]`` at
-        a time (only read when tracing is on).
+        All ``q*`` arguments are equal-length per-query float64/int64
+        arrays; they append to the deployment's columnar logs in a
+        handful of array copies -- zero per-query python on listener-free
+        runs.  Chunk listeners receive the arrays directly (one
+        ``observe_chunk`` call per flushed chunk); legacy per-query
+        ``query_listeners``, when any are registered, are driven off the
+        same columns by materialising each row as the exact
+        :class:`QueryRecord` the per-query path would have built.
+        Shared by the buffered flush (tuple rows) and the bulk flush
+        (kernel out buffers), so the two paths cannot drift in what they
+        record.  ``s*`` are flat per-sub-query sequences in submit order,
+        consumed ``qpq[k]`` at a time (only read when tracing is on).
         """
         dep = self.dep
-        listeners = dep.query_listeners
-        breakdowns = dep.breakdowns
-        records = self.log.records
-        from ..cluster.deployment import QueryBreakdown
+        nq = len(qnow)
+        log_start = self.log.n_records
+        self.log.append_columns(qqid, qnow, fr, qpq, qpq, qsched)
+        dep.breakdowns.append_columns(qsched, qrtt, qmw, qms, qtotal)
 
-        nq = len(qnow_l)
-        for k in range(nq):
-            record = QueryRecord(
-                query_id=qqid_l[k],
-                arrival=qnow_l[k],
-                finish=fr_l[k],
-                pq=qpq_l[k],
-                subqueries=qpq_l[k],
-                scheduling_delay=qsched_l[k],
+        if dep.chunk_listeners:
+            chunk = ChunkArrays(
+                query_ids=qqid,
+                arrivals=qnow,
+                finishes=fr,
+                pqs=qpq,
+                subqueries=qpq,
+                scheduling=qsched,
+                network=qrtt,
+                queueing=qmw,
+                service=qms,
+                total=qtotal,
             )
-            records.append(record)
-            for listener in listeners:
-                listener(record)
-            breakdowns.append(
-                QueryBreakdown(
-                    scheduling=qsched_l[k],
-                    network=qrtt_l[k],
-                    queueing=qmw_l[k],
-                    service=qms_l[k],
-                    total=qtotal_l[k],
-                )
+            for chunk_listener in dep.chunk_listeners:
+                chunk_listener.observe_chunk(chunk, log_start, nq)
+
+        if dep.query_listeners:
+            # tolist() only on the legacy path: callbacks see python
+            # scalars, exactly as the per-query reference path built them
+            drive_legacy_listeners(
+                dep.query_listeners,
+                qqid.tolist(),
+                qnow.tolist(),
+                fr.tolist(),
+                qpq.tolist(),
+                qpq.tolist(),
+                qsched.tolist(),
             )
 
         if self.trace_any:
             servers_flat = self.servers_flat
+            qpq_l = qpq.tolist()
+            qnow_l = qnow.tolist()
+            qrtt_l = qrtt.tolist()
+            qqid_l = qqid.tolist()
             off = 0
             for k in range(nq):
                 pq = qpq_l[k]
@@ -743,13 +760,11 @@ class _Engine:
         self.latencies[pos : pos + nq] = delay
         self.finishes[pos : pos + nq] = fr
         qid0 = self.qid_last
-        self.query_ids[pos : pos + nq] = np.arange(
-            qid0 + 1, qid0 + nq + 1, dtype=np.int64
-        )
+        qqid = np.arange(qid0 + 1, qid0 + nq + 1, dtype=np.int64)
+        self.query_ids[pos : pos + nq] = qqid
         self.qid_last = qid0 + nq
         self.pqs[pos : pos + nq] = pq
 
-        now_l = self.arr_l[pos : pos + nq]
         if self.trace_any:
             sg_l = sg.tolist()
             sst_l = bufs.sub_start[:m].tolist()
@@ -758,15 +773,15 @@ class _Engine:
         else:
             sg_l = sst_l = sf_l = swk_l = ()
         self._emit_records(
-            now_l,
-            fr.tolist(),
-            (pq,) * nq,
-            range(qid0 + 1, qid0 + nq + 1),
-            rtt_l,
-            (sched_each,) * nq,
-            qtotal.tolist(),
-            bufs.q_mw[:nq].tolist(),
-            bufs.q_ms[:nq].tolist(),
+            qqid,
+            qnow,
+            fr,
+            np.full(nq, pq, dtype=np.int64),
+            bufs.rtts[:nq],
+            np.full(nq, sched_each),
+            qtotal,
+            bufs.q_mw[:nq],
+            bufs.q_ms[:nq],
             sg_l,
             sst_l,
             sf_l,

@@ -1,121 +1,22 @@
-"""Delay logging and the paper's exploding-queue detection.
+"""Delay logging (compatibility shim).
 
-The Chapter 6 simulator logs every query's arrival and completion time; to
-decide whether an open-loop run has saturated the system it fits a straight
-line to ``delay(arrival_time)`` and declares the queue *exploding* (delay =
-infinity) when the slope exceeds 0.1 (Section 6.1, "Simulator").  This module
-reproduces that procedure plus the summary statistics experiments report.
+The Chapter 6 delay log and its summary statistics moved to the columnar
+telemetry subsystem (:mod:`repro.telemetry.records`), which stores
+per-query rows as flat numpy columns and materialises record objects
+lazily.  This module re-exports the public names so historical imports
+(``from repro.sim.tracing import DelayLog``) keep working; the classes are
+the same objects, and every summary statistic is bit-identical to the old
+list-backed implementation.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Sequence
+from ..telemetry.records import (
+    EXPLODING_SLOPE,
+    DelayLog,
+    QueryRecord,
+    linear_fit,
+    percentile,
+)
 
 __all__ = ["QueryRecord", "DelayLog", "linear_fit", "percentile"]
-
-#: Slope of the fitted delay(time) line above which the run is deemed
-#: saturated (queries/sec backlog growing without bound).
-EXPLODING_SLOPE = 0.1
-
-
-def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
-    """Least-squares fit ``y = a*x + b``; returns (slope, intercept)."""
-    n = len(xs)
-    if n != len(ys):
-        raise ValueError("xs and ys must have equal length")
-    if n == 0:
-        return 0.0, 0.0
-    if n == 1:
-        return 0.0, ys[0]
-    mean_x = sum(xs) / n
-    mean_y = sum(ys) / n
-    sxx = sum((x - mean_x) ** 2 for x in xs)
-    if sxx == 0:
-        return 0.0, mean_y
-    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
-    slope = sxy / sxx
-    return slope, mean_y - slope * mean_x
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """The *q*-th percentile (0..100) with linear interpolation."""
-    if not values:
-        raise ValueError("empty sequence")
-    data = sorted(values)
-    if len(data) == 1:
-        return data[0]
-    pos = (q / 100.0) * (len(data) - 1)
-    lo = int(math.floor(pos))
-    hi = int(math.ceil(pos))
-    if lo == hi:
-        return data[lo]
-    return data[lo] + (data[hi] - data[lo]) * (pos - lo)
-
-
-@dataclass(slots=True)
-class QueryRecord:
-    """Timing of one completed query."""
-
-    query_id: int
-    arrival: float
-    finish: float
-    pq: int = 0
-    subqueries: int = 0
-    scheduling_delay: float = 0.0
-
-    @property
-    def delay(self) -> float:
-        return self.finish - self.arrival
-
-
-@dataclass
-class DelayLog:
-    """Accumulates completed queries and summarises them."""
-
-    records: list[QueryRecord] = field(default_factory=list)
-    dropped: int = 0  # queries not serviced (yield accounting)
-
-    def add(self, record: QueryRecord) -> None:
-        self.records.append(record)
-
-    def delays(self) -> list[float]:
-        return [r.delay for r in self.records]
-
-    def is_exploding(self) -> bool:
-        """Apply the paper's slope test to delay(arrival_time)."""
-        if len(self.records) < 2:
-            return False
-        xs = [r.arrival for r in self.records]
-        ys = [r.delay for r in self.records]
-        slope, _ = linear_fit(xs, ys)
-        return slope > EXPLODING_SLOPE
-
-    def mean_delay(self) -> float:
-        """Mean delay, or ``inf`` when the queue is exploding (paper rule)."""
-        if not self.records:
-            return math.nan
-        if self.is_exploding():
-            return math.inf
-        delays = self.delays()
-        return sum(delays) / len(delays)
-
-    def raw_mean_delay(self) -> float:
-        delays = self.delays()
-        return sum(delays) / len(delays) if delays else math.nan
-
-    def max_delay(self) -> float:
-        delays = self.delays()
-        return max(delays) if delays else math.nan
-
-    def percentile_delay(self, q: float) -> float:
-        return percentile(self.delays(), q)
-
-    def yield_fraction(self) -> float:
-        """Brewer's *yield*: serviced queries / offered queries."""
-        total = len(self.records) + self.dropped
-        return len(self.records) / total if total else 1.0
-
-    def throughput(self, elapsed: float) -> float:
-        return len(self.records) / elapsed if elapsed > 0 else 0.0

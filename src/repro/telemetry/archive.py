@@ -1,0 +1,215 @@
+"""Compressed columnar run archives.
+
+A run archive is the durable form of a run's telemetry: the delay-log and
+breakdown columns packed into one compressed ``.npz`` plus a JSON metadata
+blob (schema version, drop count, and caller-supplied context such as
+scenario name / engine / kernel).  Columns compress well -- float64 delay
+series run a few bytes per query -- so whole experiment matrices can be
+kept and diffed instead of re-run.
+
+* :func:`write_archive` / :func:`read_archive` -- writer and reader;
+* :func:`archive_info` -- summary (query counts, per-column stats,
+  bytes/query) backing ``repro archive info``;
+* :func:`archive_diff` -- column-by-column comparison with first-divergence
+  reporting, backing ``repro archive diff`` and the CI bit-identity gate.
+
+Example -- write, read back, and diff a small run::
+
+    >>> import tempfile, os
+    >>> from repro.cluster import Deployment, DeploymentConfig, hen_testbed
+    >>> dep = Deployment(DeploymentConfig(models=hen_testbed(8), p=4,
+    ...                                   seed=1, charge_scheduling=False))
+    >>> _ = dep.run_queries_fast([i * 0.01 for i in range(32)], 4)
+    >>> path = os.path.join(tempfile.mkdtemp(), "run.npz")
+    >>> write_archive(path, dep, meta={"scenario": "doctest"})
+    >>> arch = read_archive(path)
+    >>> arch.n_queries, arch.meta["scenario"]
+    (32, 'doctest')
+    >>> archive_diff(arch, arch)["identical"]
+    True
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
+from .columns import array_percentile
+
+__all__ = [
+    "ARCHIVE_SCHEMA",
+    "RunArchive",
+    "write_archive",
+    "read_archive",
+    "archive_info",
+    "archive_diff",
+]
+
+#: Version of the archive layout; readers refuse archives they cannot parse.
+ARCHIVE_SCHEMA = 1
+
+_LOG_COLUMNS = (
+    "log_query_id",
+    "log_arrival",
+    "log_finish",
+    "log_pq",
+    "log_subqueries",
+    "log_scheduling",
+)
+_BD_COLUMNS = (
+    "bd_scheduling",
+    "bd_network",
+    "bd_queueing",
+    "bd_service",
+    "bd_total",
+)
+
+#: wall-clock-derived columns: diffs report but do not gate on them (the
+#: same exclusion the batched/per-query differential tests apply).
+_WALL_COLUMNS = frozenset({"log_scheduling", "bd_scheduling"})
+
+
+@dataclass
+class RunArchive:
+    """One archived run: JSON ``meta`` + named numpy columns."""
+
+    meta: dict
+    columns: dict
+    path: str | None = None
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.columns["log_arrival"].size)
+
+    def delays(self) -> "np.ndarray":
+        return self.columns["log_finish"] - self.columns["log_arrival"]
+
+
+def write_archive(path, deployment, meta: dict | None = None) -> None:
+    """Archive *deployment*'s telemetry columns at *path* (``.npz``).
+
+    *meta* is caller context (scenario name, engine, kernel, parameters);
+    it must be JSON-serialisable and is stored under the caller's keys
+    (reserved keys: ``schema``, ``dropped``).
+    """
+    log = deployment.log
+    bd = deployment.breakdowns
+    full_meta = dict(meta or {})
+    full_meta["schema"] = ARCHIVE_SCHEMA
+    full_meta["dropped"] = log.dropped
+    payload = np.frombuffer(
+        json.dumps(full_meta).encode("utf-8"), dtype=np.uint8
+    )
+    columns = {
+        "log_query_id": log.column("query_id"),
+        "log_arrival": log.column("arrival"),
+        "log_finish": log.column("finish"),
+        "log_pq": log.column("pq"),
+        "log_subqueries": log.column("subqueries"),
+        "log_scheduling": log.column("scheduling"),
+        "bd_scheduling": bd.column("scheduling"),
+        "bd_network": bd.column("network"),
+        "bd_queueing": bd.column("queueing"),
+        "bd_service": bd.column("service"),
+        "bd_total": bd.column("total"),
+    }
+    np.savez_compressed(path, meta_json=payload, **columns)
+
+
+def read_archive(path) -> RunArchive:
+    """Read an archive written by :func:`write_archive`."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+        columns = {k: data[k] for k in data.files if k != "meta_json"}
+    schema = meta.get("schema")
+    if schema != ARCHIVE_SCHEMA:
+        raise ValueError(
+            f"archive schema {schema!r} not supported "
+            f"(this build reads schema {ARCHIVE_SCHEMA})"
+        )
+    return RunArchive(meta=meta, columns=columns, path=str(path))
+
+
+def archive_info(archive: RunArchive) -> dict:
+    """Summary statistics of one archive (the ``archive info`` payload)."""
+    n = archive.n_queries
+    info = {
+        "path": archive.path,
+        "schema": archive.meta.get("schema"),
+        "n_queries": n,
+        "dropped": archive.meta.get("dropped", 0),
+        "columns": sorted(archive.columns),
+        "meta": {
+            k: v
+            for k, v in archive.meta.items()
+            if k not in ("schema", "dropped")
+        },
+    }
+    if archive.path is not None and os.path.exists(archive.path):
+        size = os.path.getsize(archive.path)
+        info["file_bytes"] = size
+        info["bytes_per_query"] = size / n if n else math.nan
+    if n:
+        delays = archive.delays()
+        info["mean_delay"] = float(delays.sum() / n)
+        for q in (50, 95, 99):
+            info[f"p{q}_delay"] = array_percentile(delays, q)
+    return info
+
+
+def _first_divergence(a: "np.ndarray", b: "np.ndarray") -> int:
+    k = min(a.size, b.size)
+    neq = a[:k] != b[:k]
+    idx = np.nonzero(neq)[0]
+    if idx.size:
+        return int(idx[0])
+    return k  # length mismatch: diverges where the shorter one ends
+
+
+def archive_diff(a: RunArchive, b: RunArchive) -> dict:
+    """Column-by-column comparison of two archives.
+
+    Returns ``{"identical": bool, "gated_identical": bool, "columns":
+    {name: {...}}}``.  ``identical`` requires every shared column equal
+    and no column present on one side only; ``gated_identical`` applies
+    the differential-test exclusion of wall-clock-derived columns
+    (``log_scheduling``/``bd_scheduling``) -- the right predicate for CI
+    bit-identity gates.
+    """
+    names = sorted(set(a.columns) | set(b.columns))
+    out: dict = {"columns": {}}
+    identical = True
+    gated_identical = True
+    for name in names:
+        ca = a.columns.get(name)
+        cb = b.columns.get(name)
+        if ca is None or cb is None:
+            entry = {"equal": False, "missing_in": "a" if ca is None else "b"}
+            identical = False
+            if name not in _WALL_COLUMNS:
+                gated_identical = False
+            out["columns"][name] = entry
+            continue
+        equal = ca.shape == cb.shape and bool(np.array_equal(ca, cb))
+        entry = {"equal": equal, "n_a": int(ca.size), "n_b": int(cb.size)}
+        if not equal:
+            entry["first_divergence"] = _first_divergence(ca, cb)
+            k = min(ca.size, cb.size)
+            if k and np.issubdtype(ca.dtype, np.floating):
+                entry["max_abs_diff"] = float(
+                    np.max(np.abs(ca[:k] - cb[:k]))
+                )
+            identical = False
+            if name not in _WALL_COLUMNS:
+                gated_identical = False
+        out["columns"][name] = entry
+    out["identical"] = identical
+    out["gated_identical"] = gated_identical
+    return out

@@ -1,0 +1,187 @@
+"""The chunk-array listener API and the legacy per-query adapter.
+
+The batched engine accounts queries in chunks (see
+:mod:`repro.sim.fastpath`): between two cut points it produces flat arrays
+-- one row per query -- and flushes them in one pass.  Chunk listeners are
+the matching observation API: instead of one python call per completed
+query, a listener receives **one call per flushed chunk** with the chunk's
+columns as numpy arrays.  On action-free spans this removes the last
+per-query python from the hot path.
+
+* :class:`ChunkArrays` is the per-chunk column bundle (borrowed views --
+  copy anything you retain past the call).
+* :class:`ChunkListener` is the subscriber base class.  Register instances
+  on ``deployment.chunk_listeners``.  The per-query reference path feeds
+  the same subscribers through :meth:`ChunkListener.observe_record`, whose
+  default adapts a single record into a one-row chunk -- so a listener
+  written against arrays works identically under either engine.
+* :class:`ListenerList` is the deprecation shim for the legacy per-query
+  ``deployment.query_listeners`` hook: appending a callback still works
+  bit-identically (the flush drives legacy callbacks off the same arrays,
+  via :func:`drive_legacy_listeners`) but emits a one-time
+  ``DeprecationWarning`` pointing at the chunk API.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
+from .records import QueryRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = [
+    "ChunkArrays",
+    "ChunkListener",
+    "ListenerList",
+    "drive_legacy_listeners",
+]
+
+
+@dataclass(frozen=True)
+class ChunkArrays:
+    """One flushed chunk's per-query columns (parallel, equal-length).
+
+    Arrays are *borrowed*: they may be views into engine-owned buffers that
+    are reused after the listener returns.  Copy (or reduce) inside
+    ``observe_chunk``; never store the arrays themselves.
+    """
+
+    query_ids: "np.ndarray"  # int64
+    arrivals: "np.ndarray"  # float64, monotone within and across chunks
+    finishes: "np.ndarray"  # float64
+    pqs: "np.ndarray"  # int64
+    subqueries: "np.ndarray"  # int64
+    scheduling: "np.ndarray"  # float64, scheduler wall-clock per query
+    network: "np.ndarray"  # float64, rtt per query
+    queueing: "np.ndarray"  # float64, max sub-query wait
+    service: "np.ndarray"  # float64, max sub-query execution time
+    total: "np.ndarray"  # float64, end-to-end delay
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def delays(self) -> "np.ndarray":
+        """Per-query delay (finish - arrival) for this chunk."""
+        return self.finishes - self.arrivals
+
+    @classmethod
+    def from_record(
+        cls, record: QueryRecord, breakdown=None
+    ) -> "ChunkArrays":
+        """A one-row chunk adapting a single per-query record."""
+
+        def f64(x):
+            return np.array([x], dtype=np.float64)
+
+        def i64(x):
+            return np.array([x], dtype=np.int64)
+
+        return cls(
+            query_ids=i64(record.query_id),
+            arrivals=f64(record.arrival),
+            finishes=f64(record.finish),
+            pqs=i64(record.pq),
+            subqueries=i64(record.subqueries),
+            scheduling=f64(record.scheduling_delay),
+            network=f64(breakdown.network if breakdown is not None else 0.0),
+            queueing=f64(breakdown.queueing if breakdown is not None else 0.0),
+            service=f64(breakdown.service if breakdown is not None else 0.0),
+            total=f64(
+                breakdown.total
+                if breakdown is not None
+                else record.finish - record.arrival
+            ),
+        )
+
+
+class ChunkListener:
+    """Base class for chunk-array subscribers.
+
+    Implement :meth:`observe_chunk`.  ``observe_record`` is the per-query
+    adapter used by the reference path (and by failure-window queries the
+    batched engine delegates to it); the default wraps the record in a
+    one-row chunk, so array-native subclasses only implement one method.
+    Subclasses with a cheap scalar path (e.g. the metrics collector) may
+    override ``observe_record`` directly.
+    """
+
+    def observe_chunk(self, arrays: ChunkArrays, start: int, nq: int) -> None:
+        """One flushed chunk: *nq* queries whose first row is global record
+        index *start* in the deployment's log."""
+        raise NotImplementedError
+
+    def observe_record(self, record: QueryRecord, breakdown=None) -> None:
+        self.observe_chunk(ChunkArrays.from_record(record, breakdown), -1, 1)
+
+
+# -- legacy per-query listeners ---------------------------------------------
+_DEPRECATION_EMITTED = False
+
+
+def _reset_deprecation_warning() -> None:
+    """Test hook: re-arm the one-time deprecation warning."""
+    global _DEPRECATION_EMITTED
+    _DEPRECATION_EMITTED = False
+
+
+class ListenerList(list):
+    """``query_listeners`` container that deprecates per-query callbacks.
+
+    Still a real list (legacy code may iterate, clear, or index it), but
+    the first ``append`` in the process emits a ``DeprecationWarning``
+    steering new code to ``deployment.chunk_listeners``.  Behaviour is
+    unchanged: callbacks receive every completed :class:`QueryRecord`, in
+    completion order, driven off the columnar chunks by
+    :func:`drive_legacy_listeners`.
+    """
+
+    def append(self, listener) -> None:
+        global _DEPRECATION_EMITTED
+        if not _DEPRECATION_EMITTED:
+            _DEPRECATION_EMITTED = True
+            warnings.warn(
+                "per-query query_listeners are deprecated; subscribe a "
+                "ChunkListener on deployment.chunk_listeners instead "
+                "(see docs/telemetry.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        super().append(listener)
+
+
+def drive_legacy_listeners(
+    listeners: Iterable,
+    query_ids,
+    arrivals,
+    finishes,
+    pqs,
+    subqueries,
+    scheduling,
+) -> None:
+    """Feed legacy per-query callbacks from one chunk's columns.
+
+    Materialises each row as a :class:`QueryRecord` -- exactly the object
+    the per-query path would have built -- and calls every listener with
+    it, in completion order.  Only invoked when legacy listeners exist, so
+    listener-free runs pay nothing per query.
+    """
+    for k in range(len(arrivals)):
+        record = QueryRecord(
+            query_id=query_ids[k],
+            arrival=arrivals[k],
+            finish=finishes[k],
+            pq=pqs[k],
+            subqueries=subqueries[k],
+            scheduling_delay=scheduling[k],
+        )
+        for listener in listeners:
+            listener(record)

@@ -18,6 +18,7 @@ import repro.cli
 import repro.cluster.deployment
 import repro.core.ids
 import repro.scenarios.spec
+import repro.telemetry.archive
 
 #: every module whose docstring examples are part of the documented
 #: contract; add modules here when giving them doctest examples.
@@ -26,6 +27,7 @@ DOCTEST_MODULES = (
     repro.cluster.deployment,
     repro.core.ids,
     repro.scenarios.spec,
+    repro.telemetry.archive,
 )
 
 
