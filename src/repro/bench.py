@@ -71,7 +71,13 @@ MAX_REGRESSION = 0.30
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """One standard sweep configuration."""
+    """One standard sweep configuration.
+
+    With ``trace`` set, the arrival stream comes from that file through
+    the dataloader registry (:mod:`repro.traces`) instead of the Poisson
+    sampler -- ``queries``/``rate`` are then ignored and reported from
+    the trace itself.
+    """
 
     name: str
     servers: int
@@ -83,6 +89,8 @@ class SweepSpec:
     ref_queries: int
     dataset: float = 5e6
     seed: int = 2
+    trace: str | None = None
+    trace_loader: str | None = None
 
 
 #: The standard sweeps.  ``full`` is the committed-trajectory profile;
@@ -157,15 +165,21 @@ def run_sweep(
             )
         )
 
-    arrivals = batched_poisson_times(spec.rate, spec.queries, seed=4).tolist()
+    if spec.trace is not None:
+        from .traces import load_trace
+
+        arrivals = load_trace(spec.trace, loader=spec.trace_loader).arrivals.tolist()
+    else:
+        arrivals = batched_poisson_times(spec.rate, spec.queries, seed=4).tolist()
+    n_queries = len(arrivals)
 
     fast = build()
     t0 = time.perf_counter()
     result = fast.run_queries_fast(arrivals, spec.pq)
     fast_wall = time.perf_counter() - t0
-    fast_us = 1e6 * fast_wall / spec.queries
+    fast_us = 1e6 * fast_wall / n_queries
     exact_delays = fast.log.delays()
-    exact_sweep_us = 1e6 * fast.scheduling_wallclock / spec.queries
+    exact_sweep_us = 1e6 * fast.scheduling_wallclock / n_queries
 
     if archive_dir is not None:
         import os
@@ -179,14 +193,14 @@ def run_sweep(
             meta={
                 "sweep": spec.name,
                 "servers": spec.servers,
-                "queries": spec.queries,
+                "queries": n_queries,
                 "pq": spec.pq,
                 "seed": spec.seed,
             },
         )
 
     ref = build()
-    n_ref = min(spec.ref_queries, spec.queries)
+    n_ref = min(spec.ref_queries, n_queries)
     t0 = time.perf_counter()
     ref.run_queries(arrivals[:n_ref], spec.pq)
     ref_wall = time.perf_counter() - t0
@@ -227,8 +241,8 @@ def run_sweep(
         t0 = time.perf_counter()
         dep.run_queries_fast(arrivals, spec.pq, kernel=kernel)
         wall = time.perf_counter() - t0
-        us = 1e6 * wall / spec.queries
-        sweep_us = 1e6 * dep.scheduling_wallclock / spec.queries
+        us = 1e6 * wall / n_queries
+        sweep_us = 1e6 * dep.scheduling_wallclock / n_queries
         kernel_rows[name] = {
             "available": True,
             "fused_commit": bool(getattr(kernel, "fused_commit", False)),
@@ -245,9 +259,10 @@ def run_sweep(
     from .telemetry.columns import array_percentile
 
     lat = fast.log.column("finish") - fast.log.column("arrival")
-    return {
+    out: dict = {} if spec.trace is None else {"trace": spec.trace}
+    out.update({
         "servers": spec.servers,
-        "queries": spec.queries,
+        "queries": n_queries,
         "rate": spec.rate,
         "pq": spec.pq,
         "ref_queries": n_ref,
@@ -263,7 +278,8 @@ def run_sweep(
         "chunks": len(result.chunk_sizes),
         "chunk_size_histogram": _chunk_histogram(result.chunk_sizes),
         "kernels": kernel_rows,
-    }
+    })
+    return out
 
 
 def _revision() -> str:
@@ -286,14 +302,28 @@ def collect(
     progress=None,
     kernels: Sequence[str] | None = None,
     archive_dir: str | None = None,
+    trace: str | None = None,
+    trace_loader: str | None = None,
 ) -> dict:
-    """Run every sweep of *profile* and assemble the snapshot dict."""
+    """Run every sweep of *profile* and assemble the snapshot dict.
+
+    *trace* adds one real-trace sweep replaying that file (through the
+    :mod:`repro.traces` registry) on a small fleet.  The baseline gate
+    never compares it -- :func:`check_against_baseline` iterates the
+    *baseline*'s sweeps, so an extra trace row rides along gate-neutral.
+    """
     if profile not in PROFILES:
         raise ValueError(
             f"unknown profile {profile!r}; pick one of {sorted(PROFILES)}"
         )
+    specs = list(PROFILES[profile])
+    if trace is not None:
+        specs.append(SweepSpec(
+            "trace", servers=16, queries=0, rate=0.0, pq=4,
+            ref_queries=120, trace=trace, trace_loader=trace_loader,
+        ))
     sweeps = {}
-    for spec in PROFILES[profile]:
+    for spec in specs:
         sweeps[spec.name] = run_sweep(spec, kernels=kernels, archive_dir=archive_dir)
         if progress is not None:
             progress(spec.name, sweeps[spec.name])
@@ -422,6 +452,8 @@ def main_bench(args) -> int:
         progress=progress,
         kernels=kernels,
         archive_dir=getattr(args, "archive_dir", None),
+        trace=getattr(args, "trace", None),
+        trace_loader=getattr(args, "trace_loader", None),
     )
     print(render_report(snapshot, baseline))
 

@@ -14,6 +14,12 @@ notebooks should import :mod:`repro` directly):
   against the exact oracle (``docs/kernels.md``);
 * ``archive``  -- inspect/diff compressed telemetry archives written by
   ``matrix --archive-dir`` / ``bench --archive-dir`` (``docs/telemetry.md``);
+* ``traces``   -- list trace dataloaders / summarise a trace file
+  (``docs/traces.md``);
+* ``record``   -- run a scenario and freeze its drawn stimulus + baseline
+  telemetry as a recording (``.npz``);
+* ``replay``   -- re-drive a recording bit-identically on either engine /
+  any kernel, verified by the archive differential oracle;
 * ``pps-demo`` -- encrypted-search application demo.
 
 Usage (after installation)::
@@ -39,6 +45,17 @@ The parser is plain argparse and safe to drive programmatically::
     'info'
     >>> parser.parse_args(["archive", "diff", "a.npz", "b.npz"]).path_b
     'b.npz'
+    >>> parser.parse_args(["record", "--scenario", "steady",
+    ...                    "--out", "run.rec.npz"]).out
+    'run.rec.npz'
+    >>> parser.parse_args(["replay", "run.rec.npz",
+    ...                    "--engine", "reference"]).engine
+    'reference'
+    >>> parser.parse_args(["traces", "--info", "log.csv",
+    ...                    "--loader", "csv:time_col=ts"]).loader
+    'csv:time_col=ts'
+    >>> parser.parse_args(["matrix", "--trace", "log.csv"]).trace
+    'log.csv'
 """
 
 from __future__ import annotations
@@ -147,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
     mtx.add_argument("--archive-dir", default=None, metavar="DIR",
                      help="write one compressed telemetry archive "
                           "(<scenario>.npz) per scenario into DIR")
+    mtx.add_argument("--trace", default=None, metavar="SRC",
+                     help="also run SRC (csv/jsonl/npz request log) as a "
+                          "real-trace scenario row (see `repro traces`)")
+    mtx.add_argument("--trace-loader", default=None, metavar="NAME",
+                     help="dataloader for --trace "
+                          "(name[:key=value,...]; default: inferred)")
 
     bench = sub.add_parser(
         "bench",
@@ -171,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--archive-dir", default=None, metavar="DIR",
                        help="write one compressed telemetry archive "
                             "(<sweep>.npz) per sweep into DIR")
+    bench.add_argument("--trace", default=None, metavar="SRC",
+                       help="add a real-trace sweep replaying SRC "
+                            "(csv/jsonl/npz; never gated against the "
+                            "baseline)")
+    bench.add_argument("--trace-loader", default=None, metavar="NAME",
+                       help="dataloader for --trace (default: inferred)")
 
     kern = sub.add_parser(
         "kernels",
@@ -206,6 +235,64 @@ def build_parser() -> argparse.ArgumentParser:
     arch_diff.add_argument("--strict", action="store_true",
                            help="gate on wall-clock columns too (default: "
                                 "only simulated-time columns gate)")
+
+    traces = sub.add_parser(
+        "traces",
+        help="list trace dataloaders, or summarise a trace file",
+    )
+    traces.add_argument("--info", default=None, metavar="SRC",
+                        help="load SRC and print a stimulus summary "
+                             "instead of listing loaders")
+    traces.add_argument("--loader", default=None, metavar="NAME",
+                        help="dataloader for --info "
+                             "(name[:key=value,...]; default: inferred)")
+
+    rec = sub.add_parser(
+        "record",
+        help="run a scenario and freeze its stimulus + baseline telemetry "
+             "as a recording (.npz)",
+    )
+    rec.add_argument("--scenario", default="steady", metavar="NAME",
+                     help="builtin scenario to record (see `repro matrix "
+                          "--list`; default steady)")
+    rec.add_argument("--trace", default=None, metavar="SRC",
+                     help="record a real-trace run of SRC instead of a "
+                          "builtin scenario")
+    rec.add_argument("--trace-loader", default=None, metavar="NAME",
+                     help="dataloader for --trace (default: inferred)")
+    rec.add_argument("--out", required=True, metavar="PATH",
+                     help="recording path (.npz)")
+    rec.add_argument("--archive", default=None, metavar="PATH",
+                     help="also extract the recorded baseline as a plain "
+                          "run archive (for `repro archive diff`)")
+    rec.add_argument("--engine", default="batched",
+                     choices=["batched", "reference"])
+    rec.add_argument("--kernel", default=None, metavar="NAME",
+                     help="scheduling kernel (batched engine)")
+    rec.add_argument("--servers", type=int, default=20)
+    rec.add_argument("-p", type=int, default=4)
+    rec.add_argument("--duration", type=float, default=40.0)
+    rec.add_argument("--rate", type=float, default=None,
+                     help="base queries/s (default: auto ~35%% load)")
+    rec.add_argument("--dataset", type=float, default=2e6)
+    rec.add_argument("--seed", type=int, default=1)
+
+    rep = sub.add_parser(
+        "replay",
+        help="re-drive a recording and verify bit-identity against its "
+             "baseline telemetry",
+    )
+    rep.add_argument("path", help="recording file (.npz from `repro record`)")
+    rep.add_argument("--engine", default=None,
+                     choices=["batched", "reference"],
+                     help="engine to replay on (default: as recorded)")
+    rep.add_argument("--kernel", default=None, metavar="NAME",
+                     help="scheduling kernel (default: as recorded)")
+    rep.add_argument("--archive", default=None, metavar="PATH",
+                     help="write the replayed run's archive "
+                          "(wall-clock columns omitted)")
+    rep.add_argument("--no-verify", action="store_true",
+                     help="skip the bit-identity check (just re-run)")
 
     demo = sub.add_parser("pps-demo", help="encrypted search demo")
     demo.add_argument("--files", type=int, default=200)
@@ -347,6 +434,19 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                   f"known: {sorted(known)}", file=sys.stderr)
             return 2
         scenarios = [s for s in scenarios if s.name in wanted]
+    if args.trace:
+        from .scenarios.matrix import trace_scenario
+        from .traces import TraceFormatError
+
+        try:
+            scenarios.append(trace_scenario(
+                args.trace, loader=args.trace_loader,
+                n_servers=args.servers, p=args.p,
+                dataset_size=args.dataset, seed=args.seed,
+            ))
+        except (TraceFormatError, ValueError) as exc:
+            print(f"bad --trace: {exc}", file=sys.stderr)
+            return 2
 
     def progress(scenario, result):
         print(f"[{scenario.name}] {result.offered} queries, "
@@ -354,10 +454,18 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
               f"p99 {result.p99_delay * 1000:.0f} ms, "
               f"{result.wall_seconds:.2f}s wall", file=sys.stderr)
 
-    res = run_matrix(
-        scenarios, engine=args.engine, kernel=args.kernel, progress=progress,
-        archive_dir=args.archive_dir,
-    )
+    try:
+        res = run_matrix(
+            scenarios, engine=args.engine, kernel=args.kernel,
+            progress=progress, archive_dir=args.archive_dir,
+        )
+    except Exception as exc:
+        from .traces import TraceFormatError
+
+        if isinstance(exc, TraceFormatError):  # bad --trace file
+            print(f"trace error: {exc}", file=sys.stderr)
+            return 2
+        raise
     print(res.table())
     if args.csv:
         with open(args.csv, "w") as fh:
@@ -421,6 +529,105 @@ def _cmd_archive(args: argparse.Namespace) -> int:
     scope = "all columns" if args.strict else "simulated-time columns"
     print(f"{'identical' if verdict else 'DIVERGENT'} ({scope})")
     return 0 if verdict else 1
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from .traces import TraceFormatError, load_trace, loader_specs
+
+    if args.info is None:
+        print(f"{'loader':12s} {'aliases':12s} description")
+        for row in loader_specs():
+            aliases = ",".join(row["aliases"]) or "-"
+            print(f"{row['name']:12s} {aliases:12s} {row['description']}")
+        return 0
+    try:
+        trace = load_trace(args.info, loader=args.loader)
+    except (TraceFormatError, ValueError) as exc:
+        print(f"trace error: {exc}", file=sys.stderr)
+        return 1
+    print(f"source         : {args.info}")
+    print(f"loader         : {trace.meta.get('loader', '?')}")
+    print(f"queries        : {trace.n_queries}")
+    print(f"updates        : {trace.n_updates}")
+    print(f"horizon        : {trace.horizon:g} s")
+    if trace.n_queries and trace.horizon > 0:
+        print(f"mean rate      : {trace.n_queries / trace.horizon:.2f} "
+              "queries/s")
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from .scenarios import builtin_scenarios
+    from .scenarios.runner import execute_scenario
+    from .traces import TraceFormatError, read_recording, recording_to_archive
+
+    if args.trace:
+        from .scenarios.matrix import trace_scenario
+
+        scenario = trace_scenario(
+            args.trace, loader=args.trace_loader, n_servers=args.servers,
+            p=args.p, dataset_size=args.dataset, seed=args.seed,
+        )
+    else:
+        scenarios = builtin_scenarios(
+            n_servers=args.servers, duration=args.duration, p=args.p,
+            dataset_size=args.dataset, seed=args.seed, rate=args.rate,
+        )
+        by_name = {s.name: s for s in scenarios}
+        if args.scenario not in by_name:
+            print(f"unknown scenario {args.scenario!r}; "
+                  f"known: {sorted(by_name)}", file=sys.stderr)
+            return 2
+        scenario = by_name[args.scenario]
+    try:
+        ex = execute_scenario(
+            scenario, engine=args.engine, kernel=args.kernel,
+            record_path=args.out,
+        )
+    except TraceFormatError as exc:
+        print(f"trace error: {exc}", file=sys.stderr)
+        return 2
+    log = ex.deployment.log
+    print(f"recorded       : {args.out}")
+    print(f"scenario       : {scenario.name} ({ex.engine}/{ex.kernel})")
+    print(f"queries        : {log.n_records} completed, {log.dropped} dropped")
+    print(f"updates        : {ex.updates_applied} applied")
+    print(f"horizon        : {ex.horizon:g} s")
+    if args.archive:
+        recording_to_archive(read_recording(args.out), args.archive)
+        print(f"archive        : {args.archive}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .traces import replay_recording
+
+    try:
+        report = replay_recording(
+            args.path, engine=args.engine, kernel=args.kernel,
+            archive_path=args.archive, verify=not args.no_verify,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"cannot replay {args.path}: {exc}", file=sys.stderr)
+        return 2
+    rec = report.recording
+    log = report.execution.deployment.log
+    print(f"recording      : {args.path}")
+    print(f"recorded on    : {rec.engine}/{rec.kernel}")
+    print(f"replayed on    : {report.engine}/{report.kernel}")
+    print(f"queries        : {log.n_records} completed, {log.dropped} dropped")
+    if args.archive:
+        print(f"archive        : {args.archive}")
+    if not report.verified:
+        print("verify         : skipped (--no-verify)")
+        return 0
+    if report.identical:
+        print("verify         : identical "
+              "(every simulated-time column byte-equal)")
+        return 0
+    print(f"verify         : DIVERGED in "
+          f"{', '.join(report.mismatching_columns)}", file=sys.stderr)
+    return 1
 
 
 def _cmd_kernels(args: argparse.Namespace) -> int:
@@ -490,6 +697,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "kernels": _cmd_kernels,
         "archive": _cmd_archive,
+        "traces": _cmd_traces,
+        "record": _cmd_record,
+        "replay": _cmd_replay,
         "pps-demo": _cmd_pps_demo,
     }
     return handlers[args.command](args)

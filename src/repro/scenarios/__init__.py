@@ -28,7 +28,9 @@ from .matrix import (
     builtin_scenarios,
     render_table,
     run_matrix,
+    trace_scenario,
 )
+from .spec import scenario_from_dict, scenario_to_dict
 
 __all__ = [
     "ChurnSpec",
@@ -46,4 +48,7 @@ __all__ = [
     "render_table",
     "run_matrix",
     "run_scenario_spec",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "trace_scenario",
 ]

@@ -17,6 +17,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from ..traces.spec import TraceSpec
 from .runner import ScenarioResult, auto_rate, build_models, run_scenario_spec
 from .spec import ChurnSpec, ControlSpec, EventSpec, Scenario, UpdateSpec, WorkloadSpec
 
@@ -25,6 +26,7 @@ __all__ = [
     "builtin_scenarios",
     "render_table",
     "run_matrix",
+    "trace_scenario",
 ]
 
 
@@ -130,6 +132,37 @@ def builtin_scenarios(
             **common,
         ),
     ]
+
+
+def trace_scenario(
+    source: str,
+    loader: str | None = None,
+    name: str = "trace",
+    n_servers: int = 20,
+    p: int = 4,
+    dataset_size: float = 2_000_000.0,
+    seed: int = 1,
+    time_scale: float = 1.0,
+    limit: int | None = None,
+) -> Scenario:
+    """A scenario replaying the external request log *source*.
+
+    The trace's arrivals (and any update rows) drive the engines through
+    the exact-time action queue, so a real log is a first-class matrix
+    row alongside the synthetic battery (``repro matrix --trace``).
+    """
+    return Scenario(
+        name=name,
+        description=f"replay of {source}",
+        workload=TraceSpec(
+            source=str(source), loader=loader,
+            time_scale=time_scale, limit=limit,
+        ),
+        n_servers=n_servers,
+        p=p,
+        dataset_size=dataset_size,
+        seed=seed,
+    )
 
 
 @dataclass

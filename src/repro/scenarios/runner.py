@@ -56,6 +56,7 @@ from ..sim.workload import (
     batched_uniform_times,
     zipf_update_times,
 )
+from ..traces.spec import TraceSpec
 from .spec import Scenario
 
 __all__ = [
@@ -170,6 +171,8 @@ def _vector_rate_fn(scenario: Scenario):
 def generate_arrivals(scenario: Scenario) -> "_np.ndarray":
     """The scenario's full arrival trace (identical for either engine)."""
     w = scenario.workload
+    if isinstance(w, TraceSpec):
+        return w.load().arrivals
     if w.kind == "replay":
         return _np.asarray(sorted(w.trace or ()), dtype=float)
     if w.kind == "uniform":
@@ -258,14 +261,24 @@ def execute_scenario(
     kernel: str | None = None,
     record_assignments: bool = False,
     archive_path: str | None = None,
+    record_path: str | None = None,
+    stimulus=None,
 ) -> ScenarioExecution:
     """Execute one scenario end to end; returns the raw execution.
 
     *kernel* overrides ``scenario.kernel`` (batched engine only).  With
     *record_assignments* the batch result carries every query's server
     set -- what the kernel divergence harness compares.  *archive_path*
-    writes the run's telemetry columns as a compressed archive
-    (:func:`repro.telemetry.archive.write_archive`) after execution.
+    streams the run's telemetry columns into a compressed archive as the
+    run progresses (:class:`repro.telemetry.archive.ArchiveWriter`).
+
+    *record_path* freezes the drawn stimulus (arrivals + exact-time
+    updates) and the run's baseline telemetry as a recording
+    (:mod:`repro.traces.record`); *stimulus* injects a previously
+    recorded :class:`~repro.traces.record.Stimulus` instead of drawing
+    one -- the replay half of record-then-replay.  Archives written while
+    recording or replaying omit the wall-clock-derived columns, so two
+    such archives of the same stimulus diff byte-identically.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
@@ -273,8 +286,27 @@ def execute_scenario(
     wall_start = time.perf_counter()
     deployment = build_deployment(scenario)
     servers_start = len(deployment.servers)
-    arrivals = generate_arrivals(scenario)
-    horizon = float(scenario.workload.horizon)
+    # -- stimulus: drawn from the scenario, or injected verbatim -----------
+    trace_updates: list[tuple[float, float]] = []
+    if stimulus is not None:
+        arrivals = _np.asarray(stimulus.arrivals, dtype=float)
+        horizon = float(stimulus.horizon)
+        update_stream = list(stimulus.updates)
+    else:
+        w = scenario.workload
+        if isinstance(w, TraceSpec):
+            trace = w.load()  # load once: arrivals, horizon and updates
+            arrivals = trace.arrivals
+            horizon = float(trace.horizon)
+            trace_updates = list(trace.updates)
+        else:
+            arrivals = generate_arrivals(scenario)
+            horizon = float(w.horizon)
+        # seed-drawn Zipf updates first, then trace-supplied ones: the
+        # action compiler's stable sort keeps this insertion order on
+        # same-index ties, and recordings replay the same concatenation,
+        # so record and replay see identical update ordering.
+        update_stream = list(_generate_updates(scenario, horizon)) + trace_updates
     sim = Simulation()
     event_rng = random.Random(scenario.seed + 31)
     notes: list[str] = []
@@ -345,7 +377,7 @@ def execute_scenario(
         while t <= horizon:
             add_entry(t, 2, "control", None)
             t += ctl.interval
-    for t_u, pos in _generate_updates(scenario, horizon):
+    for t_u, pos in update_stream:
         add_entry(t_u, -1, "update", (t_u, pos))
 
     updates_applied = 0
@@ -514,50 +546,83 @@ def execute_scenario(
             actions.append(make_action(t, kind, payload, index))
         k += 1
 
-    # drive it: one engine call, stimuli land at exact query indices
-    if engine == "batched":
-        from ..kernels import get_kernel
-        from ..kernels.registry import canonical_spec
-
-        # resolve once (the engine reuses the instance) and keep any
-        # parameter suffix in the reported name, so a stride=32 run is
-        # distinguishable from a stride=8 run in the matrix table
-        kernel_obj = get_kernel(kernel)
-        kernel_name = (
-            canonical_spec(kernel) if isinstance(kernel, str) else kernel_obj.name
-        )
-        batch_result = deployment.run_queries_fast(
-            arrivals,
-            pq_now(),
-            actions=actions,
-            kernel=kernel_obj,
-            record_assignments=record_assignments,
-        )
-    else:
-        batch_result = run_queries_reference(
-            deployment,
-            arrivals,
-            pq_now(),
-            actions=actions,
-            record_assignments=record_assignments,
-        )
-        kernel_name = "reference"
-    sim.run(until=horizon)  # drain sim work scheduled after the last action
-
+    # telemetry archive: streamed append-per-chunk during the run, so a
+    # day-scale trace replay never holds its columns in memory twice.
+    # Record/replay archives omit the wall-clock columns -- those measure
+    # this machine, not the simulated system, and would break the
+    # bit-identity diff between a recorded run and its replay.
+    archive_writer = None
     if archive_path is not None:
-        from ..telemetry.archive import write_archive
+        from ..telemetry.archive import ArchiveWriter
 
-        write_archive(
+        archive_writer = ArchiveWriter(
             archive_path,
-            deployment,
             meta={
                 "scenario": scenario.name,
                 "engine": engine,
-                "kernel": kernel_name,
                 "seed": scenario.seed,
                 "n_servers": scenario.n_servers,
                 "p": scenario.p,
             },
+            wall_columns=(record_path is None and stimulus is None),
+        )
+        deployment.chunk_listeners.append(archive_writer)
+
+    # drive it: one engine call, stimuli land at exact query indices
+    try:
+        if engine == "batched":
+            from ..kernels import get_kernel
+            from ..kernels.registry import canonical_spec
+
+            # resolve once (the engine reuses the instance) and keep any
+            # parameter suffix in the reported name, so a stride=32 run is
+            # distinguishable from a stride=8 run in the matrix table
+            kernel_obj = get_kernel(kernel)
+            kernel_name = (
+                canonical_spec(kernel) if isinstance(kernel, str) else kernel_obj.name
+            )
+            batch_result = deployment.run_queries_fast(
+                arrivals,
+                pq_now(),
+                actions=actions,
+                kernel=kernel_obj,
+                record_assignments=record_assignments,
+            )
+        else:
+            batch_result = run_queries_reference(
+                deployment,
+                arrivals,
+                pq_now(),
+                actions=actions,
+                record_assignments=record_assignments,
+            )
+            kernel_name = "reference"
+        sim.run(until=horizon)  # drain sim work scheduled after the last action
+    except BaseException:
+        if archive_writer is not None:
+            archive_writer.abort()
+        raise
+
+    if archive_writer is not None:
+        deployment.chunk_listeners.remove(archive_writer)
+        archive_writer.close(
+            dropped=deployment.log.dropped, meta={"kernel": kernel_name}
+        )
+
+    if record_path is not None:
+        from ..traces.record import Stimulus, write_recording
+
+        write_recording(
+            record_path,
+            scenario,
+            Stimulus(
+                arrivals=arrivals,
+                updates=tuple(update_stream),
+                horizon=horizon,
+            ),
+            deployment,
+            engine=engine,
+            kernel=kernel_name,
         )
 
     return ScenarioExecution(

@@ -12,7 +12,7 @@ outcome.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 __all__ = [
     "WorkloadSpec",
@@ -21,6 +21,8 @@ __all__ = [
     "EventSpec",
     "ControlSpec",
     "Scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
     "WORKLOAD_KINDS",
     "EVENT_ACTIONS",
     "FLEETS",
@@ -323,3 +325,60 @@ class Scenario:
     def with_(self, **overrides) -> "Scenario":
         """A copy with field overrides (grid-sweep convenience)."""
         return replace(self, **overrides)
+
+
+# -- serialisation ------------------------------------------------------------
+# Scenarios travel inside recordings (repro record / replay), so they need
+# a JSON-stable round trip.  The only polymorphic field is ``workload``
+# (WorkloadSpec or a repro.traces.TraceSpec); a ``__type__`` tag tells the
+# two apart on the way back in.
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """A JSON-serialisable dict that :func:`scenario_from_dict` inverts.
+
+    Example::
+
+        >>> s = Scenario(name="steady", n_servers=8, p=4,
+        ...              events=(EventSpec(at=5.0, action="rebalance"),))
+        >>> scenario_from_dict(scenario_to_dict(s)) == s
+        True
+    """
+    data = asdict(scenario)
+    data["workload"]["__type__"] = (
+        "workload" if isinstance(scenario.workload, WorkloadSpec) else "trace"
+    )
+    return data
+
+
+def scenario_from_dict(data: dict) -> Scenario:
+    """Rebuild a :class:`Scenario` from :func:`scenario_to_dict` output."""
+    d = dict(data)
+    wd = dict(d.pop("workload"))
+    wtype = wd.pop("__type__", "workload")
+    if wtype == "trace":
+        from ..traces.spec import TraceSpec
+
+        workload = TraceSpec(**wd)
+    elif wtype == "workload":
+        if wd.get("trace") is not None:
+            wd["trace"] = tuple(wd["trace"])
+        workload = WorkloadSpec(**wd)
+    else:
+        raise ValueError(f"unknown workload type tag {wtype!r}")
+    d["workload"] = workload
+    d["events"] = tuple(EventSpec(**e) for e in d.get("events") or ())
+    for key, cls in (
+        ("churn", ChurnSpec),
+        ("updates", UpdateSpec),
+        ("control", ControlSpec),
+    ):
+        raw = d.get(key)
+        if raw is not None:
+            raw = dict(raw)
+            if key == "control":
+                raw["policies"] = tuple(raw.get("policies") or ())
+            d[key] = cls(**raw)
+    if d.get("speeds") is not None:
+        d["speeds"] = tuple(d["speeds"])
+    return Scenario(**d)

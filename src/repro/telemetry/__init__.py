@@ -16,7 +16,8 @@ engine's flat chunk arrays the *primary* representation:
 * :mod:`~repro.telemetry.snapshot` -- capture/restore of full deployment
   state, byte-identical continuation;
 * :mod:`~repro.telemetry.archive` -- compressed columnar run archives
-  (npz) behind ``repro archive info/diff``.
+  (npz) behind ``repro archive info/diff``, written whole-run or
+  streamed append-per-chunk (:class:`ArchiveWriter`).
 
 See ``docs/telemetry.md`` for the contracts.
 """
@@ -60,8 +61,11 @@ __all__ = [
     "capture_deployment",
     "restore_deployment",
     "ARCHIVE_SCHEMA",
+    "ArchiveWriter",
     "RunArchive",
+    "collect_columns",
     "write_archive",
+    "write_archive_columns",
     "read_archive",
     "archive_info",
     "archive_diff",
@@ -81,8 +85,11 @@ def __getattr__(name):  # lazy: snapshot/archive pull in cluster/np.savez
         return getattr(snapshot, name)
     if name in (
         "ARCHIVE_SCHEMA",
+        "ArchiveWriter",
         "RunArchive",
+        "collect_columns",
         "write_archive",
+        "write_archive_columns",
         "read_archive",
         "archive_info",
         "archive_diff",

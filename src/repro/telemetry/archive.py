@@ -8,6 +8,9 @@ series run a few bytes per query -- so whole experiment matrices can be
 kept and diffed instead of re-run.
 
 * :func:`write_archive` / :func:`read_archive` -- writer and reader;
+* :class:`ArchiveWriter` -- a streaming chunk-listener writer: columns
+  spool to disk append-per-chunk during the run, so archiving a day-scale
+  trace replay never holds the telemetry in memory twice;
 * :func:`archive_info` -- summary (query counts, per-column stats,
   bytes/query) backing ``repro archive info``;
 * :func:`archive_diff` -- column-by-column comparison with first-divergence
@@ -34,6 +37,9 @@ from __future__ import annotations
 import json
 import math
 import os
+import shutil
+import tempfile
+import zipfile
 from dataclasses import dataclass
 
 try:
@@ -42,11 +48,15 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None  # type: ignore[assignment]
 
 from .columns import array_percentile
+from .listeners import ChunkListener
 
 __all__ = [
     "ARCHIVE_SCHEMA",
+    "ArchiveWriter",
     "RunArchive",
+    "collect_columns",
     "write_archive",
+    "write_archive_columns",
     "read_archive",
     "archive_info",
     "archive_diff",
@@ -75,6 +85,39 @@ _BD_COLUMNS = (
 #: same exclusion the batched/per-query differential tests apply).
 _WALL_COLUMNS = frozenset({"log_scheduling", "bd_scheduling"})
 
+#: storage dtype per archive column (little-endian, platform-independent).
+_COLUMN_DTYPES = {
+    "log_query_id": "<i8",
+    "log_pq": "<i8",
+    "log_subqueries": "<i8",
+}
+
+#: archive column -> :class:`~repro.telemetry.listeners.ChunkArrays` field.
+_CHUNK_FIELDS = {
+    "log_query_id": "query_ids",
+    "log_arrival": "arrivals",
+    "log_finish": "finishes",
+    "log_pq": "pqs",
+    "log_subqueries": "subqueries",
+    "log_scheduling": "scheduling",
+    "bd_scheduling": "scheduling",
+    "bd_network": "network",
+    "bd_queueing": "queueing",
+    "bd_service": "service",
+    "bd_total": "total",
+}
+
+
+def _column_dtype(name: str) -> "np.dtype":
+    return np.dtype(_COLUMN_DTYPES.get(name, "<f8"))
+
+
+def _archive_columns(wall_columns: bool = True) -> tuple[str, ...]:
+    names = _LOG_COLUMNS + _BD_COLUMNS
+    if wall_columns:
+        return names
+    return tuple(n for n in names if n not in _WALL_COLUMNS)
+
 
 @dataclass
 class RunArchive:
@@ -92,35 +135,164 @@ class RunArchive:
         return self.columns["log_finish"] - self.columns["log_arrival"]
 
 
-def write_archive(path, deployment, meta: dict | None = None) -> None:
+def collect_columns(deployment, wall_columns: bool = True) -> dict:
+    """*deployment*'s telemetry columns keyed by archive column name.
+
+    With ``wall_columns=False`` the wall-clock-derived columns
+    (``log_scheduling``/``bd_scheduling``) are left out -- the right shape
+    for archives that must be bit-identical across runs (record/replay).
+    """
+    log = deployment.log
+    bd = deployment.breakdowns
+    sources = {
+        "log_query_id": lambda: log.column("query_id"),
+        "log_arrival": lambda: log.column("arrival"),
+        "log_finish": lambda: log.column("finish"),
+        "log_pq": lambda: log.column("pq"),
+        "log_subqueries": lambda: log.column("subqueries"),
+        "log_scheduling": lambda: log.column("scheduling"),
+        "bd_scheduling": lambda: bd.column("scheduling"),
+        "bd_network": lambda: bd.column("network"),
+        "bd_queueing": lambda: bd.column("queueing"),
+        "bd_service": lambda: bd.column("service"),
+        "bd_total": lambda: bd.column("total"),
+    }
+    return {
+        name: sources[name]() for name in _archive_columns(wall_columns)
+    }
+
+
+def write_archive_columns(
+    path, columns: dict, meta: dict | None = None, dropped: int = 0
+) -> None:
+    """Write pre-collected *columns* as an archive at *path* (``.npz``)."""
+    full_meta = dict(meta or {})
+    full_meta["schema"] = ARCHIVE_SCHEMA
+    full_meta.setdefault("dropped", dropped)
+    payload = np.frombuffer(
+        json.dumps(full_meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, meta_json=payload, **columns)
+
+
+def write_archive(
+    path, deployment, meta: dict | None = None, wall_columns: bool = True
+) -> None:
     """Archive *deployment*'s telemetry columns at *path* (``.npz``).
 
     *meta* is caller context (scenario name, engine, kernel, parameters);
     it must be JSON-serialisable and is stored under the caller's keys
-    (reserved keys: ``schema``, ``dropped``).
+    (reserved keys: ``schema``, ``dropped``).  ``wall_columns=False``
+    omits the wall-clock-derived columns, making the archive comparable
+    bit-for-bit across runs of the same stimulus.
     """
-    log = deployment.log
-    bd = deployment.breakdowns
+    columns = collect_columns(deployment, wall_columns=wall_columns)
     full_meta = dict(meta or {})
-    full_meta["schema"] = ARCHIVE_SCHEMA
-    full_meta["dropped"] = log.dropped
-    payload = np.frombuffer(
-        json.dumps(full_meta).encode("utf-8"), dtype=np.uint8
+    if not wall_columns:
+        full_meta["wall_columns"] = False
+    write_archive_columns(
+        path, columns, meta=full_meta, dropped=deployment.log.dropped
     )
-    columns = {
-        "log_query_id": log.column("query_id"),
-        "log_arrival": log.column("arrival"),
-        "log_finish": log.column("finish"),
-        "log_pq": log.column("pq"),
-        "log_subqueries": log.column("subqueries"),
-        "log_scheduling": log.column("scheduling"),
-        "bd_scheduling": bd.column("scheduling"),
-        "bd_network": bd.column("network"),
-        "bd_queueing": bd.column("queueing"),
-        "bd_service": bd.column("service"),
-        "bd_total": bd.column("total"),
-    }
-    np.savez_compressed(path, meta_json=payload, **columns)
+
+
+class ArchiveWriter(ChunkListener):
+    """Streaming archive writer: append-per-chunk, finalise to ``.npz``.
+
+    Register on ``deployment.chunk_listeners`` before the run; every
+    flushed chunk's columns are appended to per-column raw spool files (a
+    few array-to-bytes copies, no per-query python, nothing retained in
+    memory), and :meth:`close` assembles the final archive --
+    byte-compatible with :func:`write_archive` -- from the spools.  Use as
+    a context manager to guarantee cleanup::
+
+        with ArchiveWriter(path, meta={...}) as writer:
+            deployment.chunk_listeners.append(writer)
+            ...  # run
+            writer.close(dropped=deployment.log.dropped)
+
+    Exiting the ``with`` block without :meth:`close` aborts (removes the
+    spools, writes nothing) -- a crashed run leaves no half-archive.
+    """
+
+    def __init__(
+        self, path, meta: dict | None = None, wall_columns: bool = True
+    ) -> None:
+        self.path = path
+        self.meta = dict(meta or {})
+        self.n_rows = 0
+        self._columns = _archive_columns(wall_columns)
+        if not wall_columns:
+            self.meta["wall_columns"] = False
+        self._spool_dir = tempfile.mkdtemp(prefix="repro-archive-")
+        self._spools = {
+            name: open(os.path.join(self._spool_dir, name), "wb")
+            for name in self._columns
+        }
+        self._closed = False
+
+    # -- listener interface ------------------------------------------------
+    def observe_chunk(self, arrays, start: int, nq: int) -> None:
+        if self._closed:
+            raise RuntimeError("ArchiveWriter is closed")
+        for name, fp in self._spools.items():
+            col = getattr(arrays, _CHUNK_FIELDS[name])
+            fp.write(
+                np.ascontiguousarray(col, dtype=_column_dtype(name)).tobytes()
+            )
+        self.n_rows += len(arrays)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self, dropped: int = 0, meta: dict | None = None) -> None:
+        """Finalise the archive (flush spools, write the ``.npz``)."""
+        if self._closed:
+            return
+        full_meta = dict(self.meta)
+        full_meta.update(meta or {})
+        full_meta["schema"] = ARCHIVE_SCHEMA
+        full_meta.setdefault("dropped", dropped)
+        for fp in self._spools.values():
+            fp.close()
+        try:
+            payload = np.frombuffer(
+                json.dumps(full_meta).encode("utf-8"), dtype=np.uint8
+            )
+            with zipfile.ZipFile(
+                self.path, "w", zipfile.ZIP_DEFLATED
+            ) as zf:
+                with zf.open("meta_json.npy", "w") as out:
+                    np.lib.format.write_array(out, payload, version=(1, 0))
+                for name in self._columns:
+                    dtype = _column_dtype(name)
+                    spool = os.path.join(self._spool_dir, name)
+                    if self.n_rows:
+                        arr = np.memmap(
+                            spool, dtype=dtype, mode="r", shape=(self.n_rows,)
+                        )
+                    else:
+                        arr = np.empty(0, dtype=dtype)
+                    with zf.open(f"{name}.npy", "w") as out:
+                        np.lib.format.write_array(out, arr, version=(1, 0))
+                    del arr  # release the memmap before the spool unlinks
+        finally:
+            self._cleanup()
+
+    def abort(self) -> None:
+        """Discard the spools without writing an archive."""
+        if self._closed:
+            return
+        for fp in self._spools.values():
+            fp.close()
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        self._closed = True
+        shutil.rmtree(self._spool_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ArchiveWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.abort()  # no-op when close() already ran
 
 
 def read_archive(path) -> RunArchive:

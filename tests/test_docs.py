@@ -50,7 +50,15 @@ def _md_files():
 
 def test_docs_pages_exist():
     names = {p.name for p in DOCS.glob("*.md")}
-    assert {"index.md", "architecture.md", "kernels.md", "benchmarks.md"} <= names
+    assert {
+        "index.md",
+        "architecture.md",
+        "kernels.md",
+        "scenarios.md",
+        "traces.md",
+        "telemetry.md",
+        "benchmarks.md",
+    } <= names
 
 
 def test_internal_links_resolve():
@@ -107,7 +115,7 @@ def test_doc_code_references_exist():
     from repro.cli import build_parser
 
     subcommands = {"compare", "deploy", "plan", "control", "matrix", "bench",
-                   "kernels", "pps-demo"}
+                   "kernels", "pps-demo", "traces", "record", "replay"}
     help_text = build_parser().format_help()
     for sub in subcommands:
         assert sub in help_text

@@ -9,6 +9,7 @@ executable.
 """
 
 import doctest
+from pathlib import Path
 
 import pytest
 
@@ -19,6 +20,8 @@ import repro.cluster.deployment
 import repro.core.ids
 import repro.scenarios.spec
 import repro.telemetry.archive
+import repro.traces.registry
+import repro.traces.spec
 
 #: every module whose docstring examples are part of the documented
 #: contract; add modules here when giving them doctest examples.
@@ -28,7 +31,13 @@ DOCTEST_MODULES = (
     repro.core.ids,
     repro.scenarios.spec,
     repro.telemetry.archive,
+    repro.traces.registry,
+    repro.traces.spec,
 )
+
+#: docs-site pages whose ``>>>`` examples are executable contracts too;
+#: the docs CI job and tier-1 both run them.
+DOCTEST_PAGES = ("scenarios.md", "traces.md")
 
 
 @pytest.mark.parametrize(
@@ -39,4 +48,15 @@ def test_module_doctests(module):
         module, optionflags=doctest.ELLIPSIS, verbose=False
     )
     assert result.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert result.failed == 0
+
+
+@pytest.mark.parametrize("page", DOCTEST_PAGES)
+def test_docs_page_doctests(page):
+    path = Path(__file__).resolve().parents[1] / "docs" / page
+    result = doctest.testfile(
+        str(path), module_relative=False,
+        optionflags=doctest.ELLIPSIS, verbose=False,
+    )
+    assert result.attempted > 0, f"docs/{page} lost its doctest examples"
     assert result.failed == 0
