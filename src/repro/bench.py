@@ -47,7 +47,6 @@ from __future__ import annotations
 
 import json
 import platform
-import subprocess
 import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -58,6 +57,7 @@ __all__ = [
     "run_sweep",
     "collect",
     "check_against_baseline",
+    "baseline_warnings",
     "render_report",
 ]
 
@@ -181,9 +181,23 @@ def run_sweep(
     exact_delays = fast.log.delays()
     exact_sweep_us = 1e6 * fast.scheduling_wallclock / n_queries
 
+    # phase attribution: a separate profiled run, so the headline us/query
+    # above is never perturbed.  Results are bit-identical by contract
+    # (checked cheaply here), and the per-phase us/query lands in the
+    # snapshot so --check can attribute speedup drift to a phase.
+    prof_dep = build()
+    prof_result = prof_dep.run_queries_fast(arrivals, spec.pq, profile=True)
+    if prof_dep.log.delays() != exact_delays:  # pragma: no cover
+        raise RuntimeError(
+            f"{spec.name}: profiled run diverged from the unprofiled run"
+        )
+    phases = prof_result.profile.phase_us_per_query(n_queries)
+    profile_coverage = round(prof_result.profile.coverage(), 4)
+
     if archive_dir is not None:
         import os
 
+        from .obs.manifest import build_manifest
         from .telemetry.archive import write_archive
 
         os.makedirs(archive_dir, exist_ok=True)
@@ -196,6 +210,17 @@ def run_sweep(
                 "queries": n_queries,
                 "pq": spec.pq,
                 "seed": spec.seed,
+                "manifest": build_manifest(
+                    kernel="exact_numpy",
+                    seeds={"deployment": spec.seed, "arrivals": 4},
+                    config={
+                        "sweep": spec.name,
+                        "servers": spec.servers,
+                        "queries": n_queries,
+                        "pq": spec.pq,
+                    },
+                    profile=prof_result.profile,
+                ),
             },
         )
 
@@ -277,24 +302,20 @@ def run_sweep(
         "delegated": result.delegated,
         "chunks": len(result.chunk_sizes),
         "chunk_size_histogram": _chunk_histogram(result.chunk_sizes),
+        #: per-phase us/query from the separate profiled run (the engine's
+        #: wall split by phase; see repro.obs.profiler) + how much of that
+        #: run's wall the phases explain.
+        "phases": phases,
+        "profile_coverage": profile_coverage,
         "kernels": kernel_rows,
     })
     return out
 
 
 def _revision() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-        if out.returncode == 0:
-            return out.stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        pass
-    return "unknown"
+    from .obs.manifest import git_revision
+
+    return git_revision()
 
 
 def collect(
@@ -327,14 +348,51 @@ def collect(
         sweeps[spec.name] = run_sweep(spec, kernels=kernels, archive_dir=archive_dir)
         if progress is not None:
             progress(spec.name, sweeps[spec.name])
+    from .obs.manifest import build_manifest
+
     return {
         "schema": 1,
         "revision": _revision(),
         "profile": profile,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "host": platform.node(),
+        #: full provenance (git rev, host, machine, python) -- makes
+        #: cross-machine BENCH trajectories unambiguous; baseline_warnings
+        #: reads it to flag host mismatches (warn, never gate).
+        "manifest": build_manifest(extra={"bench_profile": profile}),
         "sweeps": sweeps,
     }
+
+
+def _attribute_drift(cur: dict, base: dict) -> str:
+    """Name the phase whose share of the engine wall grew the most.
+
+    Both sweeps must carry the ``phases`` dict (per-phase us/query from
+    the profiled run); phase shares are machine-independent in the same
+    way speedup ratios are -- every phase ran on the same host in the
+    same process -- so comparing them across snapshots is meaningful
+    where absolute us/query is not.
+    """
+    cur_ph, base_ph = cur.get("phases"), base.get("phases")
+    if not cur_ph or not base_ph:
+        return ""
+    cur_total = sum(cur_ph.values())
+    base_total = sum(base_ph.values())
+    if cur_total <= 0 or base_total <= 0:
+        return ""
+    deltas = {
+        name: cur_ph.get(name, 0.0) / cur_total - base_ph.get(name, 0.0) / base_total
+        for name in set(cur_ph) | set(base_ph)
+    }
+    worst = max(deltas, key=deltas.get)
+    if deltas[worst] <= 0:
+        return ""
+    return (
+        f" [phase attribution: {worst} grew from "
+        f"{100 * base_ph.get(worst, 0.0) / base_total:.0f}% to "
+        f"{100 * cur_ph.get(worst, 0.0) / cur_total:.0f}% of engine wall]"
+    )
 
 
 def check_against_baseline(
@@ -346,7 +404,9 @@ def check_against_baseline(
     """Gate *current* against *baseline*; returns the list of violations.
 
     Only machine-independent ratios gate: us/query numbers are recorded
-    for the trajectory but never compared across runs.
+    for the trajectory but never compared across runs.  Speedup
+    violations carry a phase attribution when both snapshots have the
+    per-phase profile columns, so a regression names its suspect phase.
     """
     problems = []
     for name, base in baseline.get("sweeps", {}).items():
@@ -359,9 +419,11 @@ def check_against_baseline(
                 f"{name}: batched results diverged from the reference sample"
             )
         speedup = cur.get("speedup_vs_reference", 0.0)
+        drift = _attribute_drift(cur, base)
         if speedup < min_speedup:
             problems.append(
-                f"{name}: speedup {speedup:.2f}x below the {min_speedup:g}x floor"
+                f"{name}: speedup {speedup:.2f}x below the "
+                f"{min_speedup:g}x floor{drift}"
             )
         # a "30% regression" means losing 30% of the baseline's speedup
         floor = base.get("speedup_vs_reference", 0.0) * (1.0 - max_regression)
@@ -369,9 +431,36 @@ def check_against_baseline(
             problems.append(
                 f"{name}: speedup {speedup:.2f}x regressed more than "
                 f"{100 * max_regression:.0f}% vs baseline "
-                f"{base['speedup_vs_reference']:.2f}x (floor {floor:.2f}x)"
+                f"{base['speedup_vs_reference']:.2f}x (floor {floor:.2f}x){drift}"
             )
     return problems
+
+
+def baseline_warnings(current: dict, baseline: dict) -> list[str]:
+    """Non-gating advisories when comparing *current* against *baseline*.
+
+    A host/machine mismatch does not fail the gate (only ratios gate, and
+    ratios divide the machine out) but it *does* make the absolute
+    trajectory ambiguous -- so say so.
+    """
+    warnings = []
+    cur_m = current.get("manifest", {})
+    base_m = baseline.get("manifest", {})
+    cur_host = cur_m.get("host", current.get("host"))
+    base_host = base_m.get("host", baseline.get("host"))
+    if cur_host and base_host and cur_host != base_host:
+        warnings.append(
+            f"host mismatch: current ran on {cur_host!r}, baseline on "
+            f"{base_host!r} -- absolute us/query is not comparable "
+            "(ratios still gate)"
+        )
+    cur_mach = cur_m.get("machine", current.get("machine"))
+    base_mach = base_m.get("machine", baseline.get("machine"))
+    if cur_mach and base_mach and cur_mach != base_mach:
+        warnings.append(
+            f"machine mismatch: {cur_mach!r} vs baseline {base_mach!r}"
+        )
+    return warnings
 
 
 def render_report(snapshot: dict, baseline: Optional[dict] = None) -> str:
@@ -393,6 +482,14 @@ def render_report(snapshot: dict, baseline: Optional[dict] = None) -> str:
             f"{s['speedup_vs_reference']:>7.1f}x {s['chunks']:>7d} "
             f"{'yes' if s['identical_sample'] else 'NO':>3s}{base}"
         )
+        phases = s.get("phases")
+        if phases:
+            top = sorted(phases.items(), key=lambda kv: -kv[1])[:4]
+            lines.append(
+                "  phases "
+                + "  ".join(f"{k} {v:.2f}" for k, v in top)
+                + f" us/q (coverage {s.get('profile_coverage', 0.0):.0%})"
+            )
         for kname, k in s.get("kernels", {}).items():
             if not k.get("available", False):
                 lines.append(
@@ -464,6 +561,8 @@ def main_bench(args) -> int:
     print(f"\nsnapshot written to {out}")
 
     if baseline is not None:
+        for warning in baseline_warnings(snapshot, baseline):
+            print(f"warning: {warning}", file=sys.stderr)
         problems = check_against_baseline(
             snapshot, baseline, max_regression=args.max_regression
         )

@@ -10,6 +10,10 @@ notebooks should import :mod:`repro` directly):
 * ``matrix``   -- sweep the builtin scenario battery, print one table;
 * ``bench``    -- the standard performance sweeps + ``BENCH_<rev>.json``
   snapshot, optionally gated against a baseline (``docs/benchmarks.md``);
+* ``profile``  -- run one profiled sweep, print the engine-phase table,
+  optionally export a chrome://tracing JSON (``docs/observability.md``);
+* ``explain``  -- reconstruct the control-decision timeline of an
+  archived run, cross-checked against its delay columns;
 * ``kernels``  -- list scheduling kernels, optionally measure divergence
   against the exact oracle (``docs/kernels.md``);
 * ``archive``  -- inspect/diff compressed telemetry archives written by
@@ -43,6 +47,15 @@ The parser is plain argparse and safe to drive programmatically::
     False
     >>> parser.parse_args(["archive", "info", "run.npz"]).archive_command
     'info'
+    >>> parser.parse_args(["archive", "info", "run.npz",
+    ...                    "--require-manifest"]).require_manifest
+    True
+    >>> parser.parse_args(["profile", "--servers", "64"]).servers
+    64
+    >>> parser.parse_args(["profile", "--chrome-trace", "t.json"]).chrome_trace
+    't.json'
+    >>> parser.parse_args(["explain", "run.npz"]).path
+    'run.npz'
     >>> parser.parse_args(["archive", "diff", "a.npz", "b.npz"]).path_b
     'b.npz'
     >>> parser.parse_args(["record", "--scenario", "steady",
@@ -201,6 +214,38 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trace-loader", default=None, metavar="NAME",
                        help="dataloader for --trace (default: inferred)")
 
+    prof = sub.add_parser(
+        "profile",
+        help="run one profiled sweep and print the engine-phase breakdown "
+             "(optionally export a chrome://tracing JSON)",
+    )
+    prof.add_argument("--servers", type=int, default=1000,
+                      help="fleet size (default: the 1k-server bench sweep)")
+    prof.add_argument("--queries", type=int, default=50_000)
+    prof.add_argument("--rate", type=float, default=1500.0, help="queries/s")
+    prof.add_argument("--pq", type=int, default=5,
+                      help="query partitioning level")
+    prof.add_argument("--dataset", type=float, default=5e6)
+    prof.add_argument("--seed", type=int, default=2)
+    prof.add_argument("--engine", default="batched",
+                      choices=["batched", "reference"])
+    prof.add_argument("--kernel", default=None, metavar="NAME",
+                      help="scheduling kernel (batched engine)")
+    prof.add_argument("--chrome-trace", default=None, metavar="PATH",
+                      help="write per-chunk spans as chrome://tracing JSON "
+                           "(load via chrome://tracing or ui.perfetto.dev)")
+    prof.add_argument("--json", default=None, metavar="PATH",
+                      help="write the phase summary + manifest as JSON")
+
+    expl = sub.add_parser(
+        "explain",
+        help="reconstruct the control-decision timeline of an archived run, "
+             "cross-checked against its delay columns",
+    )
+    expl.add_argument("path", help="run archive (.npz) with dec_* columns")
+    expl.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the decision records as JSON")
+
     kern = sub.add_parser(
         "kernels",
         help="list scheduling kernels (availability, exactness, "
@@ -227,6 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="N",
                            help="exit 1 if the archive costs more than N "
                                 "bytes per query")
+    arch_info.add_argument("--require-manifest", action="store_true",
+                           help="exit 1 unless the archive carries a "
+                                "provenance manifest (docs/observability.md)")
     arch_diff = arch_sub.add_parser(
         "diff", help="column-by-column comparison of two archives"
     )
@@ -480,6 +528,110 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return main_bench(args)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .cluster import Deployment, DeploymentConfig, hen_testbed
+    from .obs.manifest import build_manifest
+    from .sim import batched_poisson_times
+
+    dep = Deployment(
+        DeploymentConfig(
+            models=hen_testbed(args.servers),
+            p=args.pq,
+            dataset_size=args.dataset,
+            seed=args.seed,
+            charge_scheduling=False,
+        )
+    )
+    arrivals = batched_poisson_times(args.rate, args.queries, seed=4).tolist()
+    if args.engine == "reference":
+        from .sim.fastpath import run_queries_reference
+
+        result = run_queries_reference(dep, arrivals, args.pq, profile=True)
+    else:
+        result = dep.run_queries_fast(
+            arrivals, args.pq, kernel=args.kernel, profile=True
+        )
+    prof = result.profile
+    n_queries = len(arrivals)
+    print(f"engine         : {args.engine}"
+          + (f" / {args.kernel}" if args.kernel else ""))
+    print(f"fleet          : {args.servers} servers, pq={args.pq}, "
+          f"{n_queries} queries @ {args.rate:g}/s")
+    print(prof.render_table(n_queries))
+    if args.chrome_trace:
+        prof.write_chrome_trace(args.chrome_trace)
+        print(f"chrome trace   : {args.chrome_trace} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    if args.json:
+        import json
+
+        payload = {
+            "summary": prof.summary(),
+            "phases_us_per_query": prof.phase_us_per_query(n_queries),
+            "manifest": build_manifest(
+                kernel=args.kernel,
+                seeds={"deployment": args.seed, "arrivals": 4},
+                config={
+                    "servers": args.servers,
+                    "queries": n_queries,
+                    "rate": args.rate,
+                    "pq": args.pq,
+                    "engine": args.engine,
+                },
+                profile=prof,
+            ),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"json summary   : {args.json}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .obs.audit import decisions_from_archive, explain_archive, render_decisions
+    from .telemetry.archive import read_archive
+
+    try:
+        archive = read_archive(args.path)
+        records = decisions_from_archive(archive)
+    except (OSError, ValueError) as exc:
+        print(f"cannot explain {args.path}: {exc}", file=sys.stderr)
+        return 2
+    checks = explain_archive(archive)
+    print(f"archive        : {args.path}")
+    meta = archive.meta
+    manifest = meta.get("manifest")
+    if isinstance(manifest, dict):
+        print(f"provenance     : rev {manifest.get('git_revision', '?')}, "
+              f"host {manifest.get('host', '?')}, "
+              f"kernel {manifest.get('kernel', '?')}")
+    window = meta.get("decisions", {}).get("window")
+    if window is not None:
+        print(f"metrics window : {window:g} s (sampled by arrival time)")
+    print(f"decisions      : {len(records)} "
+          f"({sum(1 for r in records if not r.is_hold)} actions, "
+          f"{sum(1 for r in records if r.is_hold)} holds)")
+    print(render_decisions(records, checks))
+    bad = [rec for rec, ok, _, _ in checks if not ok]
+    if args.json:
+        import dataclasses
+        import json
+
+        payload = [
+            {**dataclasses.asdict(rec), "check": bool(ok)}
+            for rec, ok, _, _ in checks
+        ]
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"json timeline  : {args.json}")
+    if bad:
+        print(f"cross-check    : {len(bad)} record(s) FAILED against the "
+              "archived delay columns", file=sys.stderr)
+        return 1
+    print("cross-check    : every record matches the archived delay columns")
+    return 0
+
+
 def _cmd_archive(args: argparse.Namespace) -> int:
     from .telemetry.archive import archive_diff, archive_info, read_archive
 
@@ -508,6 +660,14 @@ def _cmd_archive(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return 1
             print(f"gate           : OK ({bpq:.1f} <= {gate:g} B/query)")
+        if args.require_manifest:
+            manifest = info["meta"].get("manifest")
+            if not isinstance(manifest, dict) or "git_revision" not in manifest:
+                print("GATE FAIL: archive carries no provenance manifest",
+                      file=sys.stderr)
+                return 1
+            print(f"manifest       : OK (rev {manifest['git_revision']}, "
+                  f"host {manifest.get('host', '?')})")
         return 0
 
     diff = archive_diff(read_archive(args.path_a), read_archive(args.path_b))
@@ -695,6 +855,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "control": _cmd_control,
         "matrix": _cmd_matrix,
         "bench": _cmd_bench,
+        "profile": _cmd_profile,
+        "explain": _cmd_explain,
         "kernels": _cmd_kernels,
         "archive": _cmd_archive,
         "traces": _cmd_traces,

@@ -391,6 +391,7 @@ class Deployment:
         record_assignments: bool = False,
         actions: Sequence | None = None,
         kernel=None,
+        profile=None,
     ):
         """Run an arrival trace through the batched query path.
 
@@ -403,7 +404,9 @@ class Deployment:
         event-time semantics.  *kernel* selects the scheduling kernel by
         registry name (default ``exact_numpy``, the bit-exact oracle;
         ``compiled`` fuses sweep and commit into one C call per chunk --
-        see :mod:`repro.kernels` and ``docs/kernels.md``).
+        see :mod:`repro.kernels` and ``docs/kernels.md``).  *profile*
+        enables the engine-phase profiler (results stay bit-identical;
+        see :mod:`repro.obs.profiler` and ``docs/observability.md``).
 
         Example -- three queries, then one scheduled through an explicit
         kernel, against an 8-server testbed::
@@ -429,6 +432,7 @@ class Deployment:
             record_assignments=record_assignments,
             actions=actions,
             kernel=kernel,
+            profile=profile,
         )
 
     # -- updates (Fig 7.4) ------------------------------------------------------------

@@ -104,17 +104,42 @@ class Controller(ABC):
         self.cooldown = cooldown
         self.actions: list[ControlAction] = []
         self._last_action = -math.inf
+        #: optional :class:`~repro.obs.audit.DecisionLog`; when attached,
+        #: every tick leaves a structured record -- actions with their
+        #: inputs, and explicit holds with the reason (no-signal /
+        #: cooldown / steady).
+        self.decision_log = None
 
-    def step(self, now: float, snapshot: MetricsSnapshot) -> list[ControlAction]:
-        """Evaluate the policy once; returns the actions it took."""
+    def step(
+        self,
+        now: float,
+        snapshot: MetricsSnapshot,
+        query_index: int = -1,
+    ) -> list[ControlAction]:
+        """Evaluate the policy once; returns the actions it took.
+
+        *query_index* is the exact arrival-stream index the tick landed
+        at (from the engine's action queue); it only feeds the attached
+        decision log and never influences the policy.
+        """
+        log = self.decision_log
         if snapshot.n_queries == 0:
+            if log is not None:
+                log.record_hold(now, query_index, self.name, "no-signal", snapshot)
             return []  # no signal yet; don't steer blind
         if now - self._last_action < self.cooldown:
+            if log is not None:
+                log.record_hold(now, query_index, self.name, "cooldown", snapshot)
             return []
         actions = self.decide(now, snapshot)
         if actions:
             self._last_action = now
             self.actions.extend(actions)
+            if log is not None:
+                for action in actions:
+                    log.record_action(action, query_index, snapshot)
+        elif log is not None:
+            log.record_hold(now, query_index, self.name, "steady", snapshot)
         return actions
 
     @abstractmethod

@@ -222,7 +222,16 @@ class LatencyHistogram:
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
-    """Frozen view of the system handed to controllers each tick."""
+    """Frozen view of the system handed to controllers each tick.
+
+    These fields are the controller's *only* inputs, which is what makes
+    the decision audit trail complete: :class:`~repro.obs.audit.DecisionLog`
+    copies ``p50``/``p95``/``p99``, ``max_queue_depth``,
+    ``mean_utilisation``, ``qps``, ``n_queries`` and ``n_servers`` into
+    every decision record, so ``repro explain`` can reconstruct exactly
+    what a policy saw (and re-derive the p99 from archived delay columns
+    -- the window samples by arrival time, see ``docs/observability.md``).
+    """
 
     time: float
     window: float  # trailing seconds the query stats cover

@@ -43,6 +43,7 @@ from ..core.reconfig import ReconfigPhase
 from ..sim.engine import Simulation
 from ..sim.fastpath import Action
 from ..sim.tracing import DelayLog, percentile
+from ..obs.audit import DecisionLog
 from ..sim.workload import DiurnalTrace, FlashCrowdTrace, arrivals_from_rate_fn
 from .controllers import (
     ControlAction,
@@ -141,6 +142,10 @@ class ScenarioReport:
     p99_crisis: float
     p99_after: float
     log: DelayLog
+    #: the run's :class:`~repro.obs.audit.DecisionLog` -- one structured
+    #: record per controller tick (actions and holds) with the window
+    #: inputs and the exact query index each tick landed at.
+    decisions: DecisionLog | None = None
 
     @property
     def adapted(self) -> bool:
@@ -306,7 +311,10 @@ class ScenarioRunner:
             self.deployment
         )
         self.actuator = DeploymentActuator(self.deployment, self.sim, config)
+        self.decision_log = DecisionLog()
         self.controllers: list[Controller] = self._build_controllers(models)
+        for controller in self.controllers:
+            controller.decision_log = self.decision_log
         self.base_rate = (
             config.base_rate
             if config.base_rate is not None
@@ -416,11 +424,11 @@ class ScenarioRunner:
             if name in self.deployment.servers and self.deployment.servers[name].failed:
                 self.deployment.handle_long_term_failure(name, now=now)
 
-    def _tick(self, now: float) -> None:
+    def _tick(self, now: float, query_index: int = -1) -> None:
         self.collector.sample_servers(now, self.deployment.servers)
         snapshot = self.collector.snapshot(now)
         for controller in self.controllers:
-            controller.step(now, snapshot)
+            controller.step(now, snapshot, query_index=query_index)
         self.timeline.append(
             (
                 now,
@@ -450,21 +458,24 @@ class ScenarioRunner:
         )
         actions: list[Action] = []
 
-        def at(t: float, fn, scope: str) -> None:
+        def at(t: float, fn, scope: str, pass_index: bool = False) -> None:
             if t > cfg.duration:
                 # beyond the horizon: the old Simulation loop never ran
                 # events past `until=duration` (e.g. a rebuild_delay that
                 # outlives the run) -- keep that semantics exactly
                 return
 
+            index = bisect_right(arrivals, t)
+
             def fire(now: float) -> int:
                 self.sim.run(until=now)
-                fn(now)
+                if pass_index:
+                    fn(now, query_index=index)
+                else:
+                    fn(now)
                 return self.actuator.pq
 
-            actions.append(
-                Action(index=bisect_right(arrivals, t), time=t, fn=fire, scope=scope)
-            )
+            actions.append(Action(index=index, time=t, fn=fire, scope=scope))
 
         if cfg.scenario == "rack-failure":
             victims: list[str] = []
@@ -483,7 +494,7 @@ class ScenarioRunner:
         # conservatively membership-scoped, exactly like the matrix runner
         t = cfg.control_interval
         while t <= cfg.duration:
-            at(t, self._tick, "membership")
+            at(t, self._tick, "membership", pass_index=True)
             t += cfg.control_interval
 
         actions.sort(key=lambda a: a.index)
@@ -520,6 +531,7 @@ class ScenarioRunner:
                 cfg.duration - 0.20 * cfg.duration, cfg.duration + math.inf
             ),
             log=self.deployment.log,
+            decisions=self.decision_log,
         )
 
 

@@ -412,6 +412,12 @@ class SweepKernel:
         inside a failure window), a span-constant ``pq`` matching *entry*,
         and ``bufs.rtts[:nq]`` pre-drawn in arrival order.
 
+        The engine times this call as one opaque span: its wall is what
+        the chunk accounting charges to scheduling and what the phase
+        profiler (:mod:`repro.obs.profiler`) reports as ``sweep_commit``
+        -- kernels must not do unrelated work here or the per-phase
+        attribution in ``repro profile`` / ``BENCH_<rev>.json`` lies.
+
         This default implementation is the reference python commit loop --
         the same scalar float operations in the same order as the engine's
         inline per-query path (and as ``roar_commit_batch`` in

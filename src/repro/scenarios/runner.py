@@ -222,6 +222,9 @@ class ScenarioExecution:
     pq_end: int
     notes: list[str]
     wall_seconds: float
+    #: the control plane's :class:`~repro.obs.audit.DecisionLog` (None
+    #: when the scenario has no control spec).
+    decisions: object = None
 
 
 @dataclass
@@ -316,7 +319,11 @@ def execute_scenario(
     controllers: list[Controller] = []
     actuator: Optional[DeploymentActuator] = None
     ctl = scenario.control
+    decision_log = None
     if ctl is not None:
+        from ..obs.audit import DecisionLog
+
+        decision_log = DecisionLog()
         collector = MetricsCollector(window=ctl.metrics_window).attach(deployment)
         shim = SimpleNamespace(
             p0=scenario.p,
@@ -348,6 +355,8 @@ def execute_scenario(
                     cooldown=3 * ctl.interval,
                 )
             )
+        for controller in controllers:
+            controller.decision_log = decision_log
 
     # -- compile the stimulus timeline to exact query indices --------------
     # Each entry becomes an Action at the index of the first query arriving
@@ -474,12 +483,12 @@ def execute_scenario(
             deployment.apply_update(t_u, at=pos)
             updates_applied += 1
 
-    def apply_control(t: float) -> None:
+    def apply_control(t: float, query_index: int = -1) -> None:
         assert collector is not None
         collector.sample_servers(t, deployment.servers)
         snapshot = collector.snapshot(t)
         for controller in controllers:
-            controller.step(t, snapshot)
+            controller.step(t, snapshot, query_index=query_index)
 
     # Scope tells the batched engine how much mirror state an action may
     # have invalidated.  The simulation pump can fire delayed elastic
@@ -505,7 +514,9 @@ def execute_scenario(
             elif kind == "updates":
                 apply_updates(payload)
             elif kind == "control":
-                apply_control(now)
+                # the action's own index IS the tick's exact position in
+                # the arrival stream -- it lands in the decision log
+                apply_control(now, query_index=index)
             return pq_now()
 
         if ctl is not None:
@@ -603,10 +614,29 @@ def execute_scenario(
             archive_writer.abort()
         raise
 
+    from ..obs.manifest import build_manifest
+    from .spec import scenario_to_dict
+
+    manifest = build_manifest(
+        kernel=kernel_name,
+        seeds={"scenario": scenario.seed},
+        config=scenario_to_dict(scenario),
+        extra={"engine": engine},
+    )
+
     if archive_writer is not None:
         deployment.chunk_listeners.remove(archive_writer)
+        close_meta = {"kernel": kernel_name, "manifest": manifest}
+        extra_columns = None
+        if decision_log is not None:
+            # decision records are simulated-time quantities: they diff
+            # bit-identically across engines, unlike wall-clock columns
+            extra_columns = decision_log.columns()
+            close_meta["decisions"] = decision_log.meta(window=ctl.metrics_window)
         archive_writer.close(
-            dropped=deployment.log.dropped, meta={"kernel": kernel_name}
+            dropped=deployment.log.dropped,
+            meta=close_meta,
+            extra_columns=extra_columns,
         )
 
     if record_path is not None:
@@ -623,6 +653,7 @@ def execute_scenario(
             deployment,
             engine=engine,
             kernel=kernel_name,
+            manifest=manifest,
         )
 
     return ScenarioExecution(
@@ -639,6 +670,7 @@ def execute_scenario(
         pq_end=pq_now(),
         notes=notes,
         wall_seconds=time.perf_counter() - wall_start,
+        decisions=decision_log,
     )
 
 

@@ -91,6 +91,7 @@ from ..kernels.base import (
     SweepState,
 )
 from ..kernels.registry import get_kernel
+from ..obs.profiler import resolve_profile
 from ..telemetry.listeners import ChunkArrays, drive_legacy_listeners
 from .server import TaskRecord
 
@@ -192,6 +193,9 @@ class BatchResult:
     chunk_sizes: list[int] = field(default_factory=list)
     #: actions fired from the exact-time queue during this run.
     actions_applied: int = 0
+    #: the run's :class:`~repro.obs.profiler.PhaseProfiler` when profiling
+    #: was enabled (``profile=`` / ``REPRO_PROFILE``); None otherwise.
+    profile: Optional[object] = None
 
     def completed_latencies(self) -> "np.ndarray":
         return self.latencies[~np.isnan(self.latencies)]
@@ -228,8 +232,14 @@ class _Engine:
         record_assignments: bool,
         actions: Sequence[Action],
         kernel: SweepKernel,
+        profiler=None,
     ) -> None:
         self.dep = deployment
+        #: phase profiler, or None (the default).  Every instrumentation
+        #: site below guards on ``is not None`` so an unprofiled run makes
+        #: no profiler calls at all, and profiling only ever reads the
+        #: monotonic clock -- results stay bit-identical either way.
+        self.prof = profiler
         self.fe = deployment.frontend
         self.cfg = deployment.config
         self.network = deployment.network
@@ -401,6 +411,9 @@ class _Engine:
         nq = len(self.qrows)
         if nq == 0:
             return
+        prof = self.prof
+        if prof is not None:
+            prof.begin("flush")
         sg_t, ssv_t, swk_t, sf_t, sst_t = zip(*self.subs)
         sg = np.array(sg_t, dtype=np.intp)
         ssv = np.array(ssv_t)
@@ -465,6 +478,8 @@ class _Engine:
 
         self.chunk_sizes.append(nq)
         self._reset_buffers()
+        if prof is not None:
+            prof.end()
 
     def _emit_records(
         self,
@@ -503,6 +518,11 @@ class _Engine:
         self.log.append_columns(qqid, qnow, fr, qpq, qpq, qsched)
         dep.breakdowns.append_columns(qsched, qrtt, qmw, qms, qtotal)
 
+        prof = self.prof
+        has_listeners = bool(dep.chunk_listeners or dep.query_listeners)
+        if prof is not None and has_listeners:
+            prof.begin("listeners")
+
         if dep.chunk_listeners:
             chunk = ChunkArrays(
                 query_ids=qqid,
@@ -532,6 +552,9 @@ class _Engine:
                 qsched.tolist(),
             )
 
+        if prof is not None and has_listeners:
+            prof.end()
+
         if self.trace_any:
             servers_flat = self.servers_flat
             qpq_l = qpq.tolist()
@@ -553,6 +576,9 @@ class _Engine:
 
     def _materialise(self) -> None:
         """Flush, then write exact object state (servers + node stats)."""
+        prof = self.prof
+        if prof is not None:
+            prof.begin("materialise")
         self._flush()
         self.fe._query_counter = self.qid_last
         idx = np.nonzero(self.touched)[0]
@@ -577,9 +603,14 @@ class _Engine:
             for g, val in self.last_res:
                 self.stats_flat[g].busy_until = val
             self.st_sync_pending = False
+        if prof is not None:
+            prof.end()
 
     # -- actions -----------------------------------------------------------
     def _fire(self, action: Action) -> None:
+        prof = self.prof
+        if prof is not None:
+            prof.begin("actions")
         self._materialise()
         new_pq = action.fn(action.time)
         if new_pq is not None:
@@ -591,6 +622,8 @@ class _Engine:
         elif action.scope == "busy":
             self._refresh_busy()
         self.actions_applied += 1
+        if prof is not None:
+            prof.end()
 
     # -- tables ------------------------------------------------------------
     def _table_for(self, pq: int) -> PqEntry:
@@ -645,6 +678,9 @@ class _Engine:
             ai += 1
         self._materialise()
 
+        wall = time.perf_counter() - wall_start
+        if self.prof is not None:
+            self.prof.add_wall(wall)
         return BatchResult(
             arrivals=self.arrivals,
             latencies=self.latencies,
@@ -656,9 +692,10 @@ class _Engine:
             assignments=self.assignments,
             fast_scheduled=self.fast_scheduled,
             delegated=self.delegated,
-            wall_seconds=time.perf_counter() - wall_start,
+            wall_seconds=wall,
             chunk_sizes=self.chunk_sizes,
             actions_applied=self.actions_applied,
+            profile=self.prof,
         )
 
     # -- the bulk seam -----------------------------------------------------
@@ -693,18 +730,39 @@ class _Engine:
         commit = self.kernel.commit_batch
         sample_rtt = self.network.sample_rtt
         perf = time.perf_counter
+        perf_ns = time.perf_counter_ns
+        prof = self.prof
         cap = bufs.cap
         pos = span_start
         while pos < span_end:
             nq = min(span_end - pos, cap)
-            # pre-draw the span's RTTs in arrival order: the rng stream
-            # must advance exactly as the per-query path would
-            rtt_l = [sample_rtt() for _ in range(nq)]
-            bufs.rtts[:nq] = rtt_l
-            t0 = perf()
-            commit(self.state, entry, plan, bufs, pos, nq)
-            chunk_wall = perf() - t0
-            self._flush_bulk(pos, nq, pq, rtt_l, chunk_wall, entry, bufs)
+            if prof is None:
+                # pre-draw the span's RTTs in arrival order: the rng stream
+                # must advance exactly as the per-query path would
+                rtt_l = [sample_rtt() for _ in range(nq)]
+                bufs.rtts[:nq] = rtt_l
+                t0 = perf()
+                commit(self.state, entry, plan, bufs, pos, nq)
+                chunk_wall = perf() - t0
+                self._flush_bulk(pos, nq, pq, rtt_l, chunk_wall, entry, bufs)
+            else:
+                # same statements bracketed by clock reads only -- the rng
+                # stream and the float sequence are untouched
+                c0 = perf_ns()
+                rtt_l = [sample_rtt() for _ in range(nq)]
+                draw_ns = perf_ns() - c0
+                prof.add_ns("arrival_draw", draw_ns)
+                bufs.rtts[:nq] = rtt_l
+                t0 = perf()
+                commit(self.state, entry, plan, bufs, pos, nq)
+                chunk_wall = perf() - t0
+                prof.add_s("sweep_commit", chunk_wall)
+                prof.begin("flush")
+                self._flush_bulk(pos, nq, pq, rtt_l, chunk_wall, entry, bufs)
+                flush_ns = prof.end()
+                prof.record_chunk(
+                    pos, nq, c0, draw_ns, int(chunk_wall * 1e9), flush_ns
+                )
             pos += nq
         # re-derive the scalar shadows and sibling pq tables from the
         # arrays the kernel advanced in place (elementwise division is
@@ -863,6 +921,10 @@ class _Engine:
         ) = local_state()
         last_pq = -1
         entry = None
+        prof = self.prof
+        span_sched = 0.0
+        if prof is not None:
+            prof.begin("commit")
 
         for q_i in range(span_start, span_end):
             now = arr[q_i]
@@ -908,6 +970,8 @@ class _Engine:
             self.qid_last += 1
             qid = self.qid_last
             self.wall_acc += sched_wall
+            if prof is not None:
+                span_sched += sched_wall
             rtt = sample_rtt()
 
             # widths + reserve (FIFO over sub-queries, first occurrence
@@ -1005,10 +1069,18 @@ class _Engine:
             if len(self.qrows) >= CHUNK_CAP:
                 self._flush()
 
+        if prof is not None:
+            # the kernel's select time goes to sweep_commit; the rest of
+            # the inline loop (reserve/submit/EWMA python) is "commit"
+            prof.add_s("sweep_commit", span_sched)
+            prof.end()
         return span_end
 
     def _delegate(self, q_i: int, now: float, pq: int) -> None:
         """Route one failure-window query through the reference path."""
+        prof = self.prof
+        if prof is not None:
+            prof.begin("delegate")
         self._materialise()
         pre_lens = None
         if self.assignments is not None:
@@ -1044,6 +1116,8 @@ class _Engine:
             else:
                 executed = ()
             self.assignments.append(executed)
+        if prof is not None:
+            prof.end()
 
 
 def _check_frontend(deployment: "Deployment") -> None:
@@ -1063,6 +1137,7 @@ def run_queries_fast(
     record_assignments: bool = False,
     actions: Sequence[Action] | None = None,
     kernel: SweepKernel | str | None = None,
+    profile=None,
 ) -> BatchResult:
     """Run a whole arrival trace through the batched path.
 
@@ -1075,13 +1150,27 @@ def run_queries_fast(
     :mod:`repro.kernels`).  Failure-window queries always delegate to the
     per-query reference path regardless of kernel, so fall-back semantics
     stay exact everywhere.
+
+    *profile* enables the engine-phase profiler: pass ``True`` (or a
+    :class:`~repro.obs.profiler.PhaseProfiler` to accumulate across runs);
+    the default ``None`` defers to the ``REPRO_PROFILE`` environment
+    variable.  When on, the result's ``profile`` attribute carries
+    per-phase totals and per-chunk samples; results are bit-identical to
+    an unprofiled run either way (see :mod:`repro.obs.profiler`).
     """
     require_numpy()
     _check_frontend(deployment)
     arrivals = np.asarray(arrival_times, dtype=np.float64)
     acts = _sorted_actions(actions)
+    prof = resolve_profile(profile)
     engine = _Engine(
-        deployment, arrivals, pq_fn, record_assignments, acts, get_kernel(kernel)
+        deployment,
+        arrivals,
+        pq_fn,
+        record_assignments,
+        acts,
+        get_kernel(kernel),
+        profiler=prof,
     )
     if engine.multi_lane:
         # Multi-lane SimServers fall outside the closed-form queue mirror;
@@ -1094,6 +1183,7 @@ def run_queries_fast(
             pq_fn,
             record_assignments=record_assignments,
             actions=acts,
+            profile=prof,
         )
     return engine.run()
 
@@ -1104,14 +1194,19 @@ def run_queries_reference(
     pq_fn: Callable[[float], int] | int | None = None,
     record_assignments: bool = False,
     actions: Sequence[Action] | None = None,
+    profile=None,
 ) -> BatchResult:
     """The per-query reference path with the same exact-time action queue.
 
     Semantically interchangeable with :func:`run_queries_fast` -- the
     scenario runner uses it as the ``engine="reference"`` backend so both
-    engines share one definition of *when* an action lands.
+    engines share one definition of *when* an action lands.  *profile* is
+    the same knob as on the batched path; here the per-query work lands
+    in a single ``reference`` phase (plus ``actions``).
     """
     require_numpy()
+    prof = resolve_profile(profile)
+    perf_ns = time.perf_counter_ns
     wall_start = time.perf_counter()
     arrivals = np.asarray(arrival_times, dtype=np.float64)
     acts = _sorted_actions(actions)
@@ -1132,7 +1227,12 @@ def run_queries_reference(
     arr_l = arrivals.tolist()
     for q_i in range(n_q):
         while ai < len(acts) and acts[ai].index <= q_i:
-            new_pq = acts[ai].fn(acts[ai].time)
+            if prof is None:
+                new_pq = acts[ai].fn(acts[ai].time)
+            else:
+                a0 = perf_ns()
+                new_pq = acts[ai].fn(acts[ai].time)
+                prof.add_ns("actions", perf_ns() - a0)
             if new_pq is not None:
                 pq_override = int(new_pq)
             actions_applied += 1
@@ -1149,7 +1249,12 @@ def run_queries_reference(
             pre_lens = {
                 name: len(s.trace) for name, s in servers.items() if s.keep_trace
             }
-        record = deployment.run_query(now, pq)
+        if prof is None:
+            record = deployment.run_query(now, pq)
+        else:
+            r0 = perf_ns()
+            record = deployment.run_query(now, pq)
+            prof.add_ns("reference", perf_ns() - r0)
         if record is None:
             dropped += 1
         else:
@@ -1168,11 +1273,19 @@ def run_queries_reference(
                 executed = ()
             assignments.append(executed)
     while ai < len(acts):
-        new_pq = acts[ai].fn(acts[ai].time)
+        if prof is None:
+            new_pq = acts[ai].fn(acts[ai].time)
+        else:
+            a0 = perf_ns()
+            new_pq = acts[ai].fn(acts[ai].time)
+            prof.add_ns("actions", perf_ns() - a0)
         if new_pq is not None:
             pq_override = int(new_pq)
         actions_applied += 1
         ai += 1
+    wall = time.perf_counter() - wall_start
+    if prof is not None:
+        prof.add_wall(wall)
     return BatchResult(
         arrivals=arrivals,
         latencies=latencies,
@@ -1184,7 +1297,8 @@ def run_queries_reference(
         assignments=assignments,
         fast_scheduled=0,
         delegated=n_q,
-        wall_seconds=time.perf_counter() - wall_start,
+        wall_seconds=wall,
         chunk_sizes=[],
         actions_applied=actions_applied,
+        profile=prof,
     )

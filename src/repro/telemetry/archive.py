@@ -242,8 +242,19 @@ class ArchiveWriter(ChunkListener):
         self.n_rows += len(arrays)
 
     # -- lifecycle ---------------------------------------------------------
-    def close(self, dropped: int = 0, meta: dict | None = None) -> None:
-        """Finalise the archive (flush spools, write the ``.npz``)."""
+    def close(
+        self,
+        dropped: int = 0,
+        meta: dict | None = None,
+        extra_columns: dict | None = None,
+    ) -> None:
+        """Finalise the archive (flush spools, write the ``.npz``).
+
+        *extra_columns* adds arbitrary caller-supplied numpy columns
+        (e.g. the control plane's ``dec_*`` decision columns) next to the
+        streamed per-query ones; :func:`read_archive` returns every
+        non-meta column generically, so they round-trip for free.
+        """
         if self._closed:
             return
         full_meta = dict(self.meta)
@@ -273,6 +284,16 @@ class ArchiveWriter(ChunkListener):
                     with zf.open(f"{name}.npy", "w") as out:
                         np.lib.format.write_array(out, arr, version=(1, 0))
                     del arr  # release the memmap before the spool unlinks
+                for name, col in (extra_columns or {}).items():
+                    if name in self._columns or name == "meta_json":
+                        raise ValueError(
+                            f"extra column {name!r} collides with a "
+                            "streamed archive column"
+                        )
+                    with zf.open(f"{name}.npy", "w") as out:
+                        np.lib.format.write_array(
+                            out, np.ascontiguousarray(col), version=(1, 0)
+                        )
         finally:
             self._cleanup()
 

@@ -112,24 +112,36 @@ def write_recording(
     deployment,
     engine: str,
     kernel: str,
+    manifest: dict | None = None,
 ) -> None:
     """Freeze one executed run at *path* (``.npz``).
 
     *scenario* is the executed :class:`~repro.scenarios.spec.Scenario`,
     *stimulus* the drawn arrival/update streams, *deployment* the
-    post-run deployment whose telemetry becomes the baseline.
+    post-run deployment whose telemetry becomes the baseline.  *manifest*
+    is the provenance dict (:func:`repro.obs.manifest.build_manifest`);
+    when omitted one is built in place, so every recording carries its
+    provenance.
     """
+    from ..obs.manifest import build_manifest
     from ..scenarios.spec import scenario_to_dict
+
+    scenario_dict = scenario_to_dict(scenario)
+    if manifest is None:
+        manifest = build_manifest(
+            kernel=kernel, config=scenario_dict, extra={"engine": engine}
+        )
     from ..telemetry.archive import collect_columns
 
     meta = {
         "schema": RECORDING_SCHEMA,
         "kind": "recording",
-        "scenario": scenario_to_dict(scenario),
+        "scenario": scenario_dict,
         "engine": engine,
         "kernel": kernel,
         "dropped": deployment.log.dropped,
         "horizon": stimulus.horizon,
+        "manifest": manifest,
     }
     payload = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
     baseline = collect_columns(deployment, wall_columns=False)

@@ -18,6 +18,9 @@ pytest.importorskip("numpy")  # run_queries_fast examples need the fast path
 import repro.cli
 import repro.cluster.deployment
 import repro.core.ids
+import repro.obs.audit
+import repro.obs.manifest
+import repro.obs.profiler
 import repro.scenarios.spec
 import repro.telemetry.archive
 import repro.traces.registry
@@ -29,6 +32,9 @@ DOCTEST_MODULES = (
     repro.cli,
     repro.cluster.deployment,
     repro.core.ids,
+    repro.obs.audit,
+    repro.obs.manifest,
+    repro.obs.profiler,
     repro.scenarios.spec,
     repro.telemetry.archive,
     repro.traces.registry,
@@ -37,7 +43,7 @@ DOCTEST_MODULES = (
 
 #: docs-site pages whose ``>>>`` examples are executable contracts too;
 #: the docs CI job and tier-1 both run them.
-DOCTEST_PAGES = ("scenarios.md", "traces.md")
+DOCTEST_PAGES = ("scenarios.md", "traces.md", "observability.md")
 
 
 @pytest.mark.parametrize(
