@@ -1,0 +1,154 @@
+"""The admission-policy contract and the shared queue-cap machinery.
+
+An :class:`AdmissionPolicy` sits at the front of the engine's arrival
+loop: for every query it sees the arrival time and the busiest-server
+backlog (seconds of queued work, from the engine's queue mirrors) and
+either admits the query or sheds it with a reason.  Completed-query
+delays flow back in through :meth:`AdmissionPolicy.observe` -- the same
+arrival-ordered sliding window the control plane's
+:class:`~repro.control.metrics.MetricsCollector` keeps -- and the
+exact-time action queue drives :meth:`AdmissionPolicy.tick` at scheduled
+query indices, where adaptive policies (AIMD) adjust their rate.
+
+**Queue-cap sizing.**  Every non-passthrough policy bounds the backlog a
+query may be admitted into: ``queue_cap = cap_multiple * slo`` seconds.
+This is the buffer-sizing argument (Spang et al.) translated to the
+serving path: backlog measured in *seconds of work* is the bandwidth-delay
+product divided by the bandwidth, so capping queued-work-seconds at a
+small multiple of the target delay bounds worst-case queueing delay at
+that multiple of the SLO regardless of service rate.  The equivalent cap
+in *queries* -- observed service rate x cap seconds -- is recorded at
+every tick (``cap_queries``) so the classic BDP form stays inspectable.
+
+Example::
+
+    >>> from repro.admission import get_policy
+    >>> pol = get_policy("delay_gated:slo=0.5,cap_multiple=2")
+    >>> pol.queue_cap
+    1.0
+    >>> pol.admit(0, now=0.0, backlog=0.2)  # under cap, window empty
+    >>> pol.admit(1, now=0.1, backlog=5.0)  # over the 1.0s cap
+    'queue-cap'
+    >>> (pol.accepted, pol.shed)
+    (1, 1)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..control.metrics import SlidingWindow
+from .records import ShedLog
+
+__all__ = ["AdmissionPolicy"]
+
+
+class AdmissionPolicy:
+    """Base class: queue-cap pre-check, telemetry, and the tick loop.
+
+    Subclasses implement :meth:`_decide` (shed reason or ``None`` per
+    query) and optionally :meth:`_adapt` (rate adjustment at ticks) and
+    :meth:`_consume` (charge an admitted query, e.g. a token).
+    """
+
+    #: registry name, set by subclasses.
+    name = "base"
+    description = ""
+    #: accept-all marker: :func:`~repro.admission.resolve_admission` maps
+    #: passthrough policies to ``None`` so the engine runs the untouched
+    #: (bit-identical) no-admission code path.
+    passthrough = False
+
+    def __init__(
+        self,
+        slo: float = 1.0,
+        window: float = 10.0,
+        cap_multiple: float = 4.0,
+    ) -> None:
+        if slo <= 0:
+            raise ValueError(f"slo must be positive, got {slo}")
+        if cap_multiple <= 0:
+            raise ValueError(f"cap_multiple must be positive, got {cap_multiple}")
+        self.slo = float(slo)
+        self.cap_multiple = float(cap_multiple)
+        #: admission ceiling in seconds of busiest-server backlog.
+        self.queue_cap = self.cap_multiple * self.slo
+        self.window = SlidingWindow(float(window))
+        self.log = ShedLog()
+        self.accepted = 0
+        self.shed = 0
+        #: largest backlog any *admitted* query entered (cap invariant).
+        self.max_admitted_backlog = 0.0
+        self._backlog_hwm = 0.0
+
+    # -- the per-query decision -------------------------------------------
+    def admit(self, query_index: int, now: float, backlog: float) -> Optional[str]:
+        """Admit (``None``) or shed (reason string) one arriving query.
+
+        *backlog* is the busiest-server queued work in seconds; the
+        queue-cap check runs first, then the policy's own gate.
+        """
+        if backlog > self._backlog_hwm:
+            self._backlog_hwm = backlog
+        if backlog >= self.queue_cap:
+            reason: Optional[str] = "queue-cap"
+        else:
+            reason = self._decide(now, backlog)
+        if reason is None:
+            self.accepted += 1
+            if backlog > self.max_admitted_backlog:
+                self.max_admitted_backlog = backlog
+            self._consume(now)
+            return None
+        self.shed += 1
+        self.log.record_shed(now, query_index, reason, backlog, self.signal(now))
+        return reason
+
+    def observe(self, now: float, delay: float) -> None:
+        """Feed one completed query's delay back (arrival-ordered)."""
+        self.window.add(now, delay)
+
+    def tick(self, now: float, query_index: int = -1) -> None:
+        """One exact-time controller tick: adapt, then log the state."""
+        p99 = self.window.percentile(99, now)
+        self._adapt(now, p99)
+        self.log.record_tick(
+            now,
+            query_index,
+            self.current_rate(),
+            p99,
+            self._backlog_hwm,
+            self.accepted,
+            self.shed,
+            self.window.rate(now) * self.queue_cap,
+        )
+        self._backlog_hwm = 0.0
+
+    # -- subclass hooks ----------------------------------------------------
+    def _decide(self, now: float, backlog: float) -> Optional[str]:
+        """Policy gate for a query already under the queue cap."""
+        return None
+
+    def _adapt(self, now: float, p99: float) -> None:
+        """Adjust internal rate/state at a tick (default: nothing)."""
+
+    def _consume(self, now: float) -> None:
+        """Charge one admitted query (default: nothing)."""
+
+    def current_rate(self) -> float:
+        """The policy's token rate, NaN for rateless policies."""
+        return math.nan
+
+    def signal(self, now: float) -> float:
+        """The gating signal recorded with shed events, NaN by default."""
+        return math.nan
+
+    def meta(self) -> dict:
+        """Archive meta for this policy's :class:`ShedLog`."""
+        return self.log.meta(
+            policy=self.name,
+            window=self.window.duration,
+            slo=self.slo,
+            queue_cap=self.queue_cap,
+        )

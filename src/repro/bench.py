@@ -53,8 +53,10 @@ from typing import Optional, Sequence
 
 __all__ = [
     "PROFILES",
+    "OVERLOAD_PROFILES",
     "SweepSpec",
     "run_sweep",
+    "overload_snapshot",
     "collect",
     "check_against_baseline",
     "baseline_warnings",
@@ -110,6 +112,53 @@ PROFILES: dict[str, tuple[SweepSpec, ...]] = {
         SweepSpec("1k-server", 24, 500, 60.0, 4, 120),
     ),
 }
+
+
+#: overload-battery shape per profile: (n_servers, duration) for the
+#: sustained-overload scenario swept over every admission policy.
+OVERLOAD_PROFILES: dict[str, tuple[int, float]] = {
+    "full": (16, 30.0),
+    "quick": (16, 20.0),
+    "smoke": (10, 10.0),
+}
+
+
+def overload_snapshot(profile: str = "full") -> dict:
+    """Goodput/shed-rate/p99 per admission policy under 2x overload.
+
+    Runs the ``sustained-overload`` builtin scenario (Poisson at twice
+    pool capacity) once per admission policy and records the quantities
+    the overload battery pins: goodput (completed-within-SLO per second),
+    shed rate, and p99 delay.  These are simulated-time quantities --
+    deterministic, machine-independent -- so unlike the us/query sweeps
+    they are directly comparable across snapshots; the baseline gate
+    still never compares them (it iterates the baseline's ``sweeps``
+    only), so the rows ride along gate-neutral.
+    """
+    import dataclasses
+
+    from .scenarios import builtin_scenarios, run_scenario_spec
+
+    n_servers, duration = OVERLOAD_PROFILES[profile]
+    scens = builtin_scenarios(
+        n_servers=n_servers, duration=duration, p=4, seed=2
+    )
+    base = next(s for s in scens if s.name == "sustained-overload")
+    out: dict = {}
+    for policy in ("none", "aimd", "delay_gated"):
+        scenario = dataclasses.replace(
+            base, admission=dataclasses.replace(base.admission, policy=policy)
+        )
+        r = run_scenario_spec(scenario, engine="batched")
+        out[policy] = {
+            "offered": r.offered,
+            "completed": r.completed,
+            "shed": r.shed,
+            "shed_rate": round(r.shed_rate, 4),
+            "goodput": round(r.goodput, 3),
+            "p99_delay": round(r.p99_delay, 6),
+        }
+    return out
 
 
 def _chunk_histogram(chunk_sizes) -> dict[str, int]:
@@ -362,6 +411,10 @@ def collect(
         #: reads it to flag host mismatches (warn, never gate).
         "manifest": build_manifest(extra={"bench_profile": profile}),
         "sweeps": sweeps,
+        #: admission-policy comparison under sustained 2x overload --
+        #: deterministic simulated-time rows, never gated (the baseline
+        #: gate iterates "sweeps" only).
+        "overload": overload_snapshot(profile),
     }
 
 
@@ -508,6 +561,18 @@ def render_report(snapshot: dict, baseline: Optional[dict] = None) -> str:
                 f"{commit_txt}"
                 f"{vs_txt}"
                 f"{'exact' if k['identical_to_exact'] else 'diverges'}"
+            )
+    overload = snapshot.get("overload")
+    if overload:
+        lines.append(
+            f"overload (sustained 2x): {'policy':12s} {'goodput':>8s} "
+            f"{'shed%':>6s} {'p99 ms':>8s}"
+        )
+        for policy, row in overload.items():
+            lines.append(
+                f"{'':25s}{policy:12s} {row['goodput']:>8.1f} "
+                f"{100.0 * row['shed_rate']:>6.1f} "
+                f"{1000.0 * row['p99_delay']:>8.1f}"
             )
     return "\n".join(lines)
 

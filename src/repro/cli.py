@@ -12,10 +12,12 @@ notebooks should import :mod:`repro` directly):
   snapshot, optionally gated against a baseline (``docs/benchmarks.md``);
 * ``profile``  -- run one profiled sweep, print the engine-phase table,
   optionally export a chrome://tracing JSON (``docs/observability.md``);
-* ``explain``  -- reconstruct the control-decision timeline of an
-  archived run, cross-checked against its delay columns;
+* ``explain``  -- reconstruct the control-decision and admission-shed
+  timelines of an archived run, cross-checked against its delay columns;
 * ``kernels``  -- list scheduling kernels, optionally measure divergence
   against the exact oracle (``docs/kernels.md``);
+* ``admission`` -- list admission-control policies
+  (``docs/admission.md``);
 * ``archive``  -- inspect/diff compressed telemetry archives written by
   ``matrix --archive-dir`` / ``bench --archive-dir`` (``docs/telemetry.md``);
 * ``traces``   -- list trace dataloaders / summarise a trace file
@@ -69,6 +71,13 @@ The parser is plain argparse and safe to drive programmatically::
     'csv:time_col=ts'
     >>> parser.parse_args(["matrix", "--trace", "log.csv"]).trace
     'log.csv'
+    >>> parser.parse_args(["matrix", "--select", "*-overload"]).select
+    '*-overload'
+    >>> parser.parse_args(["matrix", "--admission",
+    ...                    "none,aimd,delay_gated"]).admission
+    'none,aimd,delay_gated'
+    >>> parser.parse_args(["admission"]).command
+    'admission'
 """
 
 from __future__ import annotations
@@ -156,6 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
     mtx.add_argument("--scenario", action="append", default=None,
                      metavar="NAME",
                      help="run only the named scenario (repeatable)")
+    mtx.add_argument("--select", default=None, metavar="GLOB",
+                     help="run only scenarios whose name matches GLOB "
+                          "(fnmatch, e.g. '*-overload')")
+    mtx.add_argument("--admission", default=None, metavar="LIST",
+                     help="comma list of admission policies to sweep per "
+                          "scenario (none, aimd[:key=value,...], "
+                          "delay_gated; see `repro admission`)")
     mtx.add_argument("--servers", type=int, default=20)
     mtx.add_argument("-p", type=int, default=4,
                      help="stored partitioning level")
@@ -258,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="battery fleet size for --divergence")
     kern.add_argument("--duration", type=float, default=15.0,
                       help="battery duration for --divergence")
+
+    sub.add_parser(
+        "admission",
+        help="list admission-control policies (overload shedding; "
+             "docs/admission.md)",
+    )
 
     arch = sub.add_parser(
         "archive",
@@ -482,6 +504,43 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                   f"known: {sorted(known)}", file=sys.stderr)
             return 2
         scenarios = [s for s in scenarios if s.name in wanted]
+    if args.select:
+        import fnmatch
+
+        matched = [s for s in scenarios if fnmatch.fnmatch(s.name, args.select)]
+        if not matched:
+            print(f"--select {args.select!r} matches no scenario; "
+                  f"known: {sorted(s.name for s in scenarios)}",
+                  file=sys.stderr)
+            return 2
+        scenarios = matched
+    if args.admission:
+        import dataclasses
+
+        from .scenarios import AdmissionSpec
+
+        policies = [x.strip() for x in args.admission.split(",") if x.strip()]
+        try:
+            swept = []
+            for s in scenarios:
+                for pol in policies:
+                    spec = (
+                        dataclasses.replace(s.admission, policy=pol)
+                        if s.admission is not None
+                        else AdmissionSpec(policy=pol)
+                    )
+                    # suffix names so sweep rows (and --archive-dir files)
+                    # stay distinguishable
+                    name = (
+                        f"{s.name}+{pol.partition(':')[0]}"
+                        if len(policies) > 1
+                        else s.name
+                    )
+                    swept.append(dataclasses.replace(s, name=name, admission=spec))
+        except ValueError as exc:
+            print(f"bad --admission: {exc}", file=sys.stderr)
+            return 2
+        scenarios = swept
     if args.trace:
         from .scenarios.matrix import trace_scenario
         from .traces import TraceFormatError
@@ -588,16 +647,32 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    from .admission.records import (
+        admission_from_archive,
+        explain_admission,
+        render_admission,
+    )
     from .obs.audit import decisions_from_archive, explain_archive, render_decisions
     from .telemetry.archive import read_archive
 
     try:
         archive = read_archive(args.path)
-        records = decisions_from_archive(archive)
     except (OSError, ValueError) as exc:
         print(f"cannot explain {args.path}: {exc}", file=sys.stderr)
         return 2
-    checks = explain_archive(archive)
+    try:
+        records = decisions_from_archive(archive)
+    except ValueError:
+        records = None  # no dec_* columns: maybe an admission-only run
+    try:
+        admission = admission_from_archive(archive)
+    except ValueError:
+        admission = None
+    if records is None and admission is None:
+        print(f"cannot explain {args.path}: archive has neither control "
+              "decisions (dec_*) nor admission columns (shed_*)",
+              file=sys.stderr)
+        return 2
     print(f"archive        : {args.path}")
     meta = archive.meta
     manifest = meta.get("manifest")
@@ -605,27 +680,55 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(f"provenance     : rev {manifest.get('git_revision', '?')}, "
               f"host {manifest.get('host', '?')}, "
               f"kernel {manifest.get('kernel', '?')}")
-    window = meta.get("decisions", {}).get("window")
-    if window is not None:
-        print(f"metrics window : {window:g} s (sampled by arrival time)")
-    print(f"decisions      : {len(records)} "
-          f"({sum(1 for r in records if not r.is_hold)} actions, "
-          f"{sum(1 for r in records if r.is_hold)} holds)")
-    print(render_decisions(records, checks))
-    bad = [rec for rec, ok, _, _ in checks if not ok]
+    failed = 0
+    checks: list = []
+    adm_checks: list = []
+    if records is not None:
+        checks = explain_archive(archive)
+        window = meta.get("decisions", {}).get("window")
+        if window is not None:
+            print(f"metrics window : {window:g} s (sampled by arrival time)")
+        print(f"decisions      : {len(records)} "
+              f"({sum(1 for r in records if not r.is_hold)} actions, "
+              f"{sum(1 for r in records if r.is_hold)} holds)")
+        print(render_decisions(records, checks))
+        failed += sum(1 for _, ok, _, _ in checks if not ok)
+    if admission is not None:
+        sheds, ticks, adm_meta = admission
+        adm_checks = explain_admission(archive)
+        print(f"shed decisions : {len(sheds)} over {len(ticks)} tick(s) "
+              f"(policy {adm_meta.get('policy', '?')})")
+        print(render_admission(sheds, ticks, adm_checks, adm_meta))
+        failed += sum(1 for _, ok, _, _ in adm_checks if not ok)
     if args.json:
         import dataclasses
         import json
 
-        payload = [
+        dec_payload = [
             {**dataclasses.asdict(rec), "check": bool(ok)}
             for rec, ok, _, _ in checks
         ]
+        if admission is None:
+            # decisions-only archives keep the historical list payload
+            payload: object = dec_payload
+        else:
+            sheds, ticks, adm_meta = admission
+            payload = {
+                "decisions": dec_payload,
+                "admission": {
+                    "meta": adm_meta,
+                    "sheds": [dataclasses.asdict(s) for s in sheds],
+                    "ticks": [
+                        {**dataclasses.asdict(t), "check": bool(ok)}
+                        for t, ok, _, _ in adm_checks
+                    ],
+                },
+            }
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"json timeline  : {args.json}")
-    if bad:
-        print(f"cross-check    : {len(bad)} record(s) FAILED against the "
+    if failed:
+        print(f"cross-check    : {failed} record(s) FAILED against the "
               "archived delay columns", file=sys.stderr)
         return 1
     print("cross-check    : every record matches the archived delay columns")
@@ -818,6 +921,16 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_admission(args: argparse.Namespace) -> int:
+    from .admission import policy_specs
+
+    print(f"{'policy':14s} {'sheds':6s} description")
+    for row in policy_specs():
+        sheds = "no" if row["passthrough"] else "yes"
+        print(f"{row['name']:14s} {sheds:6s} {row['description']}")
+    return 0
+
+
 def _cmd_pps_demo(args: argparse.Namespace) -> int:
     import random
 
@@ -858,6 +971,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "explain": _cmd_explain,
         "kernels": _cmd_kernels,
+        "admission": _cmd_admission,
         "archive": _cmd_archive,
         "traces": _cmd_traces,
         "record": _cmd_record,

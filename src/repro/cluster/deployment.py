@@ -392,6 +392,7 @@ class Deployment:
         actions: Sequence | None = None,
         kernel=None,
         profile=None,
+        admission=None,
     ):
         """Run an arrival trace through the batched query path.
 
@@ -407,6 +408,10 @@ class Deployment:
         see :mod:`repro.kernels` and ``docs/kernels.md``).  *profile*
         enables the engine-phase profiler (results stay bit-identical;
         see :mod:`repro.obs.profiler` and ``docs/observability.md``).
+        *admission* installs an admission controller at the arrival seam
+        (policy name/spec or instance; the default ``None``/"none" is
+        accept-all and bit-identical to the pre-admission engine -- see
+        :mod:`repro.admission` and ``docs/admission.md``).
 
         Example -- three queries, then one scheduled through an explicit
         kernel, against an 8-server testbed::
@@ -433,6 +438,7 @@ class Deployment:
             actions=actions,
             kernel=kernel,
             profile=profile,
+            admission=admission,
         )
 
     # -- updates (Fig 7.4) ------------------------------------------------------------

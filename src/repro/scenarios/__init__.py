@@ -9,6 +9,7 @@ grids of scenarios and renders comparable metric tables (``repro matrix``).
 """
 
 from .spec import (
+    AdmissionSpec,
     ChurnSpec,
     ControlSpec,
     EventSpec,
@@ -33,6 +34,7 @@ from .matrix import (
 from .spec import scenario_from_dict, scenario_to_dict
 
 __all__ = [
+    "AdmissionSpec",
     "ChurnSpec",
     "ControlSpec",
     "EventSpec",

@@ -19,7 +19,15 @@ from typing import Callable, Optional, Sequence
 
 from ..traces.spec import TraceSpec
 from .runner import ScenarioResult, auto_rate, build_models, run_scenario_spec
-from .spec import ChurnSpec, ControlSpec, EventSpec, Scenario, UpdateSpec, WorkloadSpec
+from .spec import (
+    AdmissionSpec,
+    ChurnSpec,
+    ControlSpec,
+    EventSpec,
+    Scenario,
+    UpdateSpec,
+    WorkloadSpec,
+)
 
 __all__ = [
     "MatrixResult",
@@ -38,10 +46,16 @@ def builtin_scenarios(
     seed: int = 1,
     rate: float | None = None,
 ) -> list[Scenario]:
-    """The default battery: eight environments over one cluster shape.
+    """The default battery: ten environments over one cluster shape.
 
     *rate* defaults to ~35% pool utilisation so differences between
-    scenarios come from their stimuli, not from baseline overload.
+    scenarios come from their stimuli, not from baseline overload.  The
+    two ``*-overload`` scenarios deliberately exceed pool capacity and
+    carry an :class:`~repro.scenarios.spec.AdmissionSpec` (default policy
+    ``none``, so they stay bit-identical accept-all runs) whose tuning
+    knobs are shared across policies -- ``repro matrix --admission
+    none,aimd,delay_gated`` compares shedding policies Contracts-style on
+    identical stimuli.
     """
     probe = Scenario(name="_probe", n_servers=n_servers, p=p, dataset_size=dataset_size)
     hen_models = build_models(probe)
@@ -60,6 +74,22 @@ def builtin_scenarios(
         n_servers=n_servers, p=p, dataset_size=dataset_size, seed=seed
     )
     t = duration  # shorthand for event timing
+    # pool capacity (100% utilisation) anchors the overload scenarios and
+    # the AIMD rate knobs, so "2x overload" means 2x regardless of shape
+    cap_rate = auto_rate(hen_models, p, dataset_size, target_util=1.0)
+    overload_admission = AdmissionSpec(
+        policy="none",  # accept-all default; --admission swaps the policy
+        slo=1.0,
+        window=5.0,
+        cap_multiple=0.5,
+        tick=1.0,
+        floor=0.25 * cap_rate,
+        capacity=1.25 * cap_rate,
+        rate=0.75 * cap_rate,
+        increase=0.05 * cap_rate,
+        decrease=0.5,
+        burst=4.0,
+    )
     return [
         Scenario(
             name="steady",
@@ -131,6 +161,27 @@ def builtin_scenarios(
             ),
             **common,
         ),
+        Scenario(
+            name="sustained-overload",
+            description="Poisson at 2x pool capacity; shed or drown",
+            workload=WorkloadSpec(
+                kind="poisson", rate=2.0 * cap_rate, duration=duration
+            ),
+            admission=overload_admission,
+            **common,
+        ),
+        Scenario(
+            name="flash-overload",
+            description="flash crowd surging 5x past 60% baseline load",
+            workload=WorkloadSpec(
+                kind="flash-crowd",
+                rate=0.6 * cap_rate,
+                duration=duration,
+                surge_factor=5.0,
+            ),
+            admission=overload_admission,
+            **common,
+        ),
     ]
 
 
@@ -186,6 +237,9 @@ class MatrixResult:
         "updates",
         "events",
         "ctl",
+        "adm",
+        "goodput",
+        "shed%",
         "plan_p",
         "wall_s",
     )
@@ -214,6 +268,13 @@ class MatrixResult:
                     str(r.updates_applied),
                     str(r.events_applied),
                     str(r.control_actions),
+                    (
+                        r.scenario.admission.policy.partition(":")[0]
+                        if r.scenario.admission is not None
+                        else "-"
+                    ),
+                    "-" if math.isnan(r.goodput) else f"{r.goodput:.1f}",
+                    f"{100.0 * r.shed_rate:.1f}",
                     "-" if r.planned_p is None else str(r.planned_p),
                     f"{r.wall_seconds:.2f}",
                 ]

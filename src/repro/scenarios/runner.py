@@ -225,6 +225,11 @@ class ScenarioExecution:
     #: the control plane's :class:`~repro.obs.audit.DecisionLog` (None
     #: when the scenario has no control spec).
     decisions: object = None
+    #: the admission controller (an
+    #: :class:`~repro.admission.base.AdmissionPolicy` carrying its
+    #: :class:`~repro.admission.records.ShedLog`); None when the scenario
+    #: has no admission spec or the policy is accept-all.
+    admission: object = None
 
 
 @dataclass
@@ -254,6 +259,15 @@ class ScenarioResult:
     planned_p: int | None
     wall_seconds: float
     fast_fraction: float
+    #: queries refused by the admission controller (0 without one).
+    shed: int = 0
+    #: shed / offered.
+    shed_rate: float = 0.0
+    #: completed queries meeting the admission SLO, per second of horizon
+    #: (NaN when the scenario has no admission spec to define the SLO).
+    goodput: float = math.nan
+    #: the admission SLO the goodput column is measured against.
+    slo: float | None = None
     notes: list[str] = field(default_factory=list)
 
 
@@ -358,6 +372,12 @@ def execute_scenario(
         for controller in controllers:
             controller.decision_log = decision_log
 
+    # admission controller (optional; accept-all resolves to None so the
+    # engine takes the untouched bit-identical code path)
+    from ..admission.registry import build_admission
+
+    admission_controller = build_admission(scenario.admission)
+
     # -- compile the stimulus timeline to exact query indices --------------
     # Each entry becomes an Action at the index of the first query arriving
     # strictly after its timestamp, so it lands between two specific
@@ -386,6 +406,11 @@ def execute_scenario(
         while t <= horizon:
             add_entry(t, 2, "control", None)
             t += ctl.interval
+    if admission_controller is not None:
+        t = scenario.admission.tick
+        while t <= horizon:
+            add_entry(t, 3, "admission", None)
+            t += scenario.admission.tick
     for t_u, pos in update_stream:
         add_entry(t_u, -1, "update", (t_u, pos))
 
@@ -517,6 +542,8 @@ def execute_scenario(
                 # the action's own index IS the tick's exact position in
                 # the arrival stream -- it lands in the decision log
                 apply_control(now, query_index=index)
+            elif kind == "admission":
+                admission_controller.tick(now, query_index=index)
             return pq_now()
 
         if ctl is not None:
@@ -524,6 +551,10 @@ def execute_scenario(
         elif kind == "event":
             scope = _EVENT_SCOPES.get(payload.action, "membership")
         elif kind == "updates":
+            scope = "busy"
+        elif kind == "admission":
+            # mutates controller state only, but the fire() pump can
+            # complete an in-flight event-driven repartition (see set-pq)
             scope = "busy"
         else:
             scope = "membership"
@@ -598,6 +629,7 @@ def execute_scenario(
                 actions=actions,
                 kernel=kernel_obj,
                 record_assignments=record_assignments,
+                admission=admission_controller,
             )
         else:
             batch_result = run_queries_reference(
@@ -606,6 +638,7 @@ def execute_scenario(
                 pq_now(),
                 actions=actions,
                 record_assignments=record_assignments,
+                admission=admission_controller,
             )
             kernel_name = "reference"
         sim.run(until=horizon)  # drain sim work scheduled after the last action
@@ -633,6 +666,15 @@ def execute_scenario(
             # bit-identically across engines, unlike wall-clock columns
             extra_columns = decision_log.columns()
             close_meta["decisions"] = decision_log.meta(window=ctl.metrics_window)
+        if admission_controller is not None:
+            # shed_*/adm_* rows are simulated-time too; the per-chunk
+            # shedchunk_* rows depend on engine chunking and are skipped
+            # by archive_diff's gated mode like wall-clock columns
+            extra_columns = {
+                **(extra_columns or {}),
+                **admission_controller.log.columns(),
+            }
+            close_meta["admission"] = admission_controller.meta()
         archive_writer.close(
             dropped=deployment.log.dropped,
             meta=close_meta,
@@ -671,6 +713,7 @@ def execute_scenario(
         notes=notes,
         wall_seconds=time.perf_counter() - wall_start,
         decisions=decision_log,
+        admission=admission_controller,
     )
 
 
@@ -689,14 +732,23 @@ def run_scenario_spec(
     log = deployment.log
     delays = log.delays()
     completed = len(delays)
-    offered = completed + log.dropped
+    batch = ex.batch
+    shed = getattr(batch, "shed", 0)
+    offered = completed + log.dropped + shed
     mean_delay = (sum(delays) / completed) if completed else math.nan
     control_actions = sum(len(c.actions) for c in ex.controllers)
     planned = _planned_p(scenario, deployment, offered, horizon)
     elapsed = max(horizon, 1e-9)
-    batch = ex.batch
     fast_n = batch.fast_scheduled
     delegated_n = batch.delegated
+    # goodput = completed queries meeting the admission SLO, per second;
+    # only defined when the scenario declares an SLO (AdmissionSpec) --
+    # the Contracts-style overload column where accept-all loses
+    slo = scenario.admission.slo if scenario.admission is not None else None
+    if slo is not None:
+        goodput = sum(1 for d in delays if d <= slo) / elapsed
+    else:
+        goodput = math.nan
     return ScenarioResult(
         scenario=scenario,
         engine=ex.engine,
@@ -720,6 +772,10 @@ def run_scenario_spec(
         planned_p=planned,
         wall_seconds=ex.wall_seconds,
         fast_fraction=fast_n / max(fast_n + delegated_n, 1),
+        shed=shed,
+        shed_rate=shed / offered if offered else 0.0,
+        goodput=goodput,
+        slo=slo,
         notes=ex.notes,
     )
 

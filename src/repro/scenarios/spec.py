@@ -20,6 +20,7 @@ __all__ = [
     "ChurnSpec",
     "EventSpec",
     "ControlSpec",
+    "AdmissionSpec",
     "Scenario",
     "scenario_from_dict",
     "scenario_to_dict",
@@ -243,6 +244,54 @@ class ControlSpec:
 
 
 @dataclass(frozen=True)
+class AdmissionSpec:
+    """Per-frontend admission control (load shedding / pacing).
+
+    ``policy`` names a registered admission policy, optionally with a
+    ``:key=value,...`` parameter suffix (see :mod:`repro.admission`).
+    The default ``"none"`` is accept-all and leaves every run
+    bit-identical to an admission-free one.  The remaining fields tune
+    whichever policy runs, so ``repro matrix --admission`` can swap the
+    policy name while holding the comparison knobs fixed; ``None`` fields
+    defer to the policy's own defaults.
+
+    ``slo`` is the target delay (seconds) -- it sizes the queue cap
+    (``cap_multiple * slo`` seconds of backlog) and defines goodput
+    (completed queries meeting the SLO).  ``tick`` is the controller's
+    adaptation interval, enforced at exact query indices through the
+    engine's action queue.
+    """
+
+    policy: str = "none"
+    slo: float = 1.0
+    window: float = 10.0
+    cap_multiple: float = 4.0
+    tick: float = 1.0
+    #: AIMD knobs (ignored by rateless policies).
+    floor: float | None = None
+    capacity: float | None = None
+    rate: float | None = None
+    increase: float | None = None
+    decrease: float | None = None
+    burst: float | None = None
+    #: delay_gated knob.
+    slo_multiple: float | None = None
+
+    def __post_init__(self) -> None:
+        from ..admission.registry import is_known_policy
+
+        if not is_known_policy(self.policy):
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; see "
+                "repro.admission.policy_names()"
+            )
+        if self.slo <= 0 or self.window <= 0 or self.tick <= 0:
+            raise ValueError("slo, window, and tick must be positive")
+        if self.cap_multiple <= 0:
+            raise ValueError("cap_multiple must be positive")
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One fully specified environment for a ROAR deployment.
 
@@ -289,6 +338,10 @@ class Scenario:
     #: engine default (the bit-exact oracle).  Ignored by the reference
     #: engine, which schedules through the original heap.
     kernel: str | None = None
+    #: admission control at the engine's arrival seam; None (or
+    #: policy="none") accepts every query, bit-identical to the
+    #: pre-admission engine.
+    admission: AdmissionSpec | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -372,6 +425,7 @@ def scenario_from_dict(data: dict) -> Scenario:
         ("churn", ChurnSpec),
         ("updates", UpdateSpec),
         ("control", ControlSpec),
+        ("admission", AdmissionSpec),
     ):
         raw = d.get(key)
         if raw is not None:

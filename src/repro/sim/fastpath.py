@@ -196,6 +196,11 @@ class BatchResult:
     #: the run's :class:`~repro.obs.profiler.PhaseProfiler` when profiling
     #: was enabled (``profile=`` / ``REPRO_PROFILE``); None otherwise.
     profile: Optional[object] = None
+    #: queries refused by the admission controller (``latencies`` holds
+    #: NaN and ``query_ids`` -1 there, like drops -- but sheds never
+    #: reached the scheduler, and the per-shed reasons live in the
+    #: controller's :class:`~repro.admission.records.ShedLog`).
+    shed: int = 0
 
     def completed_latencies(self) -> "np.ndarray":
         return self.latencies[~np.isnan(self.latencies)]
@@ -233,8 +238,14 @@ class _Engine:
         actions: Sequence[Action],
         kernel: SweepKernel,
         profiler=None,
+        admission=None,
     ) -> None:
         self.dep = deployment
+        #: admission controller, or None (the default).  Like the
+        #: profiler, every site below guards on ``is not None``, and the
+        #: bulk-seam gate requires None -- so an admission-free run takes
+        #: exactly the pre-admission code path, bit for bit.
+        self.admission = admission
         #: phase profiler, or None (the default).  Every instrumentation
         #: site below guards on ``is not None`` so an unprofiled run makes
         #: no profiler calls at all, and profiling only ever reads the
@@ -274,6 +285,7 @@ class _Engine:
 
         self.completed = 0
         self.dropped = 0
+        self.shed_n = 0
         self.fast_scheduled = 0
         self.delegated = 0
         self.actions_applied = 0
@@ -517,6 +529,8 @@ class _Engine:
         log_start = self.log.n_records
         self.log.append_columns(qqid, qnow, fr, qpq, qpq, qsched)
         dep.breakdowns.append_columns(qsched, qrtt, qmw, qms, qtotal)
+        if self.admission is not None:
+            self.admission.log.record_chunk(log_start, nq, self.admission.shed)
 
         prof = self.prof
         has_listeners = bool(dep.chunk_listeners or dep.query_listeners)
@@ -668,6 +682,7 @@ class _Engine:
             if (
                 not pq_callable
                 and not self.any_failed
+                and self.admission is None
                 and (self.kernel.fused_commit or end - pos >= BULK_MIN_SPAN)
             ):
                 pos = self._run_span_bulk(pos, end)
@@ -696,6 +711,7 @@ class _Engine:
             chunk_sizes=self.chunk_sizes,
             actions_applied=self.actions_applied,
             profile=self.prof,
+            shed=self.shed_n,
         )
 
     # -- the bulk seam -----------------------------------------------------
@@ -893,6 +909,7 @@ class _Engine:
         record_assignments = self.assignments is not None
         select = self.kernel.select
         arr = self.arr_l
+        admission = self.admission
 
         # aliases refreshed whenever mirrors rebuild (delegation)
         def local_state():
@@ -933,6 +950,20 @@ class _Engine:
             else:
                 pq = self.pq_override if self.pq_override is not None else pq_fn
             pq = pq or cfg.p
+
+            # -- admission: decide before any scheduling work or rng draw,
+            # off the busiest-server backlog the queue mirror exposes -----
+            if admission is not None:
+                backlog = max(busy_l) - now
+                if backlog < 0.0:
+                    backlog = 0.0
+                if admission.admit(q_i, now, backlog) is not None:
+                    self.pqs[q_i] = pq
+                    self.shed_n += 1
+                    if record_assignments:
+                        self.assignments.append(())
+                    continue
+
             if pq != last_pq:
                 if pq < self.p_store_cur - 1e-9:
                     self._materialise()
@@ -1056,6 +1087,10 @@ class _Engine:
             self.qrows.append(
                 (q_i, now, pq, qid, rtt, sched_wall, total, mw, ms)
             )
+            if admission is not None:
+                # same delay the reference path's QueryRecord carries
+                # (wall-free unless charge_scheduling is on)
+                admission.observe(now, total)
             self.completed += 1
             self.fast_scheduled += 1
             self.led_qmsg += pq
@@ -1103,6 +1138,8 @@ class _Engine:
             self.query_ids[q_i] = record.query_id
             self.finishes[q_i] = record.finish
             self.latencies[q_i] = record.delay
+            if self.admission is not None:
+                self.admission.observe(now, record.delay)
         if pre_lens is not None:
             # Delegated schedules (plus failure replacements) are only
             # observable through server traces; only this query ran, so
@@ -1138,6 +1175,7 @@ def run_queries_fast(
     actions: Sequence[Action] | None = None,
     kernel: SweepKernel | str | None = None,
     profile=None,
+    admission=None,
 ) -> BatchResult:
     """Run a whole arrival trace through the batched path.
 
@@ -1157,12 +1195,22 @@ def run_queries_fast(
     variable.  When on, the result's ``profile`` attribute carries
     per-phase totals and per-chunk samples; results are bit-identical to
     an unprofiled run either way (see :mod:`repro.obs.profiler`).
+
+    *admission* installs an admission controller at the arrival seam: a
+    policy name/spec, an :class:`~repro.admission.base.AdmissionPolicy`
+    instance, or ``None``/``"none"`` for accept-all.  Passthrough specs
+    resolve to ``None`` before the engine sees them, so the default run
+    is bit-identical to the pre-admission engine; an active policy
+    forces the per-query path (the bulk seam cannot shed mid-chunk).
     """
     require_numpy()
     _check_frontend(deployment)
+    from ..admission.registry import resolve_admission
+
     arrivals = np.asarray(arrival_times, dtype=np.float64)
     acts = _sorted_actions(actions)
     prof = resolve_profile(profile)
+    adm = resolve_admission(admission)
     engine = _Engine(
         deployment,
         arrivals,
@@ -1171,6 +1219,7 @@ def run_queries_fast(
         acts,
         get_kernel(kernel),
         profiler=prof,
+        admission=adm,
     )
     if engine.multi_lane:
         # Multi-lane SimServers fall outside the closed-form queue mirror;
@@ -1184,6 +1233,7 @@ def run_queries_fast(
             record_assignments=record_assignments,
             actions=acts,
             profile=prof,
+            admission=adm,
         )
     return engine.run()
 
@@ -1195,6 +1245,7 @@ def run_queries_reference(
     record_assignments: bool = False,
     actions: Sequence[Action] | None = None,
     profile=None,
+    admission=None,
 ) -> BatchResult:
     """The per-query reference path with the same exact-time action queue.
 
@@ -1202,10 +1253,16 @@ def run_queries_reference(
     scenario runner uses it as the ``engine="reference"`` backend so both
     engines share one definition of *when* an action lands.  *profile* is
     the same knob as on the batched path; here the per-query work lands
-    in a single ``reference`` phase (plus ``actions``).
+    in a single ``reference`` phase (plus ``actions``).  *admission* is
+    the same knob too, with the same backlog/delay signals (the busiest
+    server's queued seconds, completed delays by arrival), so shed
+    decisions are engine-independent.
     """
     require_numpy()
+    from ..admission.registry import resolve_admission
+
     prof = resolve_profile(profile)
+    admission = resolve_admission(admission)
     perf_ns = time.perf_counter_ns
     wall_start = time.perf_counter()
     arrivals = np.asarray(arrival_times, dtype=np.float64)
@@ -1220,7 +1277,7 @@ def run_queries_reference(
     )
     cfg = deployment.config
     servers = deployment.servers
-    completed = dropped = 0
+    completed = dropped = shed = 0
     pq_override: Optional[int] = None
     actions_applied = 0
     ai = 0
@@ -1244,6 +1301,15 @@ def run_queries_reference(
             pq = pq_override if pq_override is not None else pq_fn
         pq = pq or cfg.p
         pqs[q_i] = pq
+        if admission is not None:
+            backlog = max(s.busy_until for s in servers.values()) - now
+            if backlog < 0.0:
+                backlog = 0.0
+            if admission.admit(q_i, now, backlog) is not None:
+                shed += 1
+                if assignments is not None:
+                    assignments.append(())
+                continue
         pre_lens = None
         if assignments is not None:
             pre_lens = {
@@ -1262,6 +1328,8 @@ def run_queries_reference(
             query_ids[q_i] = record.query_id
             finishes[q_i] = record.finish
             latencies[q_i] = record.delay
+            if admission is not None:
+                admission.observe(now, record.delay)
         if pre_lens is not None:
             if record is not None:
                 executed = tuple(
@@ -1286,6 +1354,10 @@ def run_queries_reference(
     wall = time.perf_counter() - wall_start
     if prof is not None:
         prof.add_wall(wall)
+    if admission is not None:
+        # no chunks on this path: one whole-run summary row keeps the
+        # shedchunk_* column totals comparable across engines
+        admission.log.record_chunk(0, completed, admission.shed)
     return BatchResult(
         arrivals=arrivals,
         latencies=latencies,
@@ -1301,4 +1373,5 @@ def run_queries_reference(
         chunk_sizes=[],
         actions_applied=actions_applied,
         profile=prof,
+        shed=shed,
     )

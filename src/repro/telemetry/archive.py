@@ -85,6 +85,18 @@ _BD_COLUMNS = (
 #: same exclusion the batched/per-query differential tests apply).
 _WALL_COLUMNS = frozenset({"log_scheduling", "bd_scheduling"})
 
+
+def _gate_exempt(name: str) -> bool:
+    """Columns the gated diff reports but never gates on.
+
+    Wall-clock columns measure this machine, and the per-chunk admission
+    counters (``shedchunk_*``) follow the engine's chunking -- the
+    reference path writes one whole-run row where the batched engine
+    writes one per flushed chunk.  Both are legitimately engine-dependent;
+    everything else must match bit for bit.
+    """
+    return name in _WALL_COLUMNS or name.startswith("shedchunk_")
+
 #: storage dtype per archive column (little-endian, platform-independent).
 _COLUMN_DTYPES = {
     "log_query_id": "<i8",
@@ -373,7 +385,8 @@ def archive_diff(a: RunArchive, b: RunArchive) -> dict:
     {name: {...}}}``.  ``identical`` requires every shared column equal
     and no column present on one side only; ``gated_identical`` applies
     the differential-test exclusion of wall-clock-derived columns
-    (``log_scheduling``/``bd_scheduling``) -- the right predicate for CI
+    (``log_scheduling``/``bd_scheduling``) and of the engine-chunking
+    admission counters (``shedchunk_*``) -- the right predicate for CI
     bit-identity gates.
     """
     names = sorted(set(a.columns) | set(b.columns))
@@ -386,7 +399,7 @@ def archive_diff(a: RunArchive, b: RunArchive) -> dict:
         if ca is None or cb is None:
             entry = {"equal": False, "missing_in": "a" if ca is None else "b"}
             identical = False
-            if name not in _WALL_COLUMNS:
+            if not _gate_exempt(name):
                 gated_identical = False
             out["columns"][name] = entry
             continue
@@ -400,7 +413,7 @@ def archive_diff(a: RunArchive, b: RunArchive) -> dict:
                     np.max(np.abs(ca[:k] - cb[:k]))
                 )
             identical = False
-            if name not in _WALL_COLUMNS:
+            if not _gate_exempt(name):
                 gated_identical = False
         out["columns"][name] = entry
     out["identical"] = identical

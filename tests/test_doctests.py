@@ -15,6 +15,8 @@ import pytest
 
 pytest.importorskip("numpy")  # run_queries_fast examples need the fast path
 
+import repro.admission.base
+import repro.admission.records
 import repro.cli
 import repro.cluster.deployment
 import repro.core.ids
@@ -29,6 +31,8 @@ import repro.traces.spec
 #: every module whose docstring examples are part of the documented
 #: contract; add modules here when giving them doctest examples.
 DOCTEST_MODULES = (
+    repro.admission.base,
+    repro.admission.records,
     repro.cli,
     repro.cluster.deployment,
     repro.core.ids,
@@ -43,7 +47,12 @@ DOCTEST_MODULES = (
 
 #: docs-site pages whose ``>>>`` examples are executable contracts too;
 #: the docs CI job and tier-1 both run them.
-DOCTEST_PAGES = ("scenarios.md", "traces.md", "observability.md")
+DOCTEST_PAGES = (
+    "scenarios.md",
+    "traces.md",
+    "observability.md",
+    "admission.md",
+)
 
 
 @pytest.mark.parametrize(

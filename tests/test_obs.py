@@ -735,7 +735,7 @@ class TestObsCLI:
         write_archive_columns(path, {"log_arrival": np.zeros(2)}, meta={})
         rc = main(["explain", str(path)])
         assert rc == 2
-        assert "no decision columns" in capsys.readouterr().err
+        assert "neither control decisions" in capsys.readouterr().err
 
     def test_archive_info_manifest_gate(self, capsys, tmp_path,
                                         crowd_x_rack_archive):
